@@ -1,0 +1,70 @@
+#include "common/bench_common.hh"
+
+#include <iostream>
+
+namespace dirsim::bench
+{
+
+void
+banner(const std::string &artifact, const std::string &caption)
+{
+    const std::string rule(58, '=');
+    std::cout << rule << '\n';
+    std::cout << "Reproduction of " << artifact
+              << " -- Agarwal et al.,\n";
+    std::cout << "\"An Evaluation of Directory Schemes for Cache "
+                 "Coherence\"\n";
+    std::cout << caption << '\n';
+    const SuiteParams params = SuiteParams::fromEnvironment();
+    std::cout << "suite: pops/thor/pero, "
+              << TextTable::grouped(params.refsPerTrace)
+              << " refs each (DIRSIM_SUITE_REFS overrides), seed "
+              << params.seed << '\n';
+    std::cout << rule << "\n\n";
+}
+
+const std::vector<Trace> &
+suite()
+{
+    static const std::vector<Trace> traces = standardSuite();
+    return traces;
+}
+
+const std::vector<SchemeResults> &
+paperGrid()
+{
+    static const std::vector<SchemeResults> grid =
+        runGrid(paperSchemes(), suite());
+    return grid;
+}
+
+std::vector<SchemeResults>
+gridFor(const std::vector<std::string> &schemes)
+{
+    return runGrid(schemes, suite());
+}
+
+const SchemeResults &
+findScheme(const std::vector<SchemeResults> &grid,
+           const std::string &name)
+{
+    for (const auto &results : grid) {
+        if (results.scheme == name)
+            return results;
+    }
+    fatal("scheme '", name, "' not present in the grid");
+}
+
+std::string
+cyc(double value)
+{
+    return TextTable::fixed(value, 4);
+}
+
+std::string
+pct(double fraction)
+{
+    return TextTable::fixed(100.0 * fraction, 2);
+}
+
+} // namespace dirsim::bench

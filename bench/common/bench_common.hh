@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Shared infrastructure for the repro_* benchmark binaries.
+ *
+ * Every binary reproduces one table or figure of the paper on the
+ * standard synthetic suite (sim/suite.hh). Trace length defaults to
+ * the suite default and can be raised to paper scale (3.2M refs) via
+ * the DIRSIM_SUITE_REFS environment variable.
+ */
+
+#ifndef DIRSIM_BENCH_BENCH_COMMON_HH
+#define DIRSIM_BENCH_BENCH_COMMON_HH
+
+#include <string>
+#include <vector>
+
+#include "dirsim/dirsim.hh"
+
+namespace dirsim::bench
+{
+
+/** Print the standard banner naming the reproduced artifact. */
+void banner(const std::string &artifact, const std::string &caption);
+
+/** The standard suite (generated once per process, then cached). */
+const std::vector<Trace> &suite();
+
+/** Grid of the paper's four schemes over the suite (cached). */
+const std::vector<SchemeResults> &paperGrid();
+
+/** Grid over the suite for arbitrary schemes (uncached). */
+std::vector<SchemeResults> gridFor(
+    const std::vector<std::string> &schemes);
+
+/** Look up one scheme's results in a grid. */
+const SchemeResults &findScheme(
+    const std::vector<SchemeResults> &grid, const std::string &name);
+
+/** "0.0491"-style formatting used throughout the tables. */
+std::string cyc(double value);
+
+/** Percent-of-references formatting with Table 4's two decimals. */
+std::string pct(double fraction);
+
+} // namespace dirsim::bench
+
+#endif // DIRSIM_BENCH_BENCH_COMMON_HH

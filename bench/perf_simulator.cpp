@@ -1,0 +1,74 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks: trace-generation and simulation
+ * throughput (references per second) for every scheme.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "dirsim/dirsim.hh"
+
+namespace
+{
+
+using namespace dirsim;
+
+const Trace &
+benchTrace()
+{
+    static const Trace trace = generateTrace("pops", 200'000, 12345);
+    return trace;
+}
+
+void
+BM_GenerateTrace(benchmark::State &state)
+{
+    const auto refs = static_cast<std::uint64_t>(state.range(0));
+    std::uint64_t seed = 1;
+    for (auto _ : state) {
+        const Trace trace = generateTrace("pops", refs, seed++);
+        benchmark::DoNotOptimize(trace.size());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(refs));
+}
+BENCHMARK(BM_GenerateTrace)->Arg(50'000)->Arg(200'000);
+
+void
+BM_Simulate(benchmark::State &state, const char *scheme)
+{
+    const Trace &trace = benchTrace();
+    for (auto _ : state) {
+        const SimResult result = simulateTrace(trace, scheme);
+        benchmark::DoNotOptimize(result.totalRefs);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(trace.size()));
+}
+BENCHMARK_CAPTURE(BM_Simulate, dir1nb, "Dir1NB");
+BENCHMARK_CAPTURE(BM_Simulate, wti, "WTI");
+BENCHMARK_CAPTURE(BM_Simulate, dir0b, "Dir0B");
+BENCHMARK_CAPTURE(BM_Simulate, dragon, "Dragon");
+BENCHMARK_CAPTURE(BM_Simulate, dirnnb, "DirNNB");
+BENCHMARK_CAPTURE(BM_Simulate, berkeley, "Berkeley");
+BENCHMARK_CAPTURE(BM_Simulate, dir2b, "Dir2B");
+
+void
+BM_TraceStats(benchmark::State &state)
+{
+    const Trace &trace = benchTrace();
+    for (auto _ : state) {
+        const TraceStats stats = computeTraceStats(trace);
+        benchmark::DoNotOptimize(stats.refs);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(trace.size()));
+}
+BENCHMARK(BM_TraceStats);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Figure 4: bus-cycle breakdown per scheme as a fraction of that
+ * scheme's total (pipelined bus). Highlights: Dir1NB is dominated by
+ * memory accesses, WTI by write-throughs, Dragon splits evenly
+ * between cache loading and write updates, and Dir0B's directory
+ * share is small.
+ */
+
+#include <iostream>
+
+#include "common/bench_common.hh"
+
+int
+main()
+{
+    using namespace dirsim;
+    bench::banner("Figure 4",
+                  "Per-scheme bus-cycle breakdown as a fraction of "
+                  "the scheme's total (pipelined)");
+
+    const auto &grid = bench::paperGrid();
+    const BusCosts costs = paperPipelinedCosts();
+
+    TextTable table({"scheme", "dir", "inv", "wb", "memacc",
+                     "wt/wup", "total cyc/ref"});
+    for (const auto &scheme : grid) {
+        const CycleBreakdown b = scheme.averagedCost(costs);
+        const double total = b.total();
+        const auto frac = [total](double part) {
+            return TextTable::pct(
+                total == 0.0 ? 0.0 : 100.0 * part / total, 1);
+        };
+        table.addRow({
+            scheme.scheme,
+            frac(b.dirAccess),
+            frac(b.invalidate),
+            frac(b.writeBack),
+            frac(b.memAccess),
+            frac(b.writeThroughOrUpdate),
+            bench::cyc(total),
+        });
+    }
+    table.print(std::cout);
+
+    std::cout << "\nExpected shape (paper): Dir1NB memacc-dominated; "
+                 "WTI wt-dominated; Dragon\nroughly even between "
+                 "memacc and wup; Dir0B dir share small (directory\n"
+                 "bandwidth is not a bottleneck).\n";
+    return 0;
+}

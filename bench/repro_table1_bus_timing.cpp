@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Table 1: timing for fundamental bus operations. These are model
+ * inputs, printed for completeness alongside the paper's values.
+ */
+
+#include <iostream>
+
+#include "common/bench_common.hh"
+
+int
+main()
+{
+    using namespace dirsim;
+    bench::banner("Table 1",
+                  "Timing for fundamental bus operations (cycles)");
+
+    const BusTiming timing = paperBusTiming();
+    TextTable table({"operation", "cycles", "paper"});
+    table.addRow({"Transfer 1 data word",
+                  std::to_string(timing.transferWord), "1"});
+    table.addRow({"Invalidate", std::to_string(timing.invalidate),
+                  "1"});
+    table.addRow({"Wait for Directory",
+                  std::to_string(timing.waitDirectory), "2"});
+    table.addRow({"Wait for Memory",
+                  std::to_string(timing.waitMemory), "2"});
+    table.addRow({"Wait for Cache", std::to_string(timing.waitCache),
+                  "1"});
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Table 2: per-event bus cycle costs derived from Table 1 for the
+ * pipelined and non-pipelined bus organizations (4-word blocks).
+ */
+
+#include <iostream>
+
+#include "common/bench_common.hh"
+
+int
+main()
+{
+    using namespace dirsim;
+    bench::banner("Table 2", "Summary of bus cycle costs");
+
+    const BusCosts pipe = paperPipelinedCosts();
+    const BusCosts nonpipe = paperNonPipelinedCosts();
+
+    const auto row = [](const char *what, double a, double b,
+                        const char *paper_pipe,
+                        const char *paper_nonpipe) {
+        return std::vector<std::string>{
+            what, TextTable::fixed(a, 0), paper_pipe,
+            TextTable::fixed(b, 0), paper_nonpipe};
+    };
+
+    TextTable table({"access type", "pipelined", "(paper)",
+                     "non-pipelined", "(paper)"});
+    table.addRow(row("memory access", pipe.memoryAccess,
+                     nonpipe.memoryAccess, "5", "7"));
+    table.addRow(row("non-local cache access", pipe.cacheAccess,
+                     nonpipe.cacheAccess, "5", "6"));
+    table.addRow(row("write-back (data cycles)", pipe.writeBack,
+                     nonpipe.writeBack, "4", "4"));
+    table.addRow(row("write-through / write update",
+                     pipe.writeThrough, nonpipe.writeThrough, "1",
+                     "2"));
+    table.addRow(row("directory check", pipe.dirCheck,
+                     nonpipe.dirCheck, "1", "3"));
+    table.addRow(row("invalidate", pipe.invalidate,
+                     nonpipe.invalidate, "1", "1"));
+    table.print(std::cout);
+
+    std::cout << "\nNote: a dirty-block supply costs the write-back "
+                 "data cycles plus a\nrequest of "
+              << bench::cyc(pipe.dirtySupplyRequest) << " (pipelined) / "
+              << bench::cyc(nonpipe.dirtySupplyRequest)
+              << " (non-pipelined) cycles,\nso it equals the non-local "
+                 "cache access cost on both buses.\n";
+    return 0;
+}

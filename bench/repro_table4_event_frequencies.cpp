@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Table 4: event frequencies as a percentage of all references for
+ * the four evaluated schemes, averaged across the three traces,
+ * printed in the paper's layout (cells the paper leaves blank for a
+ * scheme are shown as "-").
+ */
+
+#include <iostream>
+
+#include "common/bench_common.hh"
+
+namespace
+{
+
+using dirsim::EventType;
+
+/** Paper's Table 4 layout: which rows print for which schemes. */
+bool
+cellApplies(EventType event, const std::string &scheme)
+{
+    using E = EventType;
+    switch (event) {
+      case E::RmBlkCln:
+      case E::RmBlkDrty:
+      case E::WmBlkCln:
+      case E::WmBlkDrty:
+        return scheme != "WTI";
+      case E::WhBlkCln:
+      case E::WhBlkDrty:
+        return scheme == "Dir0B" || scheme == "Dir1NB";
+      case E::WhDistrib:
+      case E::WhLocal:
+        return scheme == "Dragon";
+      default:
+        return true;
+    }
+}
+
+/** The paper's published Table 4 values for the comparison column. */
+double
+paperValue(EventType event, const std::string &scheme)
+{
+    using E = EventType;
+    struct Row
+    {
+        E event;
+        double dir1nb, wti, dir0b, dragon;
+    };
+    static const Row rows[] = {
+        {E::Instr, 49.72, 49.72, 49.72, 49.72},
+        {E::Read, 39.82, 39.82, 39.82, 39.82},
+        {E::RdHit, 34.32, 38.88, 38.88, 39.20},
+        {E::RdMiss, 5.18, 0.62, 0.62, 0.30},
+        {E::RmBlkCln, 4.78, -1, 0.23, 0.14},
+        {E::RmBlkDrty, 0.40, -1, 0.40, 0.17},
+        {E::RmFirstRef, 0.32, 0.32, 0.32, 0.32},
+        {E::Write, 10.46, 10.46, 10.46, 10.46},
+        {E::WrtHit, 10.19, 10.25, 10.25, 10.36},
+        {E::WhBlkCln, -1, -1, 0.41, -1},
+        {E::WhBlkDrty, -1, -1, 9.84, -1},
+        {E::WhDistrib, -1, -1, -1, 1.74},
+        {E::WhLocal, -1, -1, -1, 8.62},
+        {E::WrtMiss, 0.17, 0.12, 0.11, 0.02},
+        {E::WmBlkCln, 0.08, -1, 0.02, 0.01},
+        {E::WmBlkDrty, 0.09, -1, 0.09, 0.01},
+        {E::WmFirstRef, 0.08, 0.08, 0.08, 0.08},
+    };
+    for (const Row &row : rows) {
+        if (row.event != event)
+            continue;
+        if (scheme == "Dir1NB")
+            return row.dir1nb;
+        if (scheme == "WTI")
+            return row.wti;
+        if (scheme == "Dir0B")
+            return row.dir0b;
+        return row.dragon;
+    }
+    return -1;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace dirsim;
+    bench::banner("Table 4",
+                  "Event frequencies (percent of all references, "
+                  "averaged over traces);\neach measured column is "
+                  "followed by the paper's published value");
+
+    const auto &grid = bench::paperGrid();
+
+    std::vector<std::string> header{"Event"};
+    for (const auto &scheme : grid) {
+        header.push_back(scheme.scheme);
+        header.push_back("(paper)");
+    }
+    TextTable table(header);
+
+    for (std::size_t e = 0; e < numEventTypes; ++e) {
+        const auto event = static_cast<EventType>(e);
+        std::vector<std::string> row{toString(event)};
+        for (const auto &scheme : grid) {
+            const double measured =
+                100.0 * scheme.averagedFreqs().get(event);
+            const double published = paperValue(event, scheme.scheme);
+            if (!cellApplies(event, scheme.scheme)) {
+                row.push_back("-");
+                row.push_back("-");
+            } else {
+                row.push_back(TextTable::fixed(measured, 2));
+                row.push_back(published < 0
+                                  ? "-"
+                                  : TextTable::fixed(published, 2));
+            }
+        }
+        table.addRow(row);
+    }
+    table.print(std::cout);
+
+    // Section 5's derived observations.
+    const auto &dragon = bench::findScheme(grid, "Dragon");
+    const auto &dir0b = bench::findScheme(grid, "Dir0B");
+    const auto miss_rate = [](const SchemeResults &scheme) {
+        const EventFreqs freqs = scheme.averagedFreqs();
+        return freqs.get(EventType::RdMiss)
+            + freqs.get(EventType::WrtMiss)
+            + freqs.get(EventType::RmFirstRef)
+            + freqs.get(EventType::WmFirstRef);
+    };
+    const double native = miss_rate(dragon);
+    const double dir0b_miss = miss_rate(dir0b);
+    std::cout << "\nData miss rates (incl. first refs): Dir0B "
+              << bench::pct(dir0b_miss) << "% vs native (Dragon) "
+              << bench::pct(native) << "%\n";
+    std::cout << "Coherence-related share of the Dir0B miss rate: "
+              << bench::pct((dir0b_miss - native) / dir0b_miss)
+              << "%  (paper: 36%)\n";
+    return 0;
+}

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Example: the Section 6 design space in one program — sweep the
+ * pointer budget i of the Dir_i B / Dir_i NB families on a machine
+ * larger than the paper's 4-CPU tracing host, and relate traffic to
+ * directory storage cost.
+ *
+ * Usage: scalability_study [procs] [refs] [seed]
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "dirsim/dirsim.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace dirsim;
+
+    const unsigned procs = argc > 1
+        ? static_cast<unsigned>(std::strtoul(argv[1], nullptr, 10))
+        : 16;
+    const std::uint64_t refs =
+        argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 400'000;
+    const std::uint64_t seed =
+        argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 7;
+
+    WorkloadProfile profile = popsProfile();
+    profile.numProcesses = procs;
+    profile.numCpus = procs;
+    profile.numLocks = std::max(1u, procs / 4);
+    profile.sharedWords *= std::max(1u, procs / 4);
+    const Trace trace = generateTrace(profile, refs, seed);
+    const BusCosts bus = paperPipelinedCosts();
+
+    std::cout << procs << "-processor machine, "
+              << TextTable::grouped(trace.size()) << " references\n\n";
+
+    TextTable table({"scheme", "cycles/ref", "vs full map",
+                     "dir bits/block", "broadcasts"});
+    const double full_map_cost =
+        simulateTrace(trace, "DirNNB").cost(bus).total();
+
+    const auto report = [&](const std::string &scheme,
+                            DirectoryOrg org, unsigned pointers) {
+        const SimResult result = simulateTrace(trace, scheme);
+        const double total = result.cost(bus).total();
+        StorageParams params;
+        params.numCaches = procs;
+        params.numPointers = pointers;
+        table.addRow({
+            scheme,
+            TextTable::fixed(total, 4),
+            TextTable::pct(100.0 * (total / full_map_cost - 1.0), 1),
+            TextTable::fixed(directoryBitsPerBlock(org, params), 0),
+            TextTable::grouped(result.ops.broadcastInvals),
+        });
+    };
+
+    report("DirNNB", DirectoryOrg::FullMap, 1);
+    report("Dir0B", DirectoryOrg::TwoBit, 1);
+    for (const unsigned i : {1u, 2u, 4u, 8u}) {
+        report("Dir" + std::to_string(i) + "B",
+               DirectoryOrg::LimitedPtrB, i);
+        report("Dir" + std::to_string(i) + "NB",
+               DirectoryOrg::LimitedPtr, i);
+    }
+    table.print(std::cout);
+
+    std::cout << "\nThe paper's conjecture: because most blocks have "
+                 "few sharers (Figure 1),\na small pointer budget "
+                 "captures almost all of the full map's benefit at\n"
+                 "a fraction of its storage.\n";
+    return 0;
+}

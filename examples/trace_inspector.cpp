@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Example: characterize a synthetic workload trace and show how each
+ * coherence scheme behaves on it.
+ *
+ * Usage: trace_inspector [workload] [refs] [seed]
+ *   workload  pops | thor | pero (default pops)
+ *   refs      approximate trace length (default 500000)
+ *   seed      random seed (default 1)
+ *
+ * Prints the Table 3 style trace characteristics, the Table 4 style
+ * event frequencies for every implemented scheme, and the bus-cycle
+ * costs on both bus models.
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "dirsim/dirsim.hh"
+
+namespace
+{
+
+void
+printTraceStats(const dirsim::TraceStats &stats)
+{
+    using dirsim::TextTable;
+    TextTable table({"metric", "value"});
+    table.addRow({"refs", TextTable::grouped(stats.refs)});
+    table.addRow({"instr", TextTable::grouped(stats.instr)});
+    table.addRow({"data reads", TextTable::grouped(stats.dataReads)});
+    table.addRow({"data writes", TextTable::grouped(stats.dataWrites)});
+    table.addRow({"user", TextTable::grouped(stats.user)});
+    table.addRow({"system", TextTable::grouped(stats.sys)});
+    table.addRow({"processes", TextTable::grouped(stats.numProcesses)});
+    table.addRow({"read/write ratio",
+                  TextTable::fixed(stats.readWriteRatio(), 2)});
+    table.addRow({"spin reads / reads",
+                  TextTable::fixed(stats.spinReadFraction(), 3)});
+    table.addRow({"system fraction",
+                  TextTable::fixed(stats.systemFraction(), 3)});
+    table.addRow({"shared data blocks",
+                  TextTable::fixed(stats.sharedBlockFraction(), 3)});
+    table.print(std::cout);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string workload = argc > 1 ? argv[1] : "pops";
+    const std::uint64_t refs =
+        argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 500'000;
+    const std::uint64_t seed =
+        argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 1;
+
+    using namespace dirsim;
+    const Trace trace = generateTrace(workload, refs, seed);
+    std::cout << "=== trace characteristics: " << trace.name()
+              << " ===\n";
+    printTraceStats(computeTraceStats(trace));
+
+    const std::vector<std::string> schemes = allSchemes();
+
+    std::cout << "\n=== event frequencies (% of all references) ===\n";
+    TextTable freq_table([&] {
+        std::vector<std::string> header{"event"};
+        for (const auto &scheme : schemes)
+            header.push_back(scheme);
+        return header;
+    }());
+
+    std::vector<SimResult> results;
+    results.reserve(schemes.size());
+    for (const auto &scheme : schemes)
+        results.push_back(simulateTrace(trace, scheme));
+
+    for (std::size_t e = 0; e < numEventTypes; ++e) {
+        const auto event = static_cast<EventType>(e);
+        std::vector<std::string> row{toString(event)};
+        for (const auto &result : results)
+            row.push_back(TextTable::fixed(
+                result.events.percentOfRefs(event), 3));
+        freq_table.addRow(row);
+    }
+    freq_table.print(std::cout);
+
+    std::cout << "\n=== bus cycles per memory reference ===\n";
+    TextTable cost_table(
+        {"scheme", "pipelined", "non-pipelined", "txns/ref",
+         "fig1<=1"});
+    for (const auto &result : results) {
+        const auto pipe = result.cost(paperPipelinedCosts());
+        const auto nonpipe = result.cost(paperNonPipelinedCosts());
+        cost_table.addRow({
+            result.scheme,
+            TextTable::fixed(pipe.total(), 4),
+            TextTable::fixed(nonpipe.total(), 4),
+            TextTable::fixed(pipe.transactions, 4),
+            TextTable::fixed(
+                result.cleanWriteHolders.fractionAtMost(1), 3),
+        });
+    }
+    cost_table.print(std::cout);
+
+    // Figure 1 view: distribution of the number of other caches
+    // holding a previously-clean block when it is written (Dir0B).
+    const SimResult &dir0b = results[2];
+    std::cout << "\n=== invalidations on writes to clean blocks "
+                 "(Dir0B) ===\n";
+    TextTable hist_table({"other holders", "fraction"});
+    const auto &hist = dir0b.cleanWriteHolders;
+    for (std::uint64_t v = 0; v <= hist.maxValue(); ++v)
+        hist_table.addRow(
+            {std::to_string(v), TextTable::fixed(hist.fraction(v), 4)});
+    hist_table.print(std::cout);
+    return 0;
+}

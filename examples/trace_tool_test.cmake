@@ -1,0 +1,18 @@
+# Round-trip smoke test for the trace_tool example: generate ->
+# convert -> filter -> stats -> simulate must all succeed.
+function(run)
+    execute_process(COMMAND ${ARGV} RESULT_VARIABLE rc)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR "command failed (${rc}): ${ARGV}")
+    endif()
+endfunction()
+
+set(bin "${WORKDIR}/tt_smoke.trace")
+set(txt "${WORKDIR}/tt_smoke.txt")
+set(filtered "${WORKDIR}/tt_smoke_nolocks.trace")
+
+run(${TOOL} generate pops 40000 5 ${bin})
+run(${TOOL} convert ${bin} ${txt})
+run(${TOOL} stats ${txt})
+run(${TOOL} filter --no-locks ${bin} ${filtered})
+run(${TOOL} simulate ${filtered} Dir0B)

@@ -1,0 +1,72 @@
+#include "bus/bus_model.hh"
+
+#include "common/logging.hh"
+
+namespace dirsim
+{
+
+const char *
+toString(BusKind kind)
+{
+    switch (kind) {
+      case BusKind::Pipelined:
+        return "pipelined";
+      case BusKind::NonPipelined:
+        return "non-pipelined";
+    }
+    panic("unknown BusKind ", static_cast<int>(kind));
+}
+
+BusCosts
+deriveBusCosts(const BusTiming &timing, BusKind kind,
+               unsigned block_words)
+{
+    timing.check();
+    fatalIf(block_words == 0, "blocks must hold at least one word");
+
+    BusCosts costs;
+    costs.kind = kind;
+    costs.blockWords = block_words;
+
+    const double addr = 1.0; // one cycle to send an address
+    const double data =
+        static_cast<double>(block_words) * timing.transferWord;
+
+    if (kind == BusKind::Pipelined) {
+        // Separate address/data paths; the bus is released during
+        // access waits.
+        costs.memoryAccess = addr + data;
+        costs.cacheAccess = addr + data;
+        costs.dirtySupplyRequest = addr;
+        // The first write-back cycle carries the address with the
+        // first word, so the whole write-back is block_words cycles.
+        costs.writeBack = data;
+        costs.writeThrough = 1.0; // address and word ride together
+        costs.dirCheck = addr;
+        costs.invalidate = timing.invalidate;
+    } else {
+        // Multiplexed bus held for the access wait.
+        costs.memoryAccess = addr + timing.waitMemory + data;
+        costs.cacheAccess = addr + timing.waitCache + data;
+        costs.dirtySupplyRequest = addr + timing.waitCache;
+        costs.writeBack = data;
+        costs.writeThrough = addr + timing.transferWord;
+        costs.dirCheck = addr + timing.waitDirectory;
+        costs.invalidate = timing.invalidate;
+    }
+    return costs;
+}
+
+BusCosts
+paperPipelinedCosts()
+{
+    return deriveBusCosts(paperBusTiming(), BusKind::Pipelined);
+}
+
+BusCosts
+paperNonPipelinedCosts()
+{
+    return deriveBusCosts(paperBusTiming(), BusKind::NonPipelined);
+}
+
+} // namespace dirsim

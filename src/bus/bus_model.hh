@@ -1,0 +1,83 @@
+/**
+ * @file
+ * The two bus organizations of Section 4.3 and the per-operation
+ * cycle costs derived from them (the paper's Table 2).
+ *
+ * Pipelined bus: separate address and data paths; the bus is not
+ * held during memory/cache access waits. Non-pipelined bus: address
+ * and data multiplexed; the bus is held for the access wait.
+ */
+
+#ifndef DIRSIM_BUS_BUS_MODEL_HH
+#define DIRSIM_BUS_BUS_MODEL_HH
+
+#include <string>
+
+#include "bus/timing.hh"
+#include "common/types.hh"
+
+namespace dirsim
+{
+
+/** Bus organization (the two extremes the paper evaluates). */
+enum class BusKind
+{
+    Pipelined,
+    NonPipelined,
+};
+
+/** Human-readable bus name. */
+const char *toString(BusKind kind);
+
+/**
+ * Per-operation bus-cycle costs (Table 2), derived from a BusTiming
+ * and a bus organization for a given block size.
+ *
+ * Convention for dirty-block supplies (write-backs that also deliver
+ * the data to the requester): the data-word cycles are accounted in
+ * the write-back category and the request (address and, on a held
+ * bus, the cache-access wait) in the memory-access category. This
+ * convention reproduces the paper's Table 5 exactly from its Table 4
+ * frequencies (see tests/bus/golden_paper_numbers.cc).
+ */
+struct BusCosts
+{
+    BusKind kind = BusKind::Pipelined;
+    unsigned blockWords = defaultBlockBytes / busWordBytes;
+
+    /** Full block read from main memory. */
+    double memoryAccess = 0.0;
+    /** Full block read from a remote cache (Dragon/Berkeley supply). */
+    double cacheAccess = 0.0;
+    /** Data-cycle portion of a write-back. */
+    double writeBack = 0.0;
+    /** Request portion of a dirty supply (address [+ cache wait]). */
+    double dirtySupplyRequest = 0.0;
+    /** One-word write-through to memory or update to caches. */
+    double writeThrough = 0.0;
+    /** Standalone directory probe (not overlapped with memory). */
+    double dirCheck = 0.0;
+    /** Invalidation signal, single or broadcast. */
+    double invalidate = 0.0;
+};
+
+/**
+ * Derive the Table 2 costs.
+ *
+ * @param timing fundamental operation timings (Table 1)
+ * @param kind bus organization
+ * @param block_words words per block (the paper uses 4)
+ */
+BusCosts deriveBusCosts(const BusTiming &timing, BusKind kind,
+                        unsigned block_words =
+                            defaultBlockBytes / busWordBytes);
+
+/** Costs for the paper's pipelined bus at 4-word blocks. */
+BusCosts paperPipelinedCosts();
+
+/** Costs for the paper's non-pipelined bus at 4-word blocks. */
+BusCosts paperNonPipelinedCosts();
+
+} // namespace dirsim
+
+#endif // DIRSIM_BUS_BUS_MODEL_HH

@@ -1,0 +1,263 @@
+#include "bus/cost_model.hh"
+
+#include "common/logging.hh"
+
+namespace dirsim
+{
+
+namespace
+{
+
+using E = EventType;
+
+double
+broadcastCycles(const BusCosts &costs, const CostOptions &options)
+{
+    return options.broadcastCost < 0.0 ? costs.invalidate
+                                       : options.broadcastCost;
+}
+
+/**
+ * Shared memory/write-back accounting for the directory schemes
+ * (Dir1NB, DirNNB, Dir0B): clean misses are served by memory, dirty
+ * misses by the owner's write-back (request under memAccess, data
+ * under writeBack).
+ */
+void
+directorySupplyCosts(const EventFreqs &freqs, const BusCosts &costs,
+                     CycleBreakdown &result)
+{
+    const double clean_misses = freqs.get(E::RdMiss)
+        - freqs.get(E::RmBlkDrty) + freqs.get(E::WrtMiss)
+        - freqs.get(E::WmBlkDrty);
+    const double dirty = freqs.dirtyMisses();
+    result.memAccess = clean_misses * costs.memoryAccess
+        + dirty * costs.dirtySupplyRequest;
+    result.writeBack = dirty * costs.writeBack;
+}
+
+CycleBreakdown
+costDir1NB(const EventFreqs &freqs, const BusCosts &costs)
+{
+    CycleBreakdown result;
+    directorySupplyCosts(freqs, costs, result);
+    // Every miss that finds the (single) copy elsewhere sends one
+    // directed invalidate/flush message. The directory probe always
+    // overlaps the memory access.
+    const double displacements = freqs.get(E::RmBlkCln)
+        + freqs.get(E::RmBlkDrty) + freqs.get(E::WmBlkCln)
+        + freqs.get(E::WmBlkDrty);
+    result.invalidate = displacements * costs.invalidate;
+    result.transactions = freqs.get(E::RdMiss) + freqs.get(E::WrtMiss);
+    return result;
+}
+
+CycleBreakdown
+costDirNNB(const EventFreqs &freqs, const BusCosts &costs,
+           const CleanWriteProfile &profile)
+{
+    CycleBreakdown result;
+    directorySupplyCosts(freqs, costs, result);
+    // Writes to clean blocks probe the directory (no memory access to
+    // overlap with) and send one directed invalidation per copy.
+    result.dirAccess = freqs.get(E::WhBlkCln) * costs.dirCheck;
+    const double clean_writes =
+        freqs.get(E::WhBlkCln) + freqs.get(E::WmBlkCln);
+    const double flush_requests = freqs.dirtyMisses();
+    result.invalidate =
+        (flush_requests + clean_writes * profile.meanOtherHolders)
+        * costs.invalidate;
+    result.transactions = freqs.get(E::RdMiss) + freqs.get(E::WrtMiss)
+        + freqs.get(E::WhBlkCln);
+    return result;
+}
+
+CycleBreakdown
+costDir0B(const EventFreqs &freqs, const BusCosts &costs,
+          const CleanWriteProfile &profile, const CostOptions &options)
+{
+    CycleBreakdown result;
+    directorySupplyCosts(freqs, costs, result);
+    result.dirAccess = freqs.get(E::WhBlkCln) * costs.dirCheck;
+    // Invalidations and flush requests are broadcasts. Clean writes
+    // whose block is in no other cache (directory state clean-one)
+    // skip the broadcast; the Figure 1 profile supplies the fraction.
+    const double clean_writes =
+        freqs.get(E::WhBlkCln) + freqs.get(E::WmBlkCln);
+    const double broadcasts = freqs.dirtyMisses()
+        + clean_writes * profile.fracWithHolders;
+    result.invalidate = broadcasts * broadcastCycles(costs, options);
+    result.transactions = freqs.get(E::RdMiss) + freqs.get(E::WrtMiss)
+        + freqs.get(E::WhBlkCln);
+    return result;
+}
+
+CycleBreakdown
+costWTI(const EventFreqs &freqs, const BusCosts &costs)
+{
+    CycleBreakdown result;
+    // Memory is never stale: every miss is a plain memory access, and
+    // every write (hits, misses, and first references alike) is
+    // transmitted to memory.
+    result.memAccess = (freqs.get(E::RdMiss) + freqs.get(E::WrtMiss))
+        * costs.memoryAccess;
+    result.writeThroughOrUpdate =
+        freqs.get(E::Write) * costs.writeThrough;
+    result.transactions = freqs.get(E::RdMiss) + freqs.get(E::WrtMiss)
+        + freqs.get(E::Write);
+    return result;
+}
+
+CycleBreakdown
+costDragon(const EventFreqs &freqs, const BusCosts &costs)
+{
+    CycleBreakdown result;
+    // A block present in any other cache is supplied cache-to-cache
+    // (the shared line is pulled); otherwise memory supplies it.
+    const double cache_supplied = freqs.get(E::RmBlkCln)
+        + freqs.get(E::RmBlkDrty) + freqs.get(E::WmBlkCln)
+        + freqs.get(E::WmBlkDrty);
+    const double mem_supplied =
+        freqs.readMissNoCopy() + freqs.writeMissNoCopy();
+    result.memAccess = cache_supplied * costs.cacheAccess
+        + mem_supplied * costs.memoryAccess;
+    // Write updates: every shared write hit, plus the distribution of
+    // the write after a write miss that found sharers.
+    const double updates = freqs.get(E::WhDistrib)
+        + freqs.get(E::WmBlkCln) + freqs.get(E::WmBlkDrty);
+    result.writeThroughOrUpdate = updates * costs.writeThrough;
+    result.transactions = freqs.get(E::RdMiss) + freqs.get(E::WrtMiss)
+        + freqs.get(E::WhDistrib);
+    return result;
+}
+
+CycleBreakdown
+costBerkeley(const EventFreqs &freqs, const BusCosts &costs,
+             const CostOptions &options)
+{
+    CycleBreakdown result;
+    // Like Dir0B but: no directory probe (the local block state says
+    // whether to invalidate), and a dirty block is supplied
+    // cache-to-cache without updating memory.
+    const double clean_misses = freqs.get(E::RdMiss)
+        - freqs.get(E::RmBlkDrty) + freqs.get(E::WrtMiss)
+        - freqs.get(E::WmBlkDrty);
+    result.memAccess = clean_misses * costs.memoryAccess
+        + freqs.dirtyMisses() * costs.cacheAccess;
+    // Every write miss and every non-exclusive write hit broadcasts
+    // an invalidation on the snoopy bus.
+    const double broadcasts =
+        freqs.get(E::WhBlkCln) + freqs.get(E::WrtMiss);
+    result.invalidate = broadcasts * broadcastCycles(costs, options);
+    result.transactions = freqs.get(E::RdMiss) + freqs.get(E::WrtMiss)
+        + freqs.get(E::WhBlkCln);
+    return result;
+}
+
+} // namespace
+
+const char *
+toString(SchemeKind kind)
+{
+    switch (kind) {
+      case SchemeKind::Dir1NB:
+        return "Dir1NB";
+      case SchemeKind::DirNNB:
+        return "DirNNB";
+      case SchemeKind::Dir0B:
+        return "Dir0B";
+      case SchemeKind::WTI:
+        return "WTI";
+      case SchemeKind::Dragon:
+        return "Dragon";
+      case SchemeKind::Berkeley:
+        return "Berkeley";
+    }
+    panic("unknown SchemeKind ", static_cast<int>(kind));
+}
+
+std::optional<SchemeKind>
+schemeKindFromName(const std::string &name)
+{
+    if (name == "Dir1NB")
+        return SchemeKind::Dir1NB;
+    if (name == "DirNNB")
+        return SchemeKind::DirNNB;
+    if (name == "Dir0B")
+        return SchemeKind::Dir0B;
+    if (name == "WTI")
+        return SchemeKind::WTI;
+    if (name == "Dragon")
+        return SchemeKind::Dragon;
+    if (name == "Berkeley")
+        return SchemeKind::Berkeley;
+    return std::nullopt;
+}
+
+CleanWriteProfile
+CleanWriteProfile::fromHistogram(const Histogram &hist)
+{
+    CleanWriteProfile profile;
+    if (hist.samples() == 0)
+        return profile;
+    profile.meanOtherHolders = hist.mean();
+    profile.fracWithHolders = 1.0 - hist.fraction(0);
+    return profile;
+}
+
+CycleBreakdown
+costFromFreqs(SchemeKind kind, const EventFreqs &freqs,
+              const BusCosts &costs, const CleanWriteProfile &profile,
+              const CostOptions &options)
+{
+    switch (kind) {
+      case SchemeKind::Dir1NB:
+        return costDir1NB(freqs, costs);
+      case SchemeKind::DirNNB:
+        return costDirNNB(freqs, costs, profile);
+      case SchemeKind::Dir0B:
+        return costDir0B(freqs, costs, profile, options);
+      case SchemeKind::WTI:
+        return costWTI(freqs, costs);
+      case SchemeKind::Dragon:
+        return costDragon(freqs, costs);
+      case SchemeKind::Berkeley:
+        return costBerkeley(freqs, costs, options);
+    }
+    panic("unknown SchemeKind ", static_cast<int>(kind));
+}
+
+CycleBreakdown
+costFromOps(const OpCounts &ops, std::uint64_t total_refs,
+            const BusCosts &costs, const CostOptions &options)
+{
+    fatalIf(total_refs == 0, "costFromOps over zero references");
+    const double refs = static_cast<double>(total_refs);
+
+    CycleBreakdown result;
+    result.memAccess =
+        (static_cast<double>(ops.memSupplies) * costs.memoryAccess
+         + static_cast<double>(ops.cacheSupplies) * costs.cacheAccess
+         + static_cast<double>(ops.dirtySupplies)
+               * costs.dirtySupplyRequest)
+        / refs;
+    result.writeBack =
+        static_cast<double>(ops.dirtySupplies + ops.evictionWriteBacks)
+        * costs.writeBack / refs;
+    result.invalidate =
+        (static_cast<double>(ops.invalMsgs + ops.overflowInvals)
+             * costs.invalidate
+         + static_cast<double>(ops.broadcastInvals)
+               * broadcastCycles(costs, options))
+        / refs;
+    result.dirAccess =
+        static_cast<double>(ops.dirChecks) * costs.dirCheck / refs;
+    result.writeThroughOrUpdate =
+        static_cast<double>(ops.writeThroughs + ops.writeUpdates)
+        * costs.writeThrough / refs;
+    result.transactions =
+        static_cast<double>(ops.busTransactions) / refs;
+    return result;
+}
+
+} // namespace dirsim

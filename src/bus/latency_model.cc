@@ -1,0 +1,90 @@
+#include "bus/latency_model.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace dirsim
+{
+
+namespace
+{
+
+/** Cap used to keep the near-saturation queue delay printable. */
+constexpr double delayCap = 1e9;
+
+} // namespace
+
+void
+SystemParams::check() const
+{
+    fatalIf(mips <= 0.0, "processor speed must be positive");
+    fatalIf(busCycleNs <= 0.0, "bus cycle time must be positive");
+    fatalIf(refsPerInstr <= 0.0,
+            "references per instruction must be positive");
+    fatalIf(overheadQ < 0.0, "transaction overhead cannot be negative");
+    fatalIf(processors == 0, "the machine needs at least one processor");
+}
+
+SystemEstimate
+estimateSystem(const CycleBreakdown &cost, const SystemParams &params)
+{
+    params.check();
+
+    SystemEstimate estimate;
+    // Per-processor demand in bus cycles per second.
+    const double refs_per_second =
+        params.mips * 1e6 * params.refsPerInstr;
+    const double cycles_per_ref =
+        cost.totalWithOverhead(params.overheadQ);
+    const double demand = refs_per_second * cycles_per_ref;
+    const double capacity = 1e9 / params.busCycleNs;
+
+    estimate.offeredUtilization =
+        demand * params.processors / capacity;
+    estimate.utilization = std::min(estimate.offeredUtilization, 1.0);
+
+    estimate.serviceCycles = cost.transactions == 0.0
+        ? 0.0
+        : cost.cyclesPerTransaction() + params.overheadQ;
+
+    // M/D/1 mean waiting time: rho * S / (2 (1 - rho)).
+    const double rho = estimate.offeredUtilization;
+    if (rho >= 1.0) {
+        estimate.queueingDelayCycles = delayCap;
+    } else {
+        estimate.queueingDelayCycles =
+            rho * estimate.serviceCycles / (2.0 * (1.0 - rho));
+    }
+    estimate.accessCycles =
+        estimate.serviceCycles
+        + std::min(estimate.queueingDelayCycles, delayCap);
+
+    // Throughput view: beyond saturation the bus caps the aggregate
+    // reference rate.
+    const double sustainable =
+        demand == 0.0 ? static_cast<double>(params.processors)
+                      : capacity / demand;
+    estimate.effectiveProcessors = std::min(
+        static_cast<double>(params.processors), sustainable);
+    estimate.efficiency = estimate.effectiveProcessors
+        / static_cast<double>(params.processors);
+    return estimate;
+}
+
+double
+saturationProcessors(const CycleBreakdown &cost,
+                     const SystemParams &params)
+{
+    params.check();
+    const double refs_per_second =
+        params.mips * 1e6 * params.refsPerInstr;
+    const double cycles_per_ref =
+        cost.totalWithOverhead(params.overheadQ);
+    const double demand = refs_per_second * cycles_per_ref;
+    fatalIf(demand <= 0.0,
+            "a scheme with zero bus traffic never saturates the bus");
+    return (1e9 / params.busCycleNs) / demand;
+}
+
+} // namespace dirsim

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * System-level performance estimation (the paper's Section 5.1
+ * discussion, carried one step further).
+ *
+ * The paper notes that "total system performance cannot be determined
+ * from the bus cycles metric alone" and sketches two ingredients: a
+ * fixed per-transaction overhead q, and the back-of-envelope bus
+ * saturation estimate (~15 10-MIPS processors on a 100ns bus for the
+ * best scheme). This module combines the two into a small analytic
+ * model of a symmetric shared-bus multiprocessor:
+ *
+ *  - each processor issues `refsPerInstr * mips` million memory
+ *    references per second, each consuming `total + q*transactions`
+ *    bus cycles on average (from a scheme's CycleBreakdown);
+ *  - the bus is a single server; waiting is approximated by the
+ *    M/D/1 mean queue delay at the offered utilization.
+ *
+ * The model deliberately stays first-order (as the paper's own
+ * estimates do): no feedback from stalls to the reference rate below
+ * saturation, and throughput capped at the bus capacity above it.
+ */
+
+#ifndef DIRSIM_BUS_LATENCY_MODEL_HH
+#define DIRSIM_BUS_LATENCY_MODEL_HH
+
+#include "bus/cost_model.hh"
+
+namespace dirsim
+{
+
+/** Parameters of the modelled machine. */
+struct SystemParams
+{
+    /** Processor speed in millions of instructions per second. */
+    double mips = 10.0;
+    /** Bus cycle time in nanoseconds. */
+    double busCycleNs = 100.0;
+    /**
+     * Memory references per instruction. The paper's traces average
+     * one data reference per instruction, i.e. two references
+     * (instruction + data) per instruction.
+     */
+    double refsPerInstr = 2.0;
+    /** Fixed overhead cycles added to every bus transaction (q). */
+    double overheadQ = 0.0;
+    /** Number of processors on the bus. */
+    unsigned processors = 16;
+
+    /** Validate; throws UsageError on nonsense. */
+    void check() const;
+};
+
+/** What the model predicts for one (scheme, machine) point. */
+struct SystemEstimate
+{
+    /** Demand / capacity; may exceed 1 (saturated). */
+    double offeredUtilization = 0.0;
+    /** Actual bus utilization, capped at 1. */
+    double utilization = 0.0;
+    /** Mean M/D/1 queueing delay per transaction, in bus cycles
+     *  (infinite at or beyond saturation is reported as capped at
+     *  1e9 to stay printable). */
+    double queueingDelayCycles = 0.0;
+    /** Mean bus service time per transaction incl. overhead q. */
+    double serviceCycles = 0.0;
+    /** Mean access time per transaction = service + queueing. */
+    double accessCycles = 0.0;
+    /** Throughput-equivalent processor count (<= processors). */
+    double effectiveProcessors = 0.0;
+    /** effectiveProcessors / processors. */
+    double efficiency = 0.0;
+};
+
+/**
+ * Evaluate the model.
+ *
+ * @param cost a scheme's bus-cycle breakdown (per memory reference)
+ * @param params the machine
+ */
+SystemEstimate estimateSystem(const CycleBreakdown &cost,
+                              const SystemParams &params);
+
+/**
+ * The processor count at which the bus saturates (offered
+ * utilization reaches 1) — the paper's "maximum performance of 15
+ * effective processors" number, for any scheme and machine.
+ */
+double saturationProcessors(const CycleBreakdown &cost,
+                            const SystemParams &params);
+
+} // namespace dirsim
+
+#endif // DIRSIM_BUS_LATENCY_MODEL_HH

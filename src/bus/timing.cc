@@ -1,0 +1,21 @@
+#include "bus/timing.hh"
+
+#include "common/logging.hh"
+
+namespace dirsim
+{
+
+void
+BusTiming::check() const
+{
+    fatalIf(transferWord == 0, "word transfer must take >= 1 cycle");
+    fatalIf(invalidate == 0, "invalidation must take >= 1 cycle");
+}
+
+BusTiming
+paperBusTiming()
+{
+    return BusTiming{};
+}
+
+} // namespace dirsim

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Table 1 of the paper: timing of the fundamental bus operations, in
+ * bus cycles. Everything else in the bus module is derived from
+ * these five numbers plus the bus organization.
+ */
+
+#ifndef DIRSIM_BUS_TIMING_HH
+#define DIRSIM_BUS_TIMING_HH
+
+namespace dirsim
+{
+
+/** Fundamental bus operation timings (Table 1). */
+struct BusTiming
+{
+    /** Transfer one data word. */
+    unsigned transferWord = 1;
+    /** Send an invalidation signal (single or broadcast). */
+    unsigned invalidate = 1;
+    /** Wait for a directory access. */
+    unsigned waitDirectory = 2;
+    /** Wait for a main-memory access. */
+    unsigned waitMemory = 2;
+    /** Wait for a (remote) cache access. */
+    unsigned waitCache = 1;
+
+    /** Sanity-check the values; throws UsageError when unusable. */
+    void check() const;
+};
+
+/** The paper's Table 1 values (the defaults above). */
+BusTiming paperBusTiming();
+
+} // namespace dirsim
+
+#endif // DIRSIM_BUS_TIMING_HH

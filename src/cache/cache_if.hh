@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Common interface for the per-process cache models.
+ *
+ * Coherence protocols attach a small protocol-specific state byte to
+ * each resident block; the cache models only manage residency and
+ * state storage. State value 0 is reserved to mean "not resident" and
+ * is never stored.
+ */
+
+#ifndef DIRSIM_CACHE_CACHE_IF_HH
+#define DIRSIM_CACHE_CACHE_IF_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "common/types.hh"
+
+namespace dirsim
+{
+
+/** Protocol-defined per-block cache state; 0 means "not resident". */
+using CacheBlockState = std::uint8_t;
+
+/** Reserved "not resident" state value. */
+inline constexpr CacheBlockState stateNotPresent = 0;
+
+/**
+ * Abstract per-process cache holding protocol state per block.
+ *
+ * Implementations: InfiniteCache (the paper's model, no replacement)
+ * and FiniteCache (set-associative LRU with eviction callbacks).
+ */
+class CacheModel
+{
+  public:
+    /** Callback invoked with (block, state) on a replacement. */
+    using EvictionHook = std::function<void(BlockNum, CacheBlockState)>;
+
+    virtual ~CacheModel() = default;
+
+    /**
+     * State of @p block, or stateNotPresent.
+     */
+    virtual CacheBlockState lookup(BlockNum block) const = 0;
+
+    /**
+     * Install or update @p block with @p state.
+     *
+     * @param state must not be stateNotPresent (panics otherwise)
+     * @return true if the block was newly installed
+     */
+    virtual bool set(BlockNum block, CacheBlockState state) = 0;
+
+    /**
+     * Remove @p block.
+     *
+     * @return the state the block had, or stateNotPresent
+     */
+    virtual CacheBlockState invalidate(BlockNum block) = 0;
+
+    /** Number of resident blocks. */
+    virtual std::size_t residentBlocks() const = 0;
+
+    /** Drop everything. */
+    virtual void clear() = 0;
+
+    /** Visit every resident (block, state) pair. */
+    virtual void forEach(
+        const std::function<void(BlockNum, CacheBlockState)> &fn)
+        const = 0;
+
+    /**
+     * Mark @p block most-recently-used (replacement metadata only).
+     * No-op for caches without replacement.
+     */
+    virtual void touch(BlockNum block) { (void)block; }
+
+    /**
+     * Register the hook invoked when replacement evicts a block.
+     * No-op for caches that never evict.
+     */
+    virtual void setEvictionHook(EvictionHook hook) { (void)hook; }
+
+    bool contains(BlockNum block) const
+    {
+        return lookup(block) != stateNotPresent;
+    }
+};
+
+/** Factory producing one cache per coherence-domain member. */
+using CacheFactory = std::function<std::unique_ptr<CacheModel>()>;
+
+} // namespace dirsim
+
+#endif // DIRSIM_CACHE_CACHE_IF_HH

@@ -1,0 +1,44 @@
+#include "cache/infinite_cache.hh"
+
+#include "common/logging.hh"
+
+namespace dirsim
+{
+
+CacheBlockState
+InfiniteCache::lookup(BlockNum block) const
+{
+    const auto it = blocks.find(block);
+    return it == blocks.end() ? stateNotPresent : it->second;
+}
+
+bool
+InfiniteCache::set(BlockNum block, CacheBlockState state)
+{
+    panicIfNot(state != stateNotPresent,
+               "InfiniteCache::set with the reserved not-present state");
+    const auto [it, inserted] = blocks.insert_or_assign(block, state);
+    (void)it;
+    return inserted;
+}
+
+CacheBlockState
+InfiniteCache::invalidate(BlockNum block)
+{
+    const auto it = blocks.find(block);
+    if (it == blocks.end())
+        return stateNotPresent;
+    const CacheBlockState old = it->second;
+    blocks.erase(it);
+    return old;
+}
+
+void
+InfiniteCache::forEach(
+    const std::function<void(BlockNum, CacheBlockState)> &fn) const
+{
+    for (const auto &[block, state] : blocks)
+        fn(block, state);
+}
+
+} // namespace dirsim

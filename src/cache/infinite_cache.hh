@@ -1,0 +1,39 @@
+/**
+ * @file
+ * The paper's cache model: an infinite cache that never replaces, so
+ * every miss after the first reference to a block is a coherence
+ * (invalidation/sharing) miss rather than a capacity or conflict miss.
+ */
+
+#ifndef DIRSIM_CACHE_INFINITE_CACHE_HH
+#define DIRSIM_CACHE_INFINITE_CACHE_HH
+
+#include <unordered_map>
+
+#include "cache/cache_if.hh"
+
+namespace dirsim
+{
+
+/** Unbounded block-state store; see CacheModel for semantics. */
+class InfiniteCache : public CacheModel
+{
+  public:
+    InfiniteCache() = default;
+
+    CacheBlockState lookup(BlockNum block) const override;
+    bool set(BlockNum block, CacheBlockState state) override;
+    CacheBlockState invalidate(BlockNum block) override;
+    std::size_t residentBlocks() const override { return blocks.size(); }
+    void clear() override { blocks.clear(); }
+    void forEach(
+        const std::function<void(BlockNum, CacheBlockState)> &fn)
+        const override;
+
+  private:
+    std::unordered_map<BlockNum, CacheBlockState> blocks;
+};
+
+} // namespace dirsim
+
+#endif // DIRSIM_CACHE_INFINITE_CACHE_HH

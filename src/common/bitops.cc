@@ -1,0 +1,18 @@
+#include "common/bitops.hh"
+
+#include "common/logging.hh"
+
+namespace dirsim
+{
+
+void
+checkBlockSize(unsigned block_bytes)
+{
+    fatalIf(block_bytes < busWordBytes,
+            "block size ", block_bytes, " is smaller than one bus word (",
+            busWordBytes, " bytes)");
+    fatalIf(!isPowerOfTwo(block_bytes),
+            "block size ", block_bytes, " is not a power of two");
+}
+
+} // namespace dirsim

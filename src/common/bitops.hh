@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Small bit-manipulation helpers used for block addressing and
+ * directory entry encodings.
+ */
+
+#ifndef DIRSIM_COMMON_BITOPS_HH
+#define DIRSIM_COMMON_BITOPS_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace dirsim
+{
+
+/** @return true iff @p value is a power of two (zero is not). */
+constexpr bool
+isPowerOfTwo(std::uint64_t value)
+{
+    return value != 0 && (value & (value - 1)) == 0;
+}
+
+/**
+ * Floor of the base-2 logarithm.
+ *
+ * @param value must be non-zero (checked by the .cc implementation of
+ *              the non-constexpr helpers; here the caller guarantees it)
+ */
+constexpr unsigned
+floorLog2(std::uint64_t value)
+{
+    unsigned result = 0;
+    while (value >>= 1)
+        ++result;
+    return result;
+}
+
+/** Ceiling of the base-2 logarithm; ceilLog2(1) == 0. */
+constexpr unsigned
+ceilLog2(std::uint64_t value)
+{
+    return floorLog2(value) + (isPowerOfTwo(value) ? 0 : 1);
+}
+
+/**
+ * The block number containing a byte address.
+ *
+ * @param addr byte address
+ * @param block_bytes block size in bytes; must be a power of two
+ */
+constexpr BlockNum
+blockNumber(Addr addr, unsigned block_bytes)
+{
+    return addr >> floorLog2(block_bytes);
+}
+
+/** First byte address of a block. */
+constexpr Addr
+blockBase(BlockNum block, unsigned block_bytes)
+{
+    return block << floorLog2(block_bytes);
+}
+
+/** Round @p addr down to its block boundary. */
+constexpr Addr
+alignToBlock(Addr addr, unsigned block_bytes)
+{
+    return addr & ~static_cast<Addr>(block_bytes - 1);
+}
+
+/**
+ * Validate a block size, throwing UsageError when it is unusable.
+ *
+ * @param block_bytes candidate block size in bytes
+ */
+void checkBlockSize(unsigned block_bytes);
+
+} // namespace dirsim
+
+#endif // DIRSIM_COMMON_BITOPS_HH

@@ -1,0 +1,17 @@
+#include "common/logging.hh"
+
+#include <iostream>
+
+namespace dirsim
+{
+namespace detail
+{
+
+void
+emitDiagnostic(const char *tag, const std::string &message)
+{
+    std::cerr << "dirsim: " << tag << ": " << message << '\n';
+}
+
+} // namespace detail
+} // namespace dirsim

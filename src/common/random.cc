@@ -1,0 +1,158 @@
+#include "common/random.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace dirsim
+{
+
+namespace
+{
+
+/** SplitMix64 step, used for seeding. */
+std::uint64_t
+splitMix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t x = seed;
+    for (auto &word : state)
+        word = splitMix64(x);
+    // xoshiro requires a non-zero state; splitMix64 of anything gives
+    // this with overwhelming probability, but guarantee it anyway.
+    if (state[0] == 0 && state[1] == 0 && state[2] == 0 && state[3] == 0)
+        state[0] = 1;
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(state[1] * 5, 7) * 9;
+    const std::uint64_t t = state[1] << 17;
+
+    state[2] ^= state[0];
+    state[3] ^= state[1];
+    state[1] ^= state[2];
+    state[0] ^= state[3];
+    state[2] ^= t;
+    state[3] = rotl(state[3], 45);
+
+    return result;
+}
+
+std::uint64_t
+Rng::below(std::uint64_t bound)
+{
+    panicIfNot(bound != 0, "Rng::below(0)");
+    // Lemire-style rejection-free enough for simulation purposes:
+    // 128-bit multiply keeps the bias below 2^-64.
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next()) * bound) >> 64);
+}
+
+std::uint64_t
+Rng::between(std::uint64_t lo, std::uint64_t hi)
+{
+    panicIfNot(lo <= hi, "Rng::between: lo > hi");
+    return lo + below(hi - lo + 1);
+}
+
+double
+Rng::uniform()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::chance(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return uniform() < p;
+}
+
+std::uint64_t
+Rng::geometric(double p)
+{
+    panicIfNot(p > 0.0 && p <= 1.0, "Rng::geometric: p out of (0,1]");
+    if (p == 1.0)
+        return 0;
+    const double u = 1.0 - uniform(); // in (0, 1]
+    return static_cast<std::uint64_t>(
+        std::floor(std::log(u) / std::log(1.0 - p)));
+}
+
+std::size_t
+Rng::weighted(const std::vector<double> &weights)
+{
+    double total = 0.0;
+    for (double w : weights) {
+        panicIfNot(w >= 0.0, "Rng::weighted: negative weight");
+        total += w;
+    }
+    panicIfNot(total > 0.0, "Rng::weighted: weights sum to zero");
+
+    double target = uniform() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        target -= weights[i];
+        if (target < 0.0)
+            return i;
+    }
+    return weights.size() - 1;
+}
+
+std::uint64_t
+Rng::zipf(std::uint64_t n, double s)
+{
+    ZipfSampler sampler(n, s);
+    return sampler(*this);
+}
+
+Rng
+Rng::split()
+{
+    return Rng(next());
+}
+
+ZipfSampler::ZipfSampler(std::uint64_t n, double s)
+{
+    panicIfNot(n >= 1, "ZipfSampler: empty range");
+    cdf.resize(n);
+    double running = 0.0;
+    for (std::uint64_t r = 0; r < n; ++r) {
+        running += 1.0 / std::pow(static_cast<double>(r + 1), s);
+        cdf[r] = running;
+    }
+    for (auto &c : cdf)
+        c /= running;
+}
+
+std::uint64_t
+ZipfSampler::operator()(Rng &rng) const
+{
+    const double u = rng.uniform();
+    const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+    const auto index = static_cast<std::uint64_t>(it - cdf.begin());
+    return std::min<std::uint64_t>(index, cdf.size() - 1);
+}
+
+} // namespace dirsim

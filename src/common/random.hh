@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for the synthetic
+ * workload generator.
+ *
+ * Trace generation must be bit-reproducible across platforms so that
+ * experiments are repeatable; we therefore avoid std::default_random
+ * (unspecified algorithms) and implement xoshiro256** together with
+ * the handful of distributions the generator needs.
+ */
+
+#ifndef DIRSIM_COMMON_RANDOM_HH
+#define DIRSIM_COMMON_RANDOM_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace dirsim
+{
+
+/**
+ * xoshiro256** by Blackman & Vigna: fast, high-quality, and with a
+ * stable cross-platform definition.
+ */
+class Rng
+{
+  public:
+    /**
+     * Seed via SplitMix64 so that nearby seeds give unrelated streams.
+     *
+     * @param seed any 64-bit value, including 0
+     */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Next raw 64-bit draw. */
+    std::uint64_t next();
+
+    /** Uniform integer in [0, bound); bound must be non-zero. */
+    std::uint64_t below(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive; requires lo <= hi. */
+    std::uint64_t between(std::uint64_t lo, std::uint64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Bernoulli draw with success probability @p p (clamped to [0,1]). */
+    bool chance(double p);
+
+    /**
+     * Geometric draw: the number of failures before the first success
+     * of a Bernoulli(p) process; mean (1-p)/p. Requires p in (0, 1].
+     */
+    std::uint64_t geometric(double p);
+
+    /**
+     * Draw an index from an unnormalized discrete weight vector.
+     *
+     * @param weights non-negative weights with a positive sum
+     * @return index in [0, weights.size())
+     */
+    std::size_t weighted(const std::vector<double> &weights);
+
+    /**
+     * Zipf-like draw over [0, n): rank r has weight 1/(r+1)^s.
+     *
+     * Used for skewed shared-data popularity. Implemented by inverse
+     * transform on a precomputable CDF is avoided here for simplicity;
+     * this method recomputes harmonics only for small n, so prefer
+     * ZipfSampler for hot paths.
+     */
+    std::uint64_t zipf(std::uint64_t n, double s);
+
+    /** Split off an independent child stream (for per-process RNGs). */
+    Rng split();
+
+  private:
+    std::array<std::uint64_t, 4> state;
+};
+
+/**
+ * Precomputed Zipf sampler for repeated skewed draws over a fixed
+ * range; O(log n) per draw via binary search on the CDF.
+ */
+class ZipfSampler
+{
+  public:
+    /**
+     * @param n number of ranks (must be >= 1)
+     * @param s skew exponent (s = 0 degenerates to uniform)
+     */
+    ZipfSampler(std::uint64_t n, double s);
+
+    /** Draw a rank in [0, n). */
+    std::uint64_t operator()(Rng &rng) const;
+
+    /** Number of ranks. */
+    std::uint64_t size() const { return cdf.size(); }
+
+  private:
+    std::vector<double> cdf;
+};
+
+} // namespace dirsim
+
+#endif // DIRSIM_COMMON_RANDOM_HH

@@ -1,0 +1,62 @@
+#include "common/stats.hh"
+
+namespace dirsim
+{
+
+void
+CounterSet::add(const std::string &name, std::uint64_t delta)
+{
+    values[name] += delta;
+}
+
+std::uint64_t
+CounterSet::get(const std::string &name) const
+{
+    const auto it = values.find(name);
+    return it == values.end() ? 0 : it->second;
+}
+
+bool
+CounterSet::has(const std::string &name) const
+{
+    return values.find(name) != values.end();
+}
+
+void
+CounterSet::merge(const CounterSet &other)
+{
+    for (const auto &[name, value] : other.values)
+        values[name] += value;
+}
+
+double
+CounterSet::ratio(const std::string &numer, const std::string &denom) const
+{
+    const auto d = get(denom);
+    if (d == 0)
+        return 0.0;
+    return static_cast<double>(get(numer)) / static_cast<double>(d);
+}
+
+void
+CounterSet::clear()
+{
+    for (auto &[name, value] : values)
+        value = 0;
+}
+
+double
+percent(std::uint64_t part, std::uint64_t whole)
+{
+    if (whole == 0)
+        return 0.0;
+    return 100.0 * static_cast<double>(part) / static_cast<double>(whole);
+}
+
+double
+safeRatio(double part, double whole)
+{
+    return whole == 0.0 ? 0.0 : part / whole;
+}
+
+} // namespace dirsim

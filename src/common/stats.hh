@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Lightweight named-counter support for simulator statistics.
+ */
+
+#ifndef DIRSIM_COMMON_STATS_HH
+#define DIRSIM_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace dirsim
+{
+
+/**
+ * An ordered collection of named 64-bit counters.
+ *
+ * Used where a fixed enum (protocols/events.hh) would be too rigid,
+ * e.g. per-workload generator diagnostics. Counters are created on
+ * first use and iterate in name order for stable output.
+ */
+class CounterSet
+{
+  public:
+    /** Add @p delta to counter @p name, creating it at zero. */
+    void add(const std::string &name, std::uint64_t delta = 1);
+
+    /** Current value (0 if never touched). */
+    std::uint64_t get(const std::string &name) const;
+
+    /** True if the counter was ever created. */
+    bool has(const std::string &name) const;
+
+    /** Merge all counters of @p other into this set. */
+    void merge(const CounterSet &other);
+
+    /** Ratio get(numer) / get(denom); 0 when the denominator is 0. */
+    double ratio(const std::string &numer, const std::string &denom) const;
+
+    /** Reset every counter to zero (names are retained). */
+    void clear();
+
+    /** Name-ordered iteration support. */
+    auto begin() const { return values.begin(); }
+    auto end() const { return values.end(); }
+    std::size_t size() const { return values.size(); }
+
+  private:
+    std::map<std::string, std::uint64_t> values;
+};
+
+/** Percentage helper: 100 * part / whole, 0 when whole == 0. */
+double percent(std::uint64_t part, std::uint64_t whole);
+
+/** Safe ratio helper: part / whole, 0 when whole == 0. */
+double safeRatio(double part, double whole);
+
+} // namespace dirsim
+
+#endif // DIRSIM_COMMON_STATS_HH

@@ -1,0 +1,127 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace dirsim
+{
+
+TextTable::TextTable(std::vector<std::string> header_arg)
+    : header(std::move(header_arg))
+{
+    fatalIf(header.empty(), "TextTable requires at least one column");
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    fatalIf(cells.size() != header.size(),
+            "TextTable row has ", cells.size(), " cells; expected ",
+            header.size());
+    body.push_back(std::move(cells));
+}
+
+void
+TextTable::addRule()
+{
+    body.emplace_back(); // sentinel: empty row renders as a rule
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(header.size());
+    for (std::size_t c = 0; c < header.size(); ++c)
+        widths[c] = header[c].size();
+    for (const auto &row : body) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    std::size_t total_width = 0;
+    for (std::size_t w : widths)
+        total_width += w;
+    total_width += 2 * (widths.size() - 1);
+
+    const auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c > 0)
+                os << "  ";
+            if (c == 0)
+                os << std::left << std::setw(
+                    static_cast<int>(widths[c])) << row[c];
+            else
+                os << std::right << std::setw(
+                    static_cast<int>(widths[c])) << row[c];
+        }
+        os << '\n';
+    };
+
+    emit(header);
+    os << std::string(total_width, '-') << '\n';
+    for (const auto &row : body) {
+        if (row.empty())
+            os << std::string(total_width, '-') << '\n';
+        else
+            emit(row);
+    }
+}
+
+std::string
+TextTable::toString() const
+{
+    std::ostringstream os;
+    print(os);
+    return os.str();
+}
+
+std::string
+TextTable::fixed(double value, int digits)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(digits) << value;
+    return os.str();
+}
+
+std::string
+TextTable::pct(double value, int digits)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(digits) << value << '%';
+    return os.str();
+}
+
+std::string
+TextTable::grouped(std::uint64_t value)
+{
+    std::string digits = std::to_string(value);
+    std::string out;
+    out.reserve(digits.size() + digits.size() / 3);
+    int seen = 0;
+    for (std::size_t i = digits.size(); i-- > 0;) {
+        out.push_back(digits[i]);
+        if (++seen == 3 && i != 0) {
+            out.push_back(',');
+            seen = 0;
+        }
+    }
+    std::reverse(out.begin(), out.end());
+    return out;
+}
+
+std::string
+asciiBar(double value, double maximum, int width)
+{
+    if (maximum <= 0.0 || value <= 0.0 || width <= 0)
+        return "";
+    const double clamped = std::min(value, maximum);
+    const int n = static_cast<int>(
+        std::round(clamped / maximum * width));
+    return std::string(static_cast<std::size_t>(std::max(n, 1)), '#');
+}
+
+} // namespace dirsim

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every dirsim module.
+ *
+ * The simulator follows the paper's model: an address trace is a
+ * sequence of (cpu, process, type, address) records, caches are keyed
+ * by process, and coherence state is kept per aligned block.
+ */
+
+#ifndef DIRSIM_COMMON_TYPES_HH
+#define DIRSIM_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace dirsim
+{
+
+/** A byte address in the simulated (virtual) address space. */
+using Addr = std::uint64_t;
+
+/**
+ * An aligned block number (address divided by the block size).
+ *
+ * Block numbers, not byte addresses, key all coherence state; see
+ * blockNumber() in common/bitops.hh.
+ */
+using BlockNum = std::uint64_t;
+
+/** A physical CPU index in the traced machine (the paper uses 4). */
+using CpuId = std::uint16_t;
+
+/** A software process identifier (MACH pid in the original traces). */
+using ProcId = std::uint32_t;
+
+/**
+ * Index of a cache in the coherence domain.
+ *
+ * Under the paper's process-sharing model there is one cache per
+ * process; under the processor-sharing model, one per CPU.
+ */
+using CacheId = std::uint32_t;
+
+/** Sentinel for "no cache" (e.g. no owner pointer in a directory). */
+inline constexpr CacheId invalidCacheId =
+    std::numeric_limits<CacheId>::max();
+
+/** Default block size used throughout the paper: 4 words of 4 bytes. */
+inline constexpr unsigned defaultBlockBytes = 16;
+
+/** Bus data-path width assumed by both bus models (one 32-bit word). */
+inline constexpr unsigned busWordBytes = 4;
+
+} // namespace dirsim
+
+#endif // DIRSIM_COMMON_TYPES_HH

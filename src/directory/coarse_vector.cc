@@ -1,0 +1,121 @@
+#include "directory/coarse_vector.hh"
+
+#include <algorithm>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace dirsim
+{
+
+CoarseVector::CoarseVector(unsigned num_caches_arg)
+    : numCaches(num_caches_arg),
+      numDigits(std::max(1u, ceilLog2(std::max(1u, num_caches_arg)))),
+      code(numDigits, Digit::Zero)
+{
+    fatalIf(numCaches == 0, "CoarseVector over an empty domain");
+}
+
+void
+CoarseVector::add(CacheId cache)
+{
+    panicIfNot(cache < numCaches,
+               "CoarseVector::add: cache ", cache, " out of domain ",
+               numCaches);
+    if (!hasMember) {
+        for (unsigned d = 0; d < numDigits; ++d)
+            code[d] = ((cache >> d) & 1) ? Digit::One : Digit::Zero;
+        hasMember = true;
+        return;
+    }
+    for (unsigned d = 0; d < numDigits; ++d) {
+        const Digit bit = ((cache >> d) & 1) ? Digit::One : Digit::Zero;
+        if (code[d] != Digit::Both && code[d] != bit)
+            code[d] = Digit::Both;
+    }
+}
+
+void
+CoarseVector::clear()
+{
+    hasMember = false;
+    std::fill(code.begin(), code.end(), Digit::Zero);
+}
+
+unsigned
+CoarseVector::bothDigits() const
+{
+    unsigned n = 0;
+    for (const Digit d : code)
+        n += d == Digit::Both ? 1 : 0;
+    return n;
+}
+
+SharerSet
+CoarseVector::decode() const
+{
+    SharerSet result(numCaches);
+    if (!hasMember)
+        return result;
+    for (CacheId cache = 0; cache < numCaches; ++cache) {
+        bool match = true;
+        for (unsigned d = 0; d < numDigits && match; ++d) {
+            if (code[d] == Digit::Both)
+                continue;
+            const Digit bit =
+                ((cache >> d) & 1) ? Digit::One : Digit::Zero;
+            match = code[d] == bit;
+        }
+        if (match)
+            result.add(cache);
+    }
+    return result;
+}
+
+std::string
+CoarseVector::toString() const
+{
+    std::string out;
+    // Most-significant digit first, matching the paper's description
+    // of the word as an index.
+    for (unsigned d = numDigits; d-- > 0;) {
+        switch (code[d]) {
+          case Digit::Zero:
+            out += '0';
+            break;
+          case Digit::One:
+            out += '1';
+            break;
+          case Digit::Both:
+            out += '*';
+            break;
+        }
+        if (d != 0)
+            out += ' ';
+    }
+    return hasMember ? out : std::string("(empty)");
+}
+
+CoarseVectorDirectory::CoarseVectorDirectory(unsigned num_caches_arg)
+    : caches(num_caches_arg)
+{
+    fatalIf(caches == 0, "directory needs at least one cache");
+}
+
+CoarseVectorDirectory::Entry &
+CoarseVectorDirectory::entry(BlockNum block)
+{
+    const auto it = entries.find(block);
+    if (it != entries.end())
+        return it->second;
+    return entries.emplace(block, Entry(caches)).first->second;
+}
+
+const CoarseVectorDirectory::Entry *
+CoarseVectorDirectory::find(BlockNum block) const
+{
+    const auto it = entries.find(block);
+    return it == entries.end() ? nullptr : &it->second;
+}
+
+} // namespace dirsim

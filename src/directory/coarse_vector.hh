@@ -1,0 +1,101 @@
+/**
+ * @file
+ * The Section 6 "limited broadcast" superset code: a word of
+ * d = ceil(log2 n) digits, each 0, 1, or BOTH. A digit fixed to 0/1
+ * constrains that bit of the cache index; BOTH leaves it free, so the
+ * word always denotes a superset of the caches holding the block and
+ * costs 2*log2(n) bits.
+ */
+
+#ifndef DIRSIM_DIRECTORY_COARSE_VECTOR_HH
+#define DIRSIM_DIRECTORY_COARSE_VECTOR_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "directory/sharer_set.hh"
+
+namespace dirsim
+{
+
+/**
+ * Ternary-digit superset code over cache indices.
+ *
+ * Invariants (property-tested):
+ *  - decode() is always a superset of the exact sharer set encoded;
+ *  - a code holding a single cache decodes exactly to that cache;
+ *  - with k digits marked BOTH the superset has exactly 2^k members
+ *    (clipped to the domain when n is not a power of two).
+ */
+class CoarseVector
+{
+  public:
+    /** @param num_caches_arg domain size n (>= 1) */
+    explicit CoarseVector(unsigned num_caches_arg);
+
+    /** True when no cache has been encoded since the last clear. */
+    bool empty() const { return !hasMember; }
+
+    /** Fold cache @p cache into the code. */
+    void add(CacheId cache);
+
+    /** Reset to the empty code. */
+    void clear();
+
+    /** Number of digits d = ceil(log2 n) (1 when n == 1). */
+    unsigned digits() const { return numDigits; }
+
+    /** Number of digits currently BOTH. */
+    unsigned bothDigits() const;
+
+    /** The denoted superset of caches (clipped to the domain). */
+    SharerSet decode() const;
+
+    /** Size of the denoted superset. */
+    unsigned supersetSize() const { return decode().count(); }
+
+    /** Render like "1 0 * 1" with '*' for BOTH (for diagnostics). */
+    std::string toString() const;
+
+    /** Hardware cost of the code in bits (2 per digit). */
+    unsigned storageBits() const { return 2 * numDigits; }
+
+  private:
+    enum class Digit : std::uint8_t { Zero, One, Both };
+
+    unsigned numCaches;
+    unsigned numDigits;
+    bool hasMember = false;
+    std::vector<Digit> code;
+};
+
+/**
+ * A directory whose entries keep a dirty bit plus a CoarseVector, for
+ * the Section 6 limited-broadcast evaluation.
+ */
+class CoarseVectorDirectory
+{
+  public:
+    struct Entry
+    {
+        explicit Entry(unsigned num_caches) : sharers(num_caches) {}
+        bool dirty = false;
+        CoarseVector sharers;
+    };
+
+    explicit CoarseVectorDirectory(unsigned num_caches_arg);
+
+    Entry &entry(BlockNum block);
+    const Entry *find(BlockNum block) const;
+    unsigned numCaches() const { return caches; }
+
+  private:
+    unsigned caches;
+    std::unordered_map<BlockNum, Entry> entries;
+};
+
+} // namespace dirsim
+
+#endif // DIRSIM_DIRECTORY_COARSE_VECTOR_HH

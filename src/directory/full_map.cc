@@ -1,0 +1,41 @@
+#include "directory/full_map.hh"
+
+#include "common/logging.hh"
+
+namespace dirsim
+{
+
+FullMapDirectory::FullMapDirectory(unsigned num_caches_arg)
+    : caches(num_caches_arg)
+{
+    fatalIf(caches == 0, "directory needs at least one cache");
+}
+
+FullMapEntry &
+FullMapDirectory::entry(BlockNum block)
+{
+    const auto it = entries.find(block);
+    if (it != entries.end())
+        return it->second;
+    return entries.emplace(block, FullMapEntry(caches)).first->second;
+}
+
+const FullMapEntry *
+FullMapDirectory::find(BlockNum block) const
+{
+    const auto it = entries.find(block);
+    return it == entries.end() ? nullptr : &it->second;
+}
+
+void
+FullMapDirectory::compact()
+{
+    for (auto it = entries.begin(); it != entries.end();) {
+        if (!it->second.dirty && it->second.sharers.empty())
+            it = entries.erase(it);
+        else
+            ++it;
+    }
+}
+
+} // namespace dirsim

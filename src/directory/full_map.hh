@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Censier & Feautrier full-map directory: one present bit per cache
+ * plus a dirty bit per main-memory block (Dir_n in the paper's
+ * taxonomy). Directly indexable by the block address.
+ */
+
+#ifndef DIRSIM_DIRECTORY_FULL_MAP_HH
+#define DIRSIM_DIRECTORY_FULL_MAP_HH
+
+#include <unordered_map>
+
+#include "directory/sharer_set.hh"
+
+namespace dirsim
+{
+
+/** One full-map entry: dirty bit + present-bit vector. */
+struct FullMapEntry
+{
+    explicit FullMapEntry(unsigned num_caches)
+        : sharers(num_caches)
+    {}
+
+    bool dirty = false;
+    SharerSet sharers;
+
+    /**
+     * The invariant Censier & Feautrier state: a dirty block exists in
+     * at most one cache.
+     */
+    bool valid() const { return !dirty || sharers.count() <= 1; }
+};
+
+/**
+ * Sparse full-map directory over all of main memory.
+ *
+ * Entries are created on first touch; absence of an entry means
+ * "block not cached anywhere", so untouched memory costs nothing at
+ * simulation time (the storage calculators in directory/storage.hh
+ * account for the real per-block hardware cost).
+ */
+class FullMapDirectory
+{
+  public:
+    /** @param num_caches_arg number of caches in the system */
+    explicit FullMapDirectory(unsigned num_caches_arg);
+
+    /** Entry for @p block, created clean/uncached on first use. */
+    FullMapEntry &entry(BlockNum block);
+
+    /** Entry lookup without creation; nullptr when never touched. */
+    const FullMapEntry *find(BlockNum block) const;
+
+    unsigned numCaches() const { return caches; }
+
+    /** Number of blocks with directory state materialized. */
+    std::size_t trackedBlocks() const { return entries.size(); }
+
+    /** Drop empty (uncached, clean) entries to bound memory. */
+    void compact();
+
+  private:
+    unsigned caches;
+    std::unordered_map<BlockNum, FullMapEntry> entries;
+};
+
+} // namespace dirsim
+
+#endif // DIRSIM_DIRECTORY_FULL_MAP_HH

@@ -1,0 +1,91 @@
+#include "directory/limited.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace dirsim
+{
+
+LimitedEntry::LimitedEntry(unsigned num_pointers_arg,
+                           bool allow_broadcast_arg)
+    : numPointers(num_pointers_arg), allowBroadcast(allow_broadcast_arg)
+{
+    fatalIf(numPointers == 0,
+            "Dir_0 entries keep no pointers; Dir_0 NB cannot grant "
+            "exclusive access (see the paper) and Dir_0 B is the "
+            "two-bit directory (directory/two_bit.hh)");
+    pointers.reserve(numPointers);
+}
+
+LimitedAddOutcome
+LimitedEntry::addSharer(CacheId cache, CacheId *victim)
+{
+    if (broadcast)
+        return LimitedAddOutcome::AlreadyBroadcast;
+    if (pointsTo(cache))
+        return LimitedAddOutcome::Recorded;
+    if (pointers.size() < numPointers) {
+        pointers.push_back(cache);
+        return LimitedAddOutcome::Recorded;
+    }
+    if (allowBroadcast) {
+        broadcast = true;
+        pointers.clear();
+        return LimitedAddOutcome::BroadcastSet;
+    }
+    panicIfNot(victim != nullptr,
+               "Dir_i NB overflow requires a victim out-parameter");
+    *victim = pointers.front();
+    return LimitedAddOutcome::EvictionRequired;
+}
+
+void
+LimitedEntry::removeSharer(CacheId cache)
+{
+    const auto it = std::find(pointers.begin(), pointers.end(), cache);
+    if (it != pointers.end())
+        pointers.erase(it);
+}
+
+void
+LimitedEntry::reset()
+{
+    pointers.clear();
+    broadcast = false;
+    dirty = false;
+}
+
+bool
+LimitedEntry::pointsTo(CacheId cache) const
+{
+    return std::find(pointers.begin(), pointers.end(), cache)
+        != pointers.end();
+}
+
+LimitedDirectory::LimitedDirectory(unsigned num_pointers_arg,
+                                   bool allow_broadcast_arg)
+    : numPointers(num_pointers_arg), allowBroadcast(allow_broadcast_arg)
+{
+    fatalIf(numPointers == 0, "LimitedDirectory needs i >= 1");
+}
+
+LimitedEntry &
+LimitedDirectory::entry(BlockNum block)
+{
+    const auto it = entries.find(block);
+    if (it != entries.end())
+        return it->second;
+    return entries
+        .emplace(block, LimitedEntry(numPointers, allowBroadcast))
+        .first->second;
+}
+
+const LimitedEntry *
+LimitedDirectory::find(BlockNum block) const
+{
+    const auto it = entries.find(block);
+    return it == entries.end() ? nullptr : &it->second;
+}
+
+} // namespace dirsim

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Limited-pointer directory entries: the Dir_i B and Dir_i NB points
+ * of the paper's taxonomy. Each entry keeps at most @c i cache
+ * pointers plus a dirty bit, and (for the B variants) a broadcast bit
+ * that is set when the pointer array overflows.
+ */
+
+#ifndef DIRSIM_DIRECTORY_LIMITED_HH
+#define DIRSIM_DIRECTORY_LIMITED_HH
+
+#include <unordered_map>
+#include <vector>
+
+#include "directory/sharer_set.hh"
+
+namespace dirsim
+{
+
+/** What happened when a sharer was recorded in a limited entry. */
+enum class LimitedAddOutcome
+{
+    /** Pointer stored (or already present). */
+    Recorded,
+    /** Pointer array was full; the broadcast bit is now set. */
+    BroadcastSet,
+    /** Entry was already in broadcast mode. */
+    AlreadyBroadcast,
+    /**
+     * No-broadcast entry was full: the caller must invalidate the
+     * returned victim's copy before the new sharer can be recorded.
+     */
+    EvictionRequired,
+};
+
+/**
+ * A Dir_i directory entry.
+ *
+ * Pointer order is FIFO: on Dir_i NB overflow the oldest pointer is
+ * offered as the eviction victim, a deterministic stand-in for the
+ * arbitrary choice the paper leaves open.
+ */
+class LimitedEntry
+{
+  public:
+    /**
+     * @param num_pointers_arg i, the pointer budget (>= 1)
+     * @param allow_broadcast_arg true for Dir_i B, false for Dir_i NB
+     */
+    LimitedEntry(unsigned num_pointers_arg, bool allow_broadcast_arg);
+
+    bool dirty = false;
+
+    /**
+     * Record that @p cache now holds the block.
+     *
+     * For EvictionRequired the entry is NOT modified; the caller must
+     * invalidate @p victim everywhere, call removeSharer(victim), and
+     * retry (which is then guaranteed to record).
+     *
+     * @param cache the new sharer
+     * @param victim out-parameter set on EvictionRequired
+     */
+    LimitedAddOutcome addSharer(CacheId cache, CacheId *victim = nullptr);
+
+    /** Remove @p cache's pointer if present (no-op in broadcast mode). */
+    void removeSharer(CacheId cache);
+
+    /** Forget everything (after a full or directed invalidation). */
+    void reset();
+
+    /** True when only a broadcast can reach all copies. */
+    bool broadcastRequired() const { return broadcast; }
+
+    /** True if @p cache is known (by pointer) to hold the block. */
+    bool pointsTo(CacheId cache) const;
+
+    /** Exact pointer count (meaningless when broadcastRequired()). */
+    unsigned pointerCount() const
+    {
+        return static_cast<unsigned>(pointers.size());
+    }
+
+    /** Pointers in FIFO order (oldest first). */
+    const std::vector<CacheId> &pointerList() const { return pointers; }
+
+    unsigned capacity() const { return numPointers; }
+    bool broadcastAllowed() const { return allowBroadcast; }
+
+  private:
+    unsigned numPointers;
+    bool allowBroadcast;
+    bool broadcast = false;
+    std::vector<CacheId> pointers; // FIFO, oldest first
+};
+
+/** Sparse map of LimitedEntry by block, mirroring FullMapDirectory. */
+class LimitedDirectory
+{
+  public:
+    /**
+     * @param num_pointers_arg i (pointer budget per entry)
+     * @param allow_broadcast_arg Dir_i B when true, Dir_i NB when false
+     */
+    LimitedDirectory(unsigned num_pointers_arg, bool allow_broadcast_arg);
+
+    LimitedEntry &entry(BlockNum block);
+    const LimitedEntry *find(BlockNum block) const;
+    std::size_t trackedBlocks() const { return entries.size(); }
+
+    unsigned pointerBudget() const { return numPointers; }
+    bool broadcastAllowed() const { return allowBroadcast; }
+
+  private:
+    unsigned numPointers;
+    bool allowBroadcast;
+    std::unordered_map<BlockNum, LimitedEntry> entries;
+};
+
+} // namespace dirsim
+
+#endif // DIRSIM_DIRECTORY_LIMITED_HH

@@ -1,0 +1,115 @@
+#include "directory/sharer_set.hh"
+
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace dirsim
+{
+
+SharerSet::SharerSet(unsigned num_caches_arg)
+    : domain(num_caches_arg), words((num_caches_arg + 63) / 64, 0)
+{
+}
+
+void
+SharerSet::add(CacheId cache)
+{
+    panicIfNot(cache < domain,
+               "SharerSet::add: cache ", cache, " out of domain ", domain);
+    words[cache / 64] |= std::uint64_t{1} << (cache % 64);
+}
+
+void
+SharerSet::remove(CacheId cache)
+{
+    if (cache >= domain)
+        return;
+    words[cache / 64] &= ~(std::uint64_t{1} << (cache % 64));
+}
+
+bool
+SharerSet::contains(CacheId cache) const
+{
+    if (cache >= domain)
+        return false;
+    return (words[cache / 64] >> (cache % 64)) & 1;
+}
+
+unsigned
+SharerSet::count() const
+{
+    unsigned total = 0;
+    for (std::uint64_t word : words)
+        total += static_cast<unsigned>(std::popcount(word));
+    return total;
+}
+
+bool
+SharerSet::isOnly(CacheId cache) const
+{
+    return count() == 1 && contains(cache);
+}
+
+unsigned
+SharerSet::countExcluding(CacheId cache) const
+{
+    return count() - (contains(cache) ? 1 : 0);
+}
+
+CacheId
+SharerSet::first() const
+{
+    for (std::size_t w = 0; w < words.size(); ++w) {
+        if (words[w] != 0) {
+            return static_cast<CacheId>(
+                w * 64
+                + static_cast<unsigned>(std::countr_zero(words[w])));
+        }
+    }
+    panic("SharerSet::first on an empty set");
+}
+
+void
+SharerSet::clear()
+{
+    for (auto &word : words)
+        word = 0;
+}
+
+void
+SharerSet::forEach(const std::function<void(CacheId)> &fn) const
+{
+    for (std::size_t w = 0; w < words.size(); ++w) {
+        std::uint64_t word = words[w];
+        while (word != 0) {
+            const unsigned bit =
+                static_cast<unsigned>(std::countr_zero(word));
+            fn(static_cast<CacheId>(w * 64 + bit));
+            word &= word - 1;
+        }
+    }
+}
+
+std::vector<CacheId>
+SharerSet::toVector() const
+{
+    std::vector<CacheId> out;
+    out.reserve(count());
+    forEach([&out](CacheId cache) { out.push_back(cache); });
+    return out;
+}
+
+bool
+SharerSet::isSupersetOf(const SharerSet &other) const
+{
+    panicIfNot(domain == other.domain,
+               "SharerSet::isSupersetOf across different domains");
+    for (std::size_t w = 0; w < words.size(); ++w) {
+        if ((other.words[w] & ~words[w]) != 0)
+            return false;
+    }
+    return true;
+}
+
+} // namespace dirsim

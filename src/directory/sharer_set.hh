@@ -1,0 +1,75 @@
+/**
+ * @file
+ * A set of caches holding a block, as tracked by directory entries.
+ *
+ * Implemented as a dynamic bit vector so it scales past 64 caches
+ * (the scalability experiments sweep cache counts).
+ */
+
+#ifndef DIRSIM_DIRECTORY_SHARER_SET_HH
+#define DIRSIM_DIRECTORY_SHARER_SET_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace dirsim
+{
+
+/** Bit-vector set of cache ids in [0, numCaches). */
+class SharerSet
+{
+  public:
+    SharerSet() = default;
+
+    /** @param num_caches_arg domain size; ids must stay below it */
+    explicit SharerSet(unsigned num_caches_arg);
+
+    unsigned numCaches() const { return domain; }
+
+    /** Insert @p cache; panics if out of domain. */
+    void add(CacheId cache);
+
+    /** Remove @p cache if present. */
+    void remove(CacheId cache);
+
+    bool contains(CacheId cache) const;
+
+    /** Number of caches in the set. */
+    unsigned count() const;
+
+    bool empty() const { return count() == 0; }
+
+    /** True iff the set is exactly {cache}. */
+    bool isOnly(CacheId cache) const;
+
+    /** Number of members excluding @p cache. */
+    unsigned countExcluding(CacheId cache) const;
+
+    /** Lowest-numbered member; panics when empty. */
+    CacheId first() const;
+
+    /** Remove every member. */
+    void clear();
+
+    /** Visit members in ascending order. */
+    void forEach(const std::function<void(CacheId)> &fn) const;
+
+    /** Members in ascending order (convenience for tests). */
+    std::vector<CacheId> toVector() const;
+
+    /** True iff this is a superset of @p other (same domain). */
+    bool isSupersetOf(const SharerSet &other) const;
+
+    bool operator==(const SharerSet &other) const = default;
+
+  private:
+    unsigned domain = 0;
+    std::vector<std::uint64_t> words;
+};
+
+} // namespace dirsim
+
+#endif // DIRSIM_DIRECTORY_SHARER_SET_HH

@@ -1,0 +1,96 @@
+#include "directory/storage.hh"
+
+#include <algorithm>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace dirsim
+{
+
+const char *
+toString(DirectoryOrg org)
+{
+    switch (org) {
+      case DirectoryOrg::TangDuplicate:
+        return "tang-duplicate";
+      case DirectoryOrg::FullMap:
+        return "full-map";
+      case DirectoryOrg::TwoBit:
+        return "two-bit";
+      case DirectoryOrg::LimitedPtr:
+        return "limited-ptr";
+      case DirectoryOrg::LimitedPtrB:
+        return "limited-ptr+b";
+      case DirectoryOrg::CoarseVector:
+        return "coarse-vector";
+    }
+    panic("unknown DirectoryOrg ", static_cast<int>(org));
+}
+
+double
+directoryBitsPerBlock(DirectoryOrg org, const StorageParams &params)
+{
+    fatalIf(params.numCaches == 0, "storage formula needs n >= 1");
+    const unsigned ptr_bits =
+        std::max(1u, ceilLog2(std::max(1u, params.numCaches)));
+
+    switch (org) {
+      case DirectoryOrg::TangDuplicate: {
+        fatalIf(params.memoryBlocks == 0,
+                "Tang amortization needs memoryBlocks > 0");
+        // Each cache's tag store is duplicated: (tag + dirty) bits per
+        // cached block, n caches, amortized over main memory.
+        const double total =
+            static_cast<double>(params.numCaches)
+            * static_cast<double>(params.blocksPerCache)
+            * static_cast<double>(params.tagBits + 1);
+        return total / static_cast<double>(params.memoryBlocks);
+      }
+      case DirectoryOrg::FullMap:
+        // n present bits + 1 dirty bit.
+        return static_cast<double>(params.numCaches) + 1.0;
+      case DirectoryOrg::TwoBit:
+        return 2.0;
+      case DirectoryOrg::LimitedPtr:
+        // i pointers of ceil(log2 n) bits, a valid count of
+        // ceil(log2(i+1)) bits, and a dirty bit.
+        return static_cast<double>(params.numPointers) * ptr_bits
+            + ceilLog2(params.numPointers + 1) + 1.0;
+      case DirectoryOrg::LimitedPtrB:
+        return directoryBitsPerBlock(DirectoryOrg::LimitedPtr, params)
+            + 1.0;
+      case DirectoryOrg::CoarseVector:
+        // 2 bits per ternary digit (paper: 2*log2 n) + dirty bit.
+        return 2.0 * ptr_bits + 1.0;
+    }
+    panic("unknown DirectoryOrg ", static_cast<int>(org));
+}
+
+std::vector<StorageRow>
+storageTable(const std::vector<unsigned> &cache_counts,
+             const std::vector<unsigned> &pointer_budgets)
+{
+    std::vector<StorageRow> rows;
+    for (const unsigned n : cache_counts) {
+        StorageParams params;
+        params.numCaches = n;
+        for (const DirectoryOrg org :
+             {DirectoryOrg::FullMap, DirectoryOrg::TwoBit,
+              DirectoryOrg::CoarseVector}) {
+            rows.push_back(
+                {org, n, 0, directoryBitsPerBlock(org, params)});
+        }
+        for (const unsigned i : pointer_budgets) {
+            params.numPointers = i;
+            for (const DirectoryOrg org :
+                 {DirectoryOrg::LimitedPtr, DirectoryOrg::LimitedPtrB}) {
+                rows.push_back(
+                    {org, n, i, directoryBitsPerBlock(org, params)});
+            }
+        }
+    }
+    return rows;
+}
+
+} // namespace dirsim

@@ -1,0 +1,67 @@
+#include "directory/tang.hh"
+
+#include "common/logging.hh"
+
+namespace dirsim
+{
+
+TangDirectory::TangDirectory(unsigned num_caches_arg)
+    : dupTags(num_caches_arg)
+{
+    fatalIf(num_caches_arg == 0, "directory needs at least one cache");
+}
+
+void
+TangDirectory::recordFill(CacheId cache, BlockNum block)
+{
+    panicIfNot(cache < dupTags.size(), "cache id out of range");
+    dupTags[cache][block] = false;
+}
+
+void
+TangDirectory::recordDirty(CacheId cache, BlockNum block)
+{
+    panicIfNot(cache < dupTags.size(), "cache id out of range");
+    const auto it = dupTags[cache].find(block);
+    panicIfNot(it != dupTags[cache].end(),
+               "recordDirty for a block the cache does not hold");
+    it->second = true;
+}
+
+void
+TangDirectory::recordClean(CacheId cache, BlockNum block)
+{
+    panicIfNot(cache < dupTags.size(), "cache id out of range");
+    const auto it = dupTags[cache].find(block);
+    panicIfNot(it != dupTags[cache].end(),
+               "recordClean for a block the cache does not hold");
+    it->second = false;
+}
+
+void
+TangDirectory::recordInvalidate(CacheId cache, BlockNum block)
+{
+    panicIfNot(cache < dupTags.size(), "cache id out of range");
+    dupTags[cache].erase(block);
+}
+
+TangDirectory::SearchResult
+TangDirectory::search(BlockNum block) const
+{
+    SearchResult result;
+    result.holders = SharerSet(numCaches());
+    for (CacheId cache = 0; cache < dupTags.size(); ++cache) {
+        const auto it = dupTags[cache].find(block);
+        if (it == dupTags[cache].end())
+            continue;
+        result.holders.add(cache);
+        if (it->second) {
+            panicIfNot(result.dirtyOwner == invalidCacheId,
+                       "two caches hold block ", block, " dirty");
+            result.dirtyOwner = cache;
+        }
+    }
+    return result;
+}
+
+} // namespace dirsim

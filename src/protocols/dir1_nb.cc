@@ -1,0 +1,119 @@
+#include "protocols/dir1_nb.hh"
+
+#include "common/logging.hh"
+
+namespace dirsim
+{
+
+Dir1NB::Dir1NB(unsigned num_caches_arg, const CacheFactory &factory)
+    : CoherenceProtocol(num_caches_arg, factory),
+      dir(1, /* allow_broadcast */ false)
+{
+}
+
+void
+Dir1NB::onEviction(CacheId cache, BlockNum block, CacheBlockState)
+{
+    LimitedEntry &entry = dir.entry(block);
+    entry.removeSharer(cache);
+    entry.dirty = false;
+}
+
+void
+Dir1NB::displace(BlockNum block, const Others &others, bool first)
+{
+    if (others.numOthers == 0)
+        return;
+    panicIfNot(others.numOthers == 1,
+               "Dir1NB found ", others.numOthers, " holders of block ",
+               block);
+    const CacheId holder =
+        others.anyDirty ? others.dirtyOwner : others.anyHolder;
+    if (!first) {
+        ++opCounts.invalMsgs;
+        if (others.anyDirty)
+            ++opCounts.dirtySupplies; // write-back supplies the data
+    }
+    invalidateIn(holder, block);
+    dir.entry(block).removeSharer(holder);
+}
+
+void
+Dir1NB::takeOwnership(CacheId cache, BlockNum block, bool dirty)
+{
+    LimitedEntry &entry = dir.entry(block);
+    const auto outcome = entry.addSharer(cache);
+    panicIfNot(outcome == LimitedAddOutcome::Recorded,
+               "Dir1NB directory pointer was not free");
+    entry.dirty = dirty;
+}
+
+void
+Dir1NB::handleReadMiss(CacheId cache, BlockNum block,
+                       const Others &others, bool first)
+{
+    displace(block, others, first);
+    if (!first) {
+        // A clean remote copy (or no copy) is supplied by memory; a
+        // dirty copy arrives via the displacing write-back.
+        if (!others.anyDirty)
+            ++opCounts.memSupplies;
+        ++opCounts.busTransactions;
+    }
+    install(cache, block, stClean);
+    takeOwnership(cache, block, /* dirty */ false);
+}
+
+void
+Dir1NB::handleWriteHit(CacheId cache, BlockNum block,
+                       CacheBlockState state)
+{
+    // The sole holder writes: no directory interaction is needed since
+    // the cache itself tracks dirtiness (the dirty data is found via
+    // the directory pointer on a later miss).
+    if (state == stDirty) {
+        eventCounts.add(EventType::WhBlkDrty);
+        return;
+    }
+    eventCounts.add(EventType::WhBlkCln);
+    setState(cache, block, stDirty);
+    dir.entry(block).dirty = true;
+}
+
+void
+Dir1NB::handleWriteMiss(CacheId cache, BlockNum block,
+                        const Others &others, bool first)
+{
+    displace(block, others, first);
+    if (!first) {
+        if (!others.anyDirty)
+            ++opCounts.memSupplies;
+        ++opCounts.busTransactions;
+    }
+    install(cache, block, stDirty);
+    takeOwnership(cache, block, /* dirty */ true);
+}
+
+void
+Dir1NB::checkInvariants(BlockNum block) const
+{
+    CoherenceProtocol::checkInvariants(block);
+    const SharerSet sharers = holders(block);
+    panicIfNot(sharers.count() <= 1,
+               "Dir1NB: block ", block, " resides in ", sharers.count(),
+               " caches");
+    const LimitedEntry *entry = dir.find(block);
+    if (sharers.count() == 1) {
+        panicIfNot(entry != nullptr && entry->pointsTo(sharers.first()),
+                   "Dir1NB: directory pointer disagrees with the caches "
+                   "for block ", block);
+        panicIfNot(entry->dirty
+                       == isDirtyState(cacheState(sharers.first(), block)),
+                   "Dir1NB: directory dirty bit stale for block ", block);
+    } else if (entry != nullptr) {
+        panicIfNot(entry->pointerCount() == 0,
+                   "Dir1NB: dangling directory pointer for block ", block);
+    }
+}
+
+} // namespace dirsim

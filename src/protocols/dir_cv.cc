@@ -1,0 +1,140 @@
+#include "protocols/dir_cv.hh"
+
+#include "common/logging.hh"
+
+namespace dirsim
+{
+
+DirCV::DirCV(unsigned num_caches_arg, const CacheFactory &factory)
+    : CoherenceProtocol(num_caches_arg, factory), dir(num_caches_arg)
+{
+}
+
+void
+DirCV::invalidateSuperset(CacheId keeper, BlockNum block, bool costed)
+{
+    CoarseVectorDirectory::Entry &entry = dir.entry(block);
+    // One message per denoted cache: holders are invalidated, the
+    // spurious members of the superset cost a wasted message each.
+    entry.sharers.decode().forEach([&](CacheId target) {
+        if (target == keeper)
+            return;
+        if (costed)
+            ++opCounts.invalMsgs;
+        invalidateIn(target, block);
+    });
+    entry.sharers.clear();
+    if (keeper != invalidCacheId)
+        entry.sharers.add(keeper);
+}
+
+void
+DirCV::handleReadMiss(CacheId cache, BlockNum block,
+                      const Others &others, bool first)
+{
+    CoarseVectorDirectory::Entry &entry = dir.entry(block);
+    if (others.anyDirty) {
+        // Dirty implies the last write reset the code to exactly the
+        // owner, so the write-back request is a single message.
+        if (!first) {
+            ++opCounts.invalMsgs;
+            ++opCounts.dirtySupplies;
+        }
+        setState(others.dirtyOwner, block, stClean);
+        entry.dirty = false;
+    } else if (!first) {
+        ++opCounts.memSupplies;
+    }
+    if (!first)
+        ++opCounts.busTransactions;
+    install(cache, block, stClean);
+    entry.sharers.add(cache);
+}
+
+void
+DirCV::handleWriteHit(CacheId cache, BlockNum block,
+                      CacheBlockState state)
+{
+    if (state == stDirty) {
+        eventCounts.add(EventType::WhBlkDrty);
+        return;
+    }
+    eventCounts.add(EventType::WhBlkCln);
+    const Others others = classifyOthers(cache, block);
+    sampleCleanWrite(others.numOthers);
+    ++opCounts.dirChecks;
+    ++opCounts.busTransactions;
+    invalidateSuperset(cache, block, /* costed */ true);
+    setState(cache, block, stDirty);
+    dir.entry(block).dirty = true;
+}
+
+void
+DirCV::handleWriteMiss(CacheId cache, BlockNum block,
+                       const Others &others, bool first)
+{
+    CoarseVectorDirectory::Entry &entry = dir.entry(block);
+    if (others.anyDirty) {
+        if (!first) {
+            ++opCounts.invalMsgs;
+            ++opCounts.dirtySupplies;
+        }
+        invalidateIn(others.dirtyOwner, block);
+        entry.sharers.clear();
+    } else if (others.numOthers > 0) {
+        if (!first)
+            sampleCleanWrite(others.numOthers);
+        invalidateSuperset(invalidCacheId, block, !first);
+        if (!first)
+            ++opCounts.memSupplies;
+    } else if (!first) {
+        ++opCounts.memSupplies;
+    }
+    if (!first)
+        ++opCounts.busTransactions;
+    install(cache, block, stDirty);
+    entry.sharers.clear();
+    entry.sharers.add(cache);
+    entry.dirty = true;
+}
+
+void
+DirCV::onEviction(CacheId cache, BlockNum block, CacheBlockState state)
+{
+    // The ternary code cannot subtract a member, so clean evictions
+    // leave the (still correct) superset in place. A dirty eviction
+    // implies the code was exactly {cache}; the write-back resets it.
+    if (isDirtyState(state)) {
+        CoarseVectorDirectory::Entry &entry = dir.entry(block);
+        entry.sharers.clear();
+        entry.dirty = false;
+    }
+}
+
+void
+DirCV::checkInvariants(BlockNum block) const
+{
+    CoherenceProtocol::checkInvariants(block);
+    const SharerSet sharers = holders(block);
+    const CoarseVectorDirectory::Entry *entry = dir.find(block);
+    if (entry == nullptr) {
+        panicIfNot(sharers.empty(),
+                   "DirCV: caches hold block ", block,
+                   " the directory never saw");
+        return;
+    }
+    // The defining property: the code always denotes a superset of
+    // the true holders.
+    panicIfNot(entry->sharers.decode().isSupersetOf(sharers),
+               "DirCV: code is not a superset for block ", block);
+    if (entry->dirty) {
+        panicIfNot(sharers.count() == 1,
+                   "DirCV: dirty block ", block, " has ",
+                   sharers.count(), " sharers");
+        panicIfNot(entry->sharers.decode().isOnly(sharers.first()),
+                   "DirCV: dirty block ", block,
+                   " has an inexact code");
+    }
+}
+
+} // namespace dirsim

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * The Section 6 "limited broadcast" directory: instead of n present
+ * bits, each entry stores the 2*log2(n)-bit ternary code of
+ * directory/coarse_vector.hh, which always denotes a superset of the
+ * caches holding the block. Invalidations are sent (sequentially) to
+ * every cache in the superset — more messages than the exact full
+ * map, far fewer bits of storage, and never a full broadcast unless
+ * the code has degenerated to one.
+ */
+
+#ifndef DIRSIM_PROTOCOLS_DIR_CV_HH
+#define DIRSIM_PROTOCOLS_DIR_CV_HH
+
+#include "directory/coarse_vector.hh"
+#include "protocols/protocol.hh"
+
+namespace dirsim
+{
+
+/** See file comment. */
+class DirCV : public CoherenceProtocol
+{
+  public:
+    static constexpr CacheBlockState stClean = 1;
+    static constexpr CacheBlockState stDirty = 2;
+
+    explicit DirCV(unsigned num_caches_arg,
+                   const CacheFactory &factory = {});
+
+    std::string name() const override { return "DirCV"; }
+    bool isDirtyState(CacheBlockState state) const override
+    {
+        return state == stDirty;
+    }
+    void checkInvariants(BlockNum block) const override;
+
+    /** The coarse-vector directory (exposed for tests). */
+    const CoarseVectorDirectory &directory() const { return dir; }
+
+  protected:
+    void handleReadMiss(CacheId cache, BlockNum block,
+                        const Others &others, bool first) override;
+    void handleWriteHit(CacheId cache, BlockNum block,
+                        CacheBlockState state) override;
+    void handleWriteMiss(CacheId cache, BlockNum block,
+                         const Others &others, bool first) override;
+    void onEviction(CacheId cache, BlockNum block,
+                    CacheBlockState state) override;
+
+  private:
+    /**
+     * Sequential invalidations to the denoted superset (except
+     * @p keeper), then reset the code to exactly {keeper}.
+     */
+    void invalidateSuperset(CacheId keeper, BlockNum block,
+                            bool costed);
+
+    CoarseVectorDirectory dir;
+};
+
+} // namespace dirsim
+
+#endif // DIRSIM_PROTOCOLS_DIR_CV_HH

@@ -1,0 +1,136 @@
+#include "protocols/dir_n_nb.hh"
+
+#include "common/logging.hh"
+
+namespace dirsim
+{
+
+DirNNB::DirNNB(unsigned num_caches_arg, const CacheFactory &factory)
+    : CoherenceProtocol(num_caches_arg, factory), dir(num_caches_arg)
+{
+}
+
+void
+DirNNB::onEviction(CacheId cache, BlockNum block, CacheBlockState state)
+{
+    FullMapEntry &entry = dir.entry(block);
+    entry.sharers.remove(cache);
+    if (isDirtyState(state))
+        entry.dirty = false;
+}
+
+void
+DirNNB::invalidateOthers(CacheId keeper, BlockNum block, bool costed)
+{
+    FullMapEntry &entry = dir.entry(block);
+    const std::vector<CacheId> victims = entry.sharers.toVector();
+    for (const CacheId victim : victims) {
+        if (victim == keeper)
+            continue;
+        if (costed)
+            ++opCounts.invalMsgs; // one directed message per copy
+        invalidateIn(victim, block);
+        entry.sharers.remove(victim);
+    }
+}
+
+void
+DirNNB::handleReadMiss(CacheId cache, BlockNum block,
+                       const Others &others, bool first)
+{
+    FullMapEntry &entry = dir.entry(block);
+    if (others.anyDirty) {
+        // A directed write-back request reaches the owner; memory and
+        // the requester receive the data in the same transfer.
+        if (!first) {
+            ++opCounts.invalMsgs;
+            ++opCounts.dirtySupplies;
+        }
+        setState(others.dirtyOwner, block, stClean);
+        entry.dirty = false;
+    } else if (!first) {
+        ++opCounts.memSupplies;
+    }
+    if (!first)
+        ++opCounts.busTransactions;
+    install(cache, block, stClean);
+    entry.sharers.add(cache);
+}
+
+void
+DirNNB::handleWriteHit(CacheId cache, BlockNum block,
+                       CacheBlockState state)
+{
+    if (state == stDirty) {
+        eventCounts.add(EventType::WhBlkDrty);
+        return; // already exclusive; proceeds without bus traffic
+    }
+    eventCounts.add(EventType::WhBlkCln);
+    const Others others = classifyOthers(cache, block);
+    sampleCleanWrite(others.numOthers);
+    // The cache must notify the directory, which invalidates the
+    // other copies one by one.
+    ++opCounts.dirChecks;
+    ++opCounts.busTransactions;
+    invalidateOthers(cache, block, /* costed */ true);
+    setState(cache, block, stDirty);
+    dir.entry(block).dirty = true;
+}
+
+void
+DirNNB::handleWriteMiss(CacheId cache, BlockNum block,
+                        const Others &others, bool first)
+{
+    FullMapEntry &entry = dir.entry(block);
+    if (others.anyDirty) {
+        // Flush the dirty copy to memory and invalidate it there.
+        if (!first) {
+            ++opCounts.dirtySupplies;
+            ++opCounts.invalMsgs;
+        }
+        invalidateIn(others.dirtyOwner, block);
+        entry.sharers.remove(others.dirtyOwner);
+    } else if (others.numOthers > 0) {
+        if (!first)
+            sampleCleanWrite(others.numOthers);
+        invalidateOthers(cache, block, !first);
+        if (!first)
+            ++opCounts.memSupplies;
+    } else if (!first) {
+        ++opCounts.memSupplies;
+    }
+    if (!first)
+        ++opCounts.busTransactions;
+    install(cache, block, stDirty);
+    entry.sharers.add(cache);
+    entry.dirty = true;
+}
+
+void
+DirNNB::checkInvariants(BlockNum block) const
+{
+    CoherenceProtocol::checkInvariants(block);
+    const SharerSet sharers = holders(block);
+    const FullMapEntry *entry = dir.find(block);
+    if (entry == nullptr) {
+        panicIfNot(sharers.empty(),
+                   "DirNNB: caches hold block ", block,
+                   " the directory never saw");
+        return;
+    }
+    panicIfNot(entry->sharers == sharers,
+               "DirNNB: directory present bits disagree with the caches "
+               "for block ", block);
+    panicIfNot(entry->valid(),
+               "DirNNB: dirty block ", block, " has multiple sharers");
+    if (!sharers.empty()) {
+        bool any_dirty = false;
+        sharers.forEach([&](CacheId holder) {
+            any_dirty |= isDirtyState(cacheState(holder, block));
+        });
+        panicIfNot(entry->dirty == any_dirty,
+                   "DirNNB: directory dirty bit stale for block ", block);
+    }
+}
+
+} // namespace dirsim

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * The reference-event taxonomy of the paper's Table 4, plus the
+ * abstract bus-operation counts the cost models consume.
+ *
+ * The paper's methodology computes, per consistency scheme, the
+ * frequency of each event type as a fraction of all references; bus
+ * models then weight those frequencies by per-event cycle costs. We
+ * additionally tally the concrete bus operations each protocol issues
+ * (OpCounts), which yields identical costs for the standard schemes
+ * (asserted by test) and exact costs for the generalized Dir_i
+ * schemes whose behaviour depends on run-time pointer state.
+ */
+
+#ifndef DIRSIM_PROTOCOLS_EVENTS_HH
+#define DIRSIM_PROTOCOLS_EVENTS_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dirsim
+{
+
+/**
+ * Reference events, named after the Table 4 legend.
+ *
+ * Structural identities (asserted in tests):
+ *   Read  = RdHit + RdMiss + RmFirstRef
+ *   RdMiss = RmBlkCln + RmBlkDrty + (misses finding no other copy)
+ *   Write = WrtHit + WrtMiss + WmFirstRef
+ *   WrtHit = WhBlkCln + WhBlkDrty (invalidation protocols)
+ *          = WhDistrib + WhLocal  (Dragon)
+ *
+ * First references to a block are counted separately and never
+ * costed, per the paper's Section 4 methodology.
+ */
+enum class EventType : unsigned
+{
+    Instr = 0,   ///< instruction fetch
+    Read,        ///< data read
+    RdHit,       ///< read hit
+    RdMiss,      ///< read miss (excluding first references)
+    RmBlkCln,    ///< read miss, block clean in another cache
+    RmBlkDrty,   ///< read miss, block dirty in another cache
+    RmFirstRef,  ///< read miss, first reference to the block
+    Write,       ///< data write
+    WrtHit,      ///< write hit
+    WhBlkCln,    ///< write hit, block clean in the writing cache
+    WhBlkDrty,   ///< write hit, block dirty in the writing cache
+    WhDistrib,   ///< write hit, block also in another cache (Dragon)
+    WhLocal,     ///< write hit, block in no other cache (Dragon)
+    WrtMiss,     ///< write miss (excluding first references)
+    WmBlkCln,    ///< write miss, block clean in another cache
+    WmBlkDrty,   ///< write miss, block dirty in another cache
+    WmFirstRef,  ///< write miss, first reference to the block
+    NumEvents,
+};
+
+inline constexpr std::size_t numEventTypes =
+    static_cast<std::size_t>(EventType::NumEvents);
+
+/** Table 4 legend string for an event ("rm-blk-cln", ...). */
+const char *toString(EventType event);
+
+/** Counters for every event type over one simulation run. */
+class EventCounts
+{
+  public:
+    EventCounts() { counts.fill(0); }
+
+    void add(EventType event, std::uint64_t n = 1)
+    {
+        counts[static_cast<std::size_t>(event)] += n;
+    }
+
+    std::uint64_t count(EventType event) const
+    {
+        return counts[static_cast<std::size_t>(event)];
+    }
+
+    /** Total references = Instr + Read + Write. */
+    std::uint64_t totalRefs() const;
+
+    /** Event count as a fraction of all references (0 when empty). */
+    double fraction(EventType event) const;
+
+    /** Event count as a percentage of all references. */
+    double percentOfRefs(EventType event) const;
+
+    /** Aggregate another run's counts into this one. */
+    void merge(const EventCounts &other);
+
+    /**
+     * Remove a snapshot previously accumulated into this object
+     * (used to discard warm-up events); panics on underflow.
+     */
+    void subtract(const EventCounts &other);
+
+    void clear() { counts.fill(0); }
+
+  private:
+    std::array<std::uint64_t, numEventTypes> counts;
+};
+
+/**
+ * Event frequencies as fractions of all references.
+ *
+ * This is the scheme- and trace-independent summary the cost models
+ * consume; it can come from a simulation (EventCounts::fraction), an
+ * average over traces, or the paper's published Table 4 (used by the
+ * golden-number tests).
+ */
+class EventFreqs
+{
+  public:
+    EventFreqs() { fracs.fill(0.0); }
+
+    /** Extract fractions from raw counts. */
+    static EventFreqs fromCounts(const EventCounts &counts);
+
+    /** Arithmetic mean of several frequency sets (paper's Table 4). */
+    static EventFreqs average(const std::vector<EventFreqs> &sets);
+
+    double get(EventType event) const
+    {
+        return fracs[static_cast<std::size_t>(event)];
+    }
+
+    void set(EventType event, double fraction)
+    {
+        fracs[static_cast<std::size_t>(event)] = fraction;
+    }
+
+    /** Read misses that found no copy in any other cache. */
+    double readMissNoCopy() const;
+
+    /** Write misses that found no copy in any other cache. */
+    double writeMissNoCopy() const;
+
+    /** All misses served by a dirty remote copy. */
+    double dirtyMisses() const
+    {
+        return get(EventType::RmBlkDrty) + get(EventType::WmBlkDrty);
+    }
+
+  private:
+    std::array<double, numEventTypes> fracs;
+};
+
+/**
+ * Concrete bus operations issued by a protocol over a run.
+ *
+ * Only operations triggered by costed events are tallied (first
+ * references are excluded, matching the event counters).
+ */
+struct OpCounts
+{
+    /** Block supplied by main memory (full memory access). */
+    std::uint64_t memSupplies = 0;
+    /** Block supplied cache-to-cache without memory update (Dragon,
+     *  Berkeley owned blocks). */
+    std::uint64_t cacheSupplies = 0;
+    /** Block supplied via write-back: memory updated, requester
+     *  snarfs the data (directory schemes). */
+    std::uint64_t dirtySupplies = 0;
+    /** Directed (sequential) invalidation messages sent. */
+    std::uint64_t invalMsgs = 0;
+    /** Broadcast invalidations issued. */
+    std::uint64_t broadcastInvals = 0;
+    /** Directory probes that cannot overlap a memory access. */
+    std::uint64_t dirChecks = 0;
+    /** Single-word write-throughs to memory (WTI). */
+    std::uint64_t writeThroughs = 0;
+    /** Single-word write updates to other caches (Dragon). */
+    std::uint64_t writeUpdates = 0;
+    /** Directed invalidations caused by Dir_i NB pointer overflow. */
+    std::uint64_t overflowInvals = 0;
+    /** Write-backs of dirty blocks evicted by finite-cache
+     *  replacement (capacity/conflict traffic, not coherence). */
+    std::uint64_t evictionWriteBacks = 0;
+    /** Bus transactions (for the Figure 5 / Section 5.1 metrics). */
+    std::uint64_t busTransactions = 0;
+
+    void merge(const OpCounts &other);
+
+    /** Remove a previously accumulated snapshot (warm-up discard). */
+    void subtract(const OpCounts &other);
+};
+
+} // namespace dirsim
+
+#endif // DIRSIM_PROTOCOLS_EVENTS_HH

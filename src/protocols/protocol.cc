@@ -1,0 +1,231 @@
+#include "protocols/protocol.hh"
+
+#include "cache/infinite_cache.hh"
+#include "common/logging.hh"
+
+namespace dirsim
+{
+
+CoherenceProtocol::CoherenceProtocol(unsigned num_caches_arg,
+                                     const CacheFactory &factory)
+    : finiteMode(static_cast<bool>(factory))
+{
+    fatalIf(num_caches_arg == 0,
+            "a coherence domain needs at least one cache");
+    caches.reserve(num_caches_arg);
+    for (CacheId cache = 0; cache < num_caches_arg; ++cache) {
+        if (factory)
+            caches.push_back(factory());
+        else
+            caches.push_back(std::make_unique<InfiniteCache>());
+        fatalIf(caches.back() == nullptr,
+                "the cache factory returned a null cache");
+        caches.back()->setEvictionHook(
+            [this, cache](BlockNum block, CacheBlockState state) {
+                handleEviction(cache, block, state);
+            });
+    }
+}
+
+void
+CoherenceProtocol::handleEviction(CacheId cache, BlockNum block,
+                                  CacheBlockState state)
+{
+    // The cache already dropped the line; mirror that in the oracle.
+    const auto it = holderMap.find(block);
+    if (it != holderMap.end())
+        it->second.remove(cache);
+    // A modified victim must be written back to memory. This is
+    // replacement (capacity/conflict) traffic, accounted in its own
+    // operation counter so the coherence costs stay separable.
+    if (isDirtyState(state)) {
+        ++opCounts.evictionWriteBacks;
+        ++opCounts.busTransactions;
+    }
+    onEviction(cache, block, state);
+}
+
+void
+CoherenceProtocol::onEviction(CacheId, BlockNum, CacheBlockState)
+{
+}
+
+void
+CoherenceProtocol::read(CacheId cache, BlockNum block, bool first_ref)
+{
+    panicIfNot(cache < caches.size(), "cache id out of range");
+    eventCounts.add(EventType::Read);
+
+    if (caches[cache]->contains(block)) {
+        eventCounts.add(EventType::RdHit);
+        caches[cache]->touch(block);
+        return;
+    }
+
+    if (first_ref) {
+        eventCounts.add(EventType::RmFirstRef);
+        handleReadMiss(cache, block, Others{}, true);
+        return;
+    }
+
+    eventCounts.add(EventType::RdMiss);
+    const Others others = classifyOthers(cache, block);
+    if (others.anyDirty)
+        eventCounts.add(EventType::RmBlkDrty);
+    else if (others.numOthers > 0)
+        eventCounts.add(EventType::RmBlkCln);
+    handleReadMiss(cache, block, others, false);
+}
+
+void
+CoherenceProtocol::write(CacheId cache, BlockNum block, bool first_ref)
+{
+    panicIfNot(cache < caches.size(), "cache id out of range");
+    eventCounts.add(EventType::Write);
+
+    const CacheBlockState state = caches[cache]->lookup(block);
+    if (state != stateNotPresent) {
+        eventCounts.add(EventType::WrtHit);
+        caches[cache]->touch(block);
+        handleWriteHit(cache, block, state);
+        return;
+    }
+
+    if (first_ref) {
+        eventCounts.add(EventType::WmFirstRef);
+        handleWriteMiss(cache, block, Others{}, true);
+        return;
+    }
+
+    eventCounts.add(EventType::WrtMiss);
+    const Others others = classifyOthers(cache, block);
+    if (others.anyDirty)
+        eventCounts.add(EventType::WmBlkDrty);
+    else if (others.numOthers > 0)
+        eventCounts.add(EventType::WmBlkCln);
+    handleWriteMiss(cache, block, others, false);
+}
+
+CacheBlockState
+CoherenceProtocol::cacheState(CacheId cache, BlockNum block) const
+{
+    panicIfNot(cache < caches.size(), "cache id out of range");
+    return caches[cache]->lookup(block);
+}
+
+SharerSet
+CoherenceProtocol::holders(BlockNum block) const
+{
+    const auto it = holderMap.find(block);
+    if (it == holderMap.end())
+        return SharerSet(numCaches());
+    return it->second;
+}
+
+std::vector<BlockNum>
+CoherenceProtocol::residentBlocks() const
+{
+    std::vector<BlockNum> blocks;
+    blocks.reserve(holderMap.size());
+    for (const auto &[block, sharers] : holderMap) {
+        if (!sharers.empty())
+            blocks.push_back(block);
+    }
+    return blocks;
+}
+
+void
+CoherenceProtocol::checkInvariants(BlockNum block) const
+{
+    const SharerSet sharers = holders(block);
+
+    // The holder oracle and the per-cache stores must agree.
+    unsigned holder_count = 0;
+    unsigned dirty_count = 0;
+    for (CacheId cache = 0; cache < caches.size(); ++cache) {
+        const CacheBlockState state = caches[cache]->lookup(block);
+        const bool resident = state != stateNotPresent;
+        panicIfNot(resident == sharers.contains(cache),
+                   name(), ": holder oracle out of sync for block ",
+                   block, " cache ", cache);
+        if (resident) {
+            ++holder_count;
+            if (isDirtyState(state))
+                ++dirty_count;
+        }
+    }
+    panicIfNot(holder_count == sharers.count(),
+               name(), ": holder count mismatch for block ", block);
+
+    // Universal single-writer rule: at most one modified/owned copy.
+    panicIfNot(dirty_count <= 1,
+               name(), ": block ", block, " is dirty in ", dirty_count,
+               " caches");
+}
+
+void
+CoherenceProtocol::checkAllInvariants() const
+{
+    for (const auto &[block, sharers] : holderMap)
+        checkInvariants(block);
+}
+
+CoherenceProtocol::Others
+CoherenceProtocol::classifyOthers(CacheId cache, BlockNum block) const
+{
+    Others others;
+    const auto it = holderMap.find(block);
+    if (it == holderMap.end())
+        return others;
+    it->second.forEach([&](CacheId holder) {
+        if (holder == cache)
+            return;
+        ++others.numOthers;
+        others.anyHolder = holder;
+        const CacheBlockState state = caches[holder]->lookup(block);
+        if (isDirtyState(state)) {
+            others.anyDirty = true;
+            others.dirtyOwner = holder;
+        }
+    });
+    return others;
+}
+
+void
+CoherenceProtocol::install(CacheId cache, BlockNum block,
+                           CacheBlockState state)
+{
+    // Order matters with finite caches: the insertion may trigger an
+    // eviction whose hook edits the holder oracle, so the oracle
+    // entry for the new block is added afterwards.
+    caches[cache]->set(block, state);
+    const auto it = holderMap.find(block);
+    if (it == holderMap.end()) {
+        SharerSet sharers(numCaches());
+        sharers.add(cache);
+        holderMap.emplace(block, std::move(sharers));
+    } else {
+        it->second.add(cache);
+    }
+}
+
+void
+CoherenceProtocol::setState(CacheId cache, BlockNum block,
+                            CacheBlockState state)
+{
+    panicIfNot(caches[cache]->contains(block),
+               name(), ": setState for a block cache ", cache,
+               " does not hold");
+    caches[cache]->set(block, state);
+}
+
+void
+CoherenceProtocol::invalidateIn(CacheId cache, BlockNum block)
+{
+    caches[cache]->invalidate(block);
+    const auto it = holderMap.find(block);
+    if (it != holderMap.end())
+        it->second.remove(cache);
+}
+
+} // namespace dirsim

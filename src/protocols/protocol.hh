@@ -1,0 +1,193 @@
+/**
+ * @file
+ * The coherence-protocol engine interface.
+ *
+ * A protocol owns one infinite cache per process (the paper's model)
+ * plus whatever directory organization it needs, processes the data
+ * references of a trace in order, and tallies the Table 4 events, the
+ * concrete bus operations, and the Figure 1 invalidation histogram.
+ *
+ * The engine deliberately separates a protocol's *state-change
+ * specification* from its *cost*: protocols record what happened;
+ * bus/cost_model.hh later weights the records by per-operation cycle
+ * costs (Section 4.1 of the paper).
+ */
+
+#ifndef DIRSIM_PROTOCOLS_PROTOCOL_HH
+#define DIRSIM_PROTOCOLS_PROTOCOL_HH
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/cache_if.hh"
+#include "common/histogram.hh"
+#include "directory/sharer_set.hh"
+#include "protocols/events.hh"
+
+namespace dirsim
+{
+
+/**
+ * Base class for all coherence protocols.
+ *
+ * The public read()/write() entry points perform the hit/miss
+ * classification and Table 4 event accounting shared by every scheme,
+ * then delegate the protocol-specific state changes and bus-operation
+ * tallies to the handle* hooks.
+ */
+class CoherenceProtocol
+{
+  public:
+    /**
+     * @param num_caches_arg caches in the coherence domain (>= 1)
+     * @param factory cache factory; empty (the default) builds the
+     *        paper's infinite caches. A factory producing finite
+     *        caches enables true replacement simulation: evicted
+     *        dirty blocks are written back (costed), evicted blocks
+     *        leave the holder oracle, and each scheme updates its
+     *        directory through onEviction().
+     */
+    explicit CoherenceProtocol(unsigned num_caches_arg,
+                               const CacheFactory &factory = {});
+    virtual ~CoherenceProtocol() = default;
+
+    CoherenceProtocol(const CoherenceProtocol &) = delete;
+    CoherenceProtocol &operator=(const CoherenceProtocol &) = delete;
+
+    /** Scheme name in the paper's notation, e.g. "Dir0B". */
+    virtual std::string name() const = 0;
+
+    /**
+     * Process one data read.
+     *
+     * @param cache issuing cache
+     * @param block referenced block
+     * @param first_ref true when this is the globally first reference
+     *        to the block in the trace (excluded from cost metrics)
+     */
+    void read(CacheId cache, BlockNum block, bool first_ref);
+
+    /** Process one data write; parameters as read(). */
+    void write(CacheId cache, BlockNum block, bool first_ref);
+
+    /** Count an instruction fetch (never causes coherence traffic). */
+    void instruction() { eventCounts.add(EventType::Instr); }
+
+    EventCounts &events() { return eventCounts; }
+    const EventCounts &events() const { return eventCounts; }
+    const OpCounts &ops() const { return opCounts; }
+
+    /**
+     * Figure 1 data: for each write to a previously-clean block, the
+     * number of *other* caches that held (and had to give up) a copy.
+     */
+    const Histogram &cleanWriteHolders() const { return cleanWriteHist; }
+
+    unsigned numCaches() const
+    {
+        return static_cast<unsigned>(caches.size());
+    }
+
+    /** True when the caches can evict (finite-cache simulation). */
+    bool finiteCaches() const { return finiteMode; }
+
+    /** Protocol state of @p block in @p cache (stateNotPresent if out). */
+    CacheBlockState cacheState(CacheId cache, BlockNum block) const;
+
+    /** Exact set of caches holding @p block (ground truth). */
+    SharerSet holders(BlockNum block) const;
+
+    /** Blocks currently resident in at least one cache. */
+    std::vector<BlockNum> residentBlocks() const;
+
+    /** True when @p state counts as modified relative to memory. */
+    virtual bool isDirtyState(CacheBlockState state) const = 0;
+
+    /**
+     * Verify the protocol's coherence invariants for @p block,
+     * throwing LogicError on violation. The base check enforces the
+     * universal single-writer rule; subclasses add scheme-specific
+     * checks (pointer budgets, directory agreement, ...).
+     */
+    virtual void checkInvariants(BlockNum block) const;
+
+    /** checkInvariants() over every resident block. */
+    void checkAllInvariants() const;
+
+  protected:
+    /** What the rest of the system holds when a cache misses/writes. */
+    struct Others
+    {
+        unsigned numOthers = 0; ///< other caches holding the block
+        bool anyDirty = false;  ///< one of them holds it dirty/owned
+        CacheId dirtyOwner = invalidCacheId;
+        CacheId anyHolder = invalidCacheId; ///< some other holder
+    };
+
+    /** Survey all caches except @p cache for @p block. */
+    Others classifyOthers(CacheId cache, BlockNum block) const;
+
+    /**
+     * Apply a read miss.
+     *
+     * @param first true for globally-first references: install state
+     *        but record no bus operations (uncosted by methodology)
+     */
+    virtual void handleReadMiss(CacheId cache, BlockNum block,
+                                const Others &others, bool first) = 0;
+
+    /**
+     * Apply a write hit; the hook must also record the WrtHit
+     * sub-event (WhBlkCln/WhBlkDrty or WhDistrib/WhLocal).
+     */
+    virtual void handleWriteHit(CacheId cache, BlockNum block,
+                                CacheBlockState state) = 0;
+
+    /** Apply a write miss (see handleReadMiss for @p first). */
+    virtual void handleWriteMiss(CacheId cache, BlockNum block,
+                                 const Others &others, bool first) = 0;
+
+    /** Install @p block in @p cache (cache + holder oracle). */
+    void install(CacheId cache, BlockNum block, CacheBlockState state);
+
+    /** Change the state of a block the cache already holds. */
+    void setState(CacheId cache, BlockNum block, CacheBlockState state);
+
+    /** Remove @p block from @p cache (cache + holder oracle). */
+    void invalidateIn(CacheId cache, BlockNum block);
+
+    /**
+     * Scheme-specific directory maintenance after a replacement
+     * evicted @p block (with @p state) from @p cache. The base class
+     * has already written the block back (if dirty) and removed it
+     * from the holder oracle.
+     */
+    virtual void onEviction(CacheId cache, BlockNum block,
+                            CacheBlockState state);
+
+    /** Record a Figure 1 sample. */
+    void sampleCleanWrite(unsigned num_others)
+    {
+        cleanWriteHist.add(num_others);
+    }
+
+    EventCounts eventCounts;
+    OpCounts opCounts;
+
+  private:
+    /** Replacement evicted a block: write back, update the oracle. */
+    void handleEviction(CacheId cache, BlockNum block,
+                        CacheBlockState state);
+
+    std::vector<std::unique_ptr<CacheModel>> caches;
+    /** block -> exact holder set, kept in sync by the helpers. */
+    std::unordered_map<BlockNum, SharerSet> holderMap;
+    Histogram cleanWriteHist;
+    bool finiteMode = false;
+};
+
+} // namespace dirsim
+
+#endif // DIRSIM_PROTOCOLS_PROTOCOL_HH

@@ -1,0 +1,124 @@
+#include "protocols/registry.hh"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/logging.hh"
+#include "protocols/berkeley.hh"
+#include "protocols/dir0_b.hh"
+#include "protocols/dir1_nb.hh"
+#include "protocols/dir_cv.hh"
+#include "protocols/dir_i_b.hh"
+#include "protocols/dir_i_nb.hh"
+#include "protocols/dir_n_nb.hh"
+#include "protocols/dragon.hh"
+#include "protocols/wti.hh"
+#include "protocols/yen_fu.hh"
+
+namespace dirsim
+{
+
+namespace
+{
+
+std::string
+lower(const std::string &s)
+{
+    std::string out = s;
+    std::transform(out.begin(), out.end(), out.begin(),
+                   [](unsigned char c) {
+                       return static_cast<char>(std::tolower(c));
+                   });
+    return out;
+}
+
+/**
+ * Parse "dir<i>b" / "dir<i>nb" into (i, broadcast); returns false
+ * when @p name is not of that shape.
+ */
+bool
+parseDirFamily(const std::string &name, unsigned &pointers,
+               bool &broadcast)
+{
+    if (name.rfind("dir", 0) != 0)
+        return false;
+    std::size_t pos = 3;
+    std::size_t digits = 0;
+    unsigned value = 0;
+    while (pos < name.size() && std::isdigit(
+               static_cast<unsigned char>(name[pos]))) {
+        value = value * 10 + static_cast<unsigned>(name[pos] - '0');
+        ++pos;
+        ++digits;
+    }
+    if (digits == 0)
+        return false;
+    const std::string suffix = name.substr(pos);
+    if (suffix == "b")
+        broadcast = true;
+    else if (suffix == "nb")
+        broadcast = false;
+    else
+        return false;
+    pointers = value;
+    return true;
+}
+
+} // namespace
+
+std::unique_ptr<CoherenceProtocol>
+makeProtocol(const std::string &name, unsigned num_caches,
+             const CacheFactory &factory)
+{
+    const std::string key = lower(name);
+    if (key == "dir1nb")
+        return std::make_unique<Dir1NB>(num_caches, factory);
+    if (key == "dirnnb")
+        return std::make_unique<DirNNB>(num_caches, factory);
+    if (key == "dir0b")
+        return std::make_unique<Dir0B>(num_caches, factory);
+    if (key == "wti")
+        return std::make_unique<WTI>(num_caches, factory);
+    if (key == "dragon")
+        return std::make_unique<Dragon>(num_caches, factory);
+    if (key == "berkeley")
+        return std::make_unique<Berkeley>(num_caches, factory);
+    if (key == "yenfu")
+        return std::make_unique<YenFu>(num_caches, factory);
+    if (key == "dircv")
+        return std::make_unique<DirCV>(num_caches, factory);
+
+    unsigned pointers = 0;
+    bool broadcast = false;
+    if (parseDirFamily(key, pointers, broadcast)) {
+        fatalIf(pointers == 0 && !broadcast,
+                "Dir0NB cannot grant exclusive access (see the paper)");
+        fatalIf(pointers == 0, "Dir0B is a named scheme; use 'Dir0B'");
+        if (broadcast)
+            return std::make_unique<DirIB>(num_caches, pointers,
+                                           factory);
+        return std::make_unique<DirINB>(num_caches, pointers, factory);
+    }
+    fatal("unknown coherence scheme '", name, "'");
+}
+
+const std::vector<std::string> &
+paperSchemes()
+{
+    static const std::vector<std::string> names = {
+        "Dir1NB", "WTI", "Dir0B", "Dragon",
+    };
+    return names;
+}
+
+const std::vector<std::string> &
+allSchemes()
+{
+    static const std::vector<std::string> names = {
+        "Dir1NB", "WTI", "Dir0B", "Dragon", "DirNNB", "Berkeley",
+        "YenFu", "DirCV",
+    };
+    return names;
+}
+
+} // namespace dirsim

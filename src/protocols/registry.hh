@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Protocol factory: build any scheme from its paper-notation name,
+ * used by the example CLIs and the experiment layer.
+ */
+
+#ifndef DIRSIM_PROTOCOLS_REGISTRY_HH
+#define DIRSIM_PROTOCOLS_REGISTRY_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "protocols/protocol.hh"
+
+namespace dirsim
+{
+
+/**
+ * Instantiate a protocol by name.
+ *
+ * Recognized names: "Dir1NB", "DirNNB", "Dir0B", "WTI", "Dragon",
+ * "Berkeley", "YenFu", "DirCV", and the parameterized families
+ * "Dir<i>B" / "Dir<i>NB" for any integer i >= 1 (e.g. "Dir2B",
+ * "Dir4NB"). Matching is case-insensitive.
+ *
+ * @param name scheme name
+ * @param num_caches caches in the coherence domain
+ * @param factory cache factory; empty builds the paper's infinite
+ *        caches, a FiniteCache factory enables replacement simulation
+ * @throws UsageError for unknown names
+ */
+std::unique_ptr<CoherenceProtocol> makeProtocol(
+    const std::string &name, unsigned num_caches,
+    const CacheFactory &factory = {});
+
+/** Names of the four schemes the paper's main evaluation compares. */
+const std::vector<std::string> &paperSchemes();
+
+/** Names of every named (non-parameterized) scheme we implement. */
+const std::vector<std::string> &allSchemes();
+
+} // namespace dirsim
+
+#endif // DIRSIM_PROTOCOLS_REGISTRY_HH

@@ -1,0 +1,224 @@
+#include "sim/report.hh"
+
+#include <ostream>
+
+#include "common/logging.hh"
+
+namespace dirsim
+{
+
+namespace
+{
+
+/** Paper Table 4 layout: which rows print for which schemes. */
+bool
+cellApplies(EventType event, const std::string &scheme)
+{
+    using E = EventType;
+    switch (event) {
+      case E::RmBlkCln:
+      case E::RmBlkDrty:
+      case E::WmBlkCln:
+      case E::WmBlkDrty:
+        return scheme != "WTI";
+      case E::WhBlkCln:
+      case E::WhBlkDrty:
+        return scheme != "Dragon" && scheme != "WTI";
+      case E::WhDistrib:
+      case E::WhLocal:
+        return scheme == "Dragon";
+      default:
+        return true;
+    }
+}
+
+} // namespace
+
+TextTable
+eventFrequencyTable(const std::vector<SchemeResults> &grid,
+                    bool paper_layout)
+{
+    fatalIf(grid.empty(), "no results to report");
+    std::vector<std::string> header{"Event"};
+    for (const auto &scheme : grid)
+        header.push_back(scheme.scheme);
+    TextTable table(std::move(header));
+
+    std::vector<EventFreqs> freqs;
+    freqs.reserve(grid.size());
+    for (const auto &scheme : grid)
+        freqs.push_back(scheme.averagedFreqs());
+
+    for (std::size_t e = 0; e < numEventTypes; ++e) {
+        const auto event = static_cast<EventType>(e);
+        std::vector<std::string> row{toString(event)};
+        for (std::size_t s = 0; s < grid.size(); ++s) {
+            if (paper_layout
+                && !cellApplies(event, grid[s].scheme)) {
+                row.push_back("-");
+            } else {
+                row.push_back(TextTable::fixed(
+                    100.0 * freqs[s].get(event), 2));
+            }
+        }
+        table.addRow(std::move(row));
+    }
+    return table;
+}
+
+TextTable
+costBreakdownTable(const std::vector<SchemeResults> &grid,
+                   const BusCosts &costs)
+{
+    fatalIf(grid.empty(), "no results to report");
+    std::vector<std::string> header{"Access type"};
+    for (const auto &scheme : grid)
+        header.push_back(scheme.scheme);
+    TextTable table(std::move(header));
+
+    std::vector<CycleBreakdown> breakdowns;
+    breakdowns.reserve(grid.size());
+    for (const auto &scheme : grid)
+        breakdowns.push_back(scheme.averagedCost(costs));
+
+    const auto add_row = [&](const char *label, auto accessor) {
+        std::vector<std::string> row{label};
+        for (const auto &breakdown : breakdowns)
+            row.push_back(
+                TextTable::fixed(accessor(breakdown), 4));
+        table.addRow(std::move(row));
+    };
+    add_row("invalidate", [](const CycleBreakdown &b) {
+        return b.invalidate;
+    });
+    add_row("write-back", [](const CycleBreakdown &b) {
+        return b.writeBack;
+    });
+    add_row("mem access", [](const CycleBreakdown &b) {
+        return b.memAccess;
+    });
+    add_row("wt or wup", [](const CycleBreakdown &b) {
+        return b.writeThroughOrUpdate;
+    });
+    add_row("dir access", [](const CycleBreakdown &b) {
+        return b.dirAccess;
+    });
+    table.addRule();
+    add_row("cumulative", [](const CycleBreakdown &b) {
+        return b.total();
+    });
+    return table;
+}
+
+TextTable
+invalidationHistogramTable(const SchemeResults &scheme)
+{
+    std::vector<std::string> header{"other holders"};
+    for (const auto &result : scheme.perTrace)
+        header.push_back(result.traceName);
+    header.push_back("merged");
+    header.push_back("bar");
+    TextTable table(std::move(header));
+
+    const Histogram merged = scheme.mergedCleanWriteHolders();
+    for (std::uint64_t v = 0; v <= merged.maxValue(); ++v) {
+        std::vector<std::string> row{std::to_string(v)};
+        for (const auto &result : scheme.perTrace)
+            row.push_back(TextTable::fixed(
+                100.0 * result.cleanWriteHolders.fraction(v), 2));
+        row.push_back(
+            TextTable::fixed(100.0 * merged.fraction(v), 2));
+        row.push_back(asciiBar(merged.fraction(v), 1.0, 32));
+        table.addRow(std::move(row));
+    }
+    return table;
+}
+
+TextTable
+busCyclesTable(const std::vector<SchemeResults> &grid, bool per_trace)
+{
+    fatalIf(grid.empty(), "no results to report");
+    const BusCosts pipe = paperPipelinedCosts();
+    const BusCosts nonpipe = paperNonPipelinedCosts();
+
+    if (!per_trace) {
+        TextTable table({"scheme", "pipelined", "non-pipelined",
+                         "txns/ref"});
+        for (const auto &scheme : grid) {
+            const CycleBreakdown cost = scheme.averagedCost(pipe);
+            table.addRow({
+                scheme.scheme,
+                TextTable::fixed(cost.total(), 4),
+                TextTable::fixed(
+                    scheme.averagedCost(nonpipe).total(), 4),
+                TextTable::fixed(cost.transactions, 4),
+            });
+        }
+        return table;
+    }
+
+    TextTable table({"scheme", "trace", "pipelined",
+                     "non-pipelined"});
+    for (const auto &scheme : grid) {
+        for (const auto &result : scheme.perTrace) {
+            table.addRow({
+                scheme.scheme,
+                result.traceName,
+                TextTable::fixed(result.cost(pipe).total(), 4),
+                TextTable::fixed(result.cost(nonpipe).total(), 4),
+            });
+        }
+    }
+    return table;
+}
+
+void
+printRunReport(std::ostream &os, const SimResult &result)
+{
+    os << "scheme " << result.scheme << " on '" << result.traceName
+       << "' (" << TextTable::grouped(result.totalRefs)
+       << " references, " << result.numCaches << " caches)\n\n";
+
+    os << "event frequencies (% of all references):\n";
+    TextTable events({"event", "%"});
+    for (std::size_t e = 0; e < numEventTypes; ++e) {
+        const auto event = static_cast<EventType>(e);
+        if (result.events.count(event) == 0)
+            continue;
+        events.addRow({toString(event),
+                       TextTable::fixed(
+                           result.events.percentOfRefs(event), 3)});
+    }
+    events.print(os);
+
+    os << "\nbus cycles per memory reference:\n";
+    TextTable costs_table({"bus", "dir", "inv", "wb", "mem", "wt/wup",
+                           "total", "cyc/txn"});
+    for (const BusKind kind :
+         {BusKind::Pipelined, BusKind::NonPipelined}) {
+        const BusCosts bus = deriveBusCosts(paperBusTiming(), kind);
+        const CycleBreakdown b = result.cost(bus);
+        costs_table.addRow({
+            toString(kind),
+            TextTable::fixed(b.dirAccess, 4),
+            TextTable::fixed(b.invalidate, 4),
+            TextTable::fixed(b.writeBack, 4),
+            TextTable::fixed(b.memAccess, 4),
+            TextTable::fixed(b.writeThroughOrUpdate, 4),
+            TextTable::fixed(b.total(), 4),
+            TextTable::fixed(b.cyclesPerTransaction(), 2),
+        });
+    }
+    costs_table.print(os);
+
+    if (result.cleanWriteHolders.samples() > 0) {
+        os << "\nwrites to previously-clean blocks: "
+           << TextTable::grouped(result.cleanWriteHolders.samples())
+           << ", share invalidating <=1 remote copy "
+           << TextTable::fixed(
+                  result.cleanWriteHolders.fractionAtMost(1), 3)
+           << '\n';
+    }
+}
+
+} // namespace dirsim

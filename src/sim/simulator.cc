@@ -1,0 +1,146 @@
+#include "sim/simulator.hh"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+#include "protocols/registry.hh"
+
+namespace dirsim
+{
+
+namespace
+{
+
+/** Dense first-appearance mapping of pids (or CPUs) to cache ids. */
+class CacheMapper
+{
+  public:
+    CacheMapper(SharingModel sharing_arg, unsigned limit_arg)
+        : sharing(sharing_arg), limit(limit_arg)
+    {}
+
+    CacheId
+    map(const TraceRecord &record)
+    {
+        const std::uint64_t key = sharing == SharingModel::ByProcess
+            ? static_cast<std::uint64_t>(record.pid)
+            : static_cast<std::uint64_t>(record.cpu);
+        const auto it = ids.find(key);
+        if (it != ids.end())
+            return it->second;
+        const auto next = static_cast<CacheId>(ids.size());
+        fatalIf(next >= limit,
+                "trace needs more than ", limit,
+                " caches; build the protocol with a larger domain");
+        ids.emplace(key, next);
+        return next;
+    }
+
+  private:
+    SharingModel sharing;
+    unsigned limit;
+    std::unordered_map<std::uint64_t, CacheId> ids;
+};
+
+} // namespace
+
+unsigned
+cachesNeeded(const Trace &trace, SharingModel sharing)
+{
+    if (sharing == SharingModel::ByProcess)
+        return static_cast<unsigned>(trace.countProcesses());
+    const unsigned cpus = trace.observedCpus();
+    return cpus > 0 ? cpus : trace.numCpus();
+}
+
+SimResult
+simulateTrace(const Trace &trace, CoherenceProtocol &protocol,
+              const SimConfig &config)
+{
+    checkBlockSize(config.blockBytes);
+    fatalIf(trace.empty(), "cannot simulate an empty trace");
+
+    CacheMapper mapper(config.sharing, protocol.numCaches());
+    std::unordered_set<BlockNum> seen_blocks;
+    std::uint64_t data_refs = 0;
+    std::uint64_t processed = 0;
+
+    // Warm-up snapshot: whatever accumulated before the measurement
+    // window is subtracted from the results afterwards.
+    EventCounts warmup_events;
+    OpCounts warmup_ops;
+    Histogram warmup_hist;
+    bool warmup_taken = config.warmupRefs == 0;
+
+    for (const auto &record : trace) {
+        if (!warmup_taken && processed >= config.warmupRefs) {
+            warmup_events = protocol.events();
+            warmup_ops = protocol.ops();
+            warmup_hist = protocol.cleanWriteHolders();
+            warmup_taken = true;
+        }
+        ++processed;
+        if (record.isInstr()) {
+            protocol.instruction();
+            continue;
+        }
+        const CacheId cache = mapper.map(record);
+        const BlockNum block =
+            blockNumber(record.addr, config.blockBytes);
+        const bool first_ref = seen_blocks.insert(block).second;
+        if (record.isRead())
+            protocol.read(cache, block, first_ref);
+        else
+            protocol.write(cache, block, first_ref);
+        ++data_refs;
+        if (config.invariantCheckPeriod != 0
+            && data_refs % config.invariantCheckPeriod == 0) {
+            protocol.checkAllInvariants();
+        }
+    }
+    if (config.invariantCheckPeriod != 0)
+        protocol.checkAllInvariants();
+    fatalIf(!warmup_taken,
+            "warm-up of ", config.warmupRefs,
+            " references consumed the whole trace (",
+            trace.size(), " references)");
+
+    SimResult result;
+    result.scheme = protocol.name();
+    result.traceName = trace.name();
+    result.numCaches = protocol.numCaches();
+    result.events = protocol.events();
+    result.events.subtract(warmup_events);
+    result.ops = protocol.ops();
+    result.ops.subtract(warmup_ops);
+    result.cleanWriteHolders = protocol.cleanWriteHolders();
+    result.cleanWriteHolders.subtract(warmup_hist);
+    result.totalRefs = result.events.totalRefs();
+    return result;
+}
+
+SimResult
+simulateTrace(const Trace &trace, const std::string &scheme,
+              const SimConfig &config)
+{
+    const unsigned caches = cachesNeeded(trace, config.sharing);
+    fatalIf(caches == 0, "trace '", trace.name(), "' has no references");
+    CacheFactory factory;
+    if (config.finiteCache) {
+        const FiniteCacheConfig cache_config = *config.finiteCache;
+        fatalIf(cache_config.blockBytes != config.blockBytes,
+                "finite-cache block size ", cache_config.blockBytes,
+                " differs from the simulation block size ",
+                config.blockBytes);
+        cache_config.check();
+        factory = [cache_config] {
+            return std::make_unique<FiniteCache>(cache_config);
+        };
+    }
+    const auto protocol = makeProtocol(scheme, caches, factory);
+    return simulateTrace(trace, *protocol, config);
+}
+
+} // namespace dirsim

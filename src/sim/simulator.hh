@@ -1,0 +1,122 @@
+/**
+ * @file
+ * The trace-driven simulation driver.
+ *
+ * Feeds a multiprocessor address trace through a coherence protocol
+ * exactly as Section 4 of the paper describes: infinite caches, one
+ * cache per *process* (sharing between processes, not processors),
+ * globally-first references to a block tracked and excluded from the
+ * cost metrics, and instructions generating no coherence traffic.
+ */
+
+#ifndef DIRSIM_SIM_SIMULATOR_HH
+#define DIRSIM_SIM_SIMULATOR_HH
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "bus/cost_model.hh"
+#include "cache/finite_cache.hh"
+#include "common/histogram.hh"
+#include "protocols/events.hh"
+#include "protocols/protocol.hh"
+#include "trace/trace.hh"
+
+namespace dirsim
+{
+
+/** How trace records map onto caches. */
+enum class SharingModel
+{
+    /** One cache per process id (the paper's choice). */
+    ByProcess,
+    /** One cache per CPU (the paper's cross-check; similar results
+     *  because process migration is rare). */
+    ByProcessor,
+};
+
+/** Simulation parameters. */
+struct SimConfig
+{
+    unsigned blockBytes = defaultBlockBytes;
+    SharingModel sharing = SharingModel::ByProcess;
+    /**
+     * When non-zero, run CoherenceProtocol::checkAllInvariants()
+     * every this-many data references (slow; used by tests).
+     */
+    std::uint64_t invariantCheckPeriod = 0;
+    /**
+     * Measurement warm-up: events, operations, and histogram samples
+     * accumulated during the first this-many references are discarded
+     * from the results (coherence state is still built up). The paper
+     * measures whole traces; warm-up exists to study how much of a
+     * short trace's cost is cold sharing (see bench/ext_warmup).
+     */
+    std::uint64_t warmupRefs = 0;
+    /**
+     * When set, build per-process FiniteCaches of this geometry
+     * instead of the paper's infinite caches: replacement misses and
+     * eviction write-backs then appear in the results (only used by
+     * the by-name simulateTrace overload; the geometry's blockBytes
+     * must equal the simulation blockBytes).
+     */
+    std::optional<FiniteCacheConfig> finiteCache;
+};
+
+/** Everything a single (scheme, trace) simulation produces. */
+struct SimResult
+{
+    std::string scheme;
+    std::string traceName;
+    unsigned numCaches = 0;
+    std::uint64_t totalRefs = 0;
+
+    EventCounts events;
+    OpCounts ops;
+    /** Figure 1 histogram: other holders on writes to clean blocks. */
+    Histogram cleanWriteHolders;
+
+    /** Event frequencies as fractions of all references. */
+    EventFreqs freqs() const { return EventFreqs::fromCounts(events); }
+
+    /** Figure 1 summary for the cost models. */
+    CleanWriteProfile profile() const
+    {
+        return CleanWriteProfile::fromHistogram(cleanWriteHolders);
+    }
+
+    /** Ops-based cost under a bus model (exact for every scheme). */
+    CycleBreakdown cost(const BusCosts &costs,
+                        const CostOptions &options = {}) const
+    {
+        return costFromOps(ops, totalRefs, costs, options);
+    }
+};
+
+/**
+ * Run @p trace through @p protocol.
+ *
+ * The protocol must have been built with enough caches for the
+ * trace's processes (ByProcess) or CPUs (ByProcessor); process ids
+ * are mapped to dense cache ids in order of first appearance.
+ */
+SimResult simulateTrace(const Trace &trace,
+                        CoherenceProtocol &protocol,
+                        const SimConfig &config = {});
+
+/**
+ * Convenience: build the scheme by name (protocols/registry.hh) with
+ * the cache count implied by the trace and the sharing model, then
+ * simulate.
+ */
+SimResult simulateTrace(const Trace &trace, const std::string &scheme,
+                        const SimConfig &config = {});
+
+/** Caches @p trace needs under @p sharing (distinct pids or CPUs). */
+unsigned cachesNeeded(const Trace &trace, SharingModel sharing);
+
+} // namespace dirsim
+
+#endif // DIRSIM_SIM_SIMULATOR_HH

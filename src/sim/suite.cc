@@ -1,0 +1,58 @@
+#include "sim/suite.hh"
+
+#include <cstdlib>
+#include <string>
+
+#include "common/logging.hh"
+#include "tracegen/generator.hh"
+
+namespace dirsim
+{
+
+namespace
+{
+
+std::uint64_t
+envOverride(const char *name, std::uint64_t fallback)
+{
+    const char *value = std::getenv(name);
+    if (value == nullptr || *value == '\0')
+        return fallback;
+    try {
+        return std::stoull(value);
+    } catch (const std::exception &) {
+        fatal("environment variable ", name, "='", value,
+              "' is not a number");
+    }
+}
+
+} // namespace
+
+SuiteParams
+SuiteParams::fromEnvironment()
+{
+    SuiteParams params;
+    params.refsPerTrace =
+        envOverride("DIRSIM_SUITE_REFS", params.refsPerTrace);
+    params.seed = envOverride("DIRSIM_SUITE_SEED", params.seed);
+    return params;
+}
+
+std::vector<Trace>
+standardSuite(const SuiteParams &params)
+{
+    fatalIf(params.refsPerTrace == 0, "suite traces cannot be empty");
+    std::vector<Trace> traces;
+    traces.reserve(3);
+    // Distinct derived seeds keep the workloads' random streams
+    // independent of each other.
+    traces.push_back(
+        generateTrace("pops", params.refsPerTrace, params.seed * 3 + 1));
+    traces.push_back(
+        generateTrace("thor", params.refsPerTrace, params.seed * 3 + 2));
+    traces.push_back(
+        generateTrace("pero", params.refsPerTrace, params.seed * 3 + 3));
+    return traces;
+}
+
+} // namespace dirsim

@@ -1,0 +1,82 @@
+#include "trace/filter.hh"
+
+#include <algorithm>
+
+namespace dirsim
+{
+
+namespace
+{
+
+/** Copy metadata and the records selected by @p keep. */
+template <typename Pred>
+Trace
+filterTrace(const Trace &trace, Pred keep)
+{
+    Trace out(trace.name(), trace.numCpus());
+    out.reserve(trace.size());
+    for (const auto &record : trace) {
+        if (keep(record))
+            out.append(record);
+    }
+    return out;
+}
+
+} // namespace
+
+Trace
+excludeLockRefs(const Trace &trace)
+{
+    return filterTrace(trace, [](const TraceRecord &r) {
+        return !r.isLockRef();
+    });
+}
+
+Trace
+excludeSpinReads(const Trace &trace)
+{
+    return filterTrace(trace, [](const TraceRecord &r) {
+        return !r.isLockSpin();
+    });
+}
+
+Trace
+keepUserOnly(const Trace &trace)
+{
+    return filterTrace(trace, [](const TraceRecord &r) {
+        return !r.isSystem();
+    });
+}
+
+Trace
+dataRefsOnly(const Trace &trace)
+{
+    return filterTrace(trace, [](const TraceRecord &r) {
+        return r.isData();
+    });
+}
+
+Trace
+remapProcessesToCpus(const Trace &trace)
+{
+    Trace out(trace.name(), trace.numCpus());
+    out.reserve(trace.size());
+    for (auto record : trace) {
+        record.pid = record.cpu;
+        out.append(record);
+    }
+    return out;
+}
+
+Trace
+truncateTrace(const Trace &trace, std::size_t n)
+{
+    Trace out(trace.name(), trace.numCpus());
+    const std::size_t count = std::min(n, trace.size());
+    out.reserve(count);
+    for (std::size_t i = 0; i < count; ++i)
+        out.append(trace[i]);
+    return out;
+}
+
+} // namespace dirsim

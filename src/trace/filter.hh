@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Trace transformations used by the paper's experiments.
+ *
+ *  - excludeLockRefs(): Section 5.2 re-runs the simulations
+ *    "excluding all the tests on locks".
+ *  - keepUserOnly(): isolate application behaviour from OS activity.
+ *  - remapProcessesToCpus(): switch from the process-sharing model to
+ *    the processor-sharing model (the paper checked both and found
+ *    them similar because migration is rare).
+ */
+
+#ifndef DIRSIM_TRACE_FILTER_HH
+#define DIRSIM_TRACE_FILTER_HH
+
+#include "trace/trace.hh"
+
+namespace dirsim
+{
+
+/** Remove every reference to a lock word (spin reads and lock writes). */
+Trace excludeLockRefs(const Trace &trace);
+
+/** Remove only spin reads, keeping the T&S/unlock writes. */
+Trace excludeSpinReads(const Trace &trace);
+
+/** Keep only user-mode references. */
+Trace keepUserOnly(const Trace &trace);
+
+/** Keep only data references (drop instruction fetches). */
+Trace dataRefsOnly(const Trace &trace);
+
+/**
+ * Rewrite every record's pid to its cpu, so a downstream simulator
+ * keyed on process ids models per-processor caches instead.
+ */
+Trace remapProcessesToCpus(const Trace &trace);
+
+/** Keep only the first @p n records (for quick experiments). */
+Trace truncateTrace(const Trace &trace, std::size_t n);
+
+} // namespace dirsim
+
+#endif // DIRSIM_TRACE_FILTER_HH

@@ -1,0 +1,156 @@
+#include "trace/reader.hh"
+
+#include <fstream>
+#include <istream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace dirsim
+{
+
+namespace
+{
+
+template <typename T>
+T
+getLe(std::istream &is, const char *what)
+{
+    unsigned char bytes[sizeof(T)];
+    is.read(reinterpret_cast<char *>(bytes), sizeof(T));
+    fatalIf(!is, "truncated binary trace while reading ", what);
+    std::uint64_t value = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i)
+        value |= static_cast<std::uint64_t>(bytes[i]) << (8 * i);
+    return static_cast<T>(value);
+}
+
+std::uint8_t
+parseFlags(const std::string &field, std::size_t line_no)
+{
+    if (field == "-")
+        return flagNone;
+    std::uint8_t flags = flagNone;
+    std::stringstream ss(field);
+    std::string token;
+    while (std::getline(ss, token, ',')) {
+        if (token == "lockspin")
+            flags |= flagLockSpin;
+        else if (token == "lockwrite")
+            flags |= flagLockWrite;
+        else if (token == "system")
+            flags |= flagSystem;
+        else
+            fatal("text trace line ", line_no, ": unknown flag '",
+                  token, "'");
+    }
+    return flags;
+}
+
+} // namespace
+
+Trace
+readBinaryTrace(std::istream &is)
+{
+    char magic[4];
+    is.read(magic, 4);
+    fatalIf(!is || std::string(magic, 4) != "DSTR",
+            "not a dirsim binary trace (bad magic)");
+
+    const auto version = getLe<std::uint16_t>(is, "version");
+    fatalIf(version != 1, "unsupported binary trace version ", version);
+
+    const auto cpus = getLe<std::uint16_t>(is, "cpu count");
+    const auto name_len = getLe<std::uint32_t>(is, "name length");
+    fatalIf(name_len > 4096, "implausible trace name length ", name_len);
+    std::string name(name_len, '\0');
+    is.read(name.data(), name_len);
+    fatalIf(!is, "truncated binary trace while reading name");
+
+    const auto count = getLe<std::uint64_t>(is, "record count");
+    Trace trace(name, cpus);
+    trace.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        TraceRecord record;
+        record.addr = getLe<std::uint64_t>(is, "record addr");
+        record.pid = getLe<std::uint32_t>(is, "record pid");
+        record.cpu = getLe<std::uint16_t>(is, "record cpu");
+        const auto type = getLe<std::uint8_t>(is, "record type");
+        fatalIf(type > 2, "binary trace record ", i,
+                " has invalid type ", static_cast<int>(type));
+        record.type = static_cast<RefType>(type);
+        record.flags = getLe<std::uint8_t>(is, "record flags");
+        trace.append(record);
+    }
+    return trace;
+}
+
+Trace
+readBinaryTraceFile(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    fatalIf(!is, "cannot open '", path, "' for reading");
+    return readBinaryTrace(is);
+}
+
+Trace
+readTextTrace(std::istream &is)
+{
+    Trace trace;
+    std::string line;
+    std::size_t line_no = 0;
+    while (std::getline(is, line)) {
+        ++line_no;
+        if (line.empty())
+            continue;
+        if (line[0] == '#') {
+            const auto colon = line.find(':');
+            if (colon == std::string::npos)
+                continue;
+            const std::string key = line.substr(1, colon - 1);
+            std::string value = line.substr(colon + 1);
+            const auto start = value.find_first_not_of(' ');
+            value = start == std::string::npos ? "" : value.substr(start);
+            if (key == " name")
+                trace.setName(value);
+            else if (key == " cpus")
+                trace.setNumCpus(
+                    static_cast<unsigned>(std::stoul(value)));
+            continue;
+        }
+        std::istringstream fields(line);
+        unsigned long cpu = 0;
+        unsigned long pid = 0;
+        std::string type;
+        std::string addr_hex;
+        std::string flags = "-";
+        fields >> cpu >> pid >> type >> addr_hex;
+        fatalIf(fields.fail(), "text trace line ", line_no,
+                ": malformed record '", line, "'");
+        fields >> flags;
+
+        TraceRecord record;
+        record.cpu = static_cast<CpuId>(cpu);
+        record.pid = static_cast<ProcId>(pid);
+        record.type = refTypeFromString(type);
+        try {
+            record.addr = std::stoull(addr_hex, nullptr, 16);
+        } catch (const std::exception &) {
+            fatal("text trace line ", line_no, ": bad address '",
+                  addr_hex, "'");
+        }
+        record.flags = parseFlags(flags, line_no);
+        trace.append(record);
+    }
+    return trace;
+}
+
+Trace
+readTextTraceFile(const std::string &path)
+{
+    std::ifstream is(path);
+    fatalIf(!is, "cannot open '", path, "' for reading");
+    return readTextTrace(is);
+}
+
+} // namespace dirsim

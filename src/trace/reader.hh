@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Deserialization of dirsim traces (binary and text formats).
+ */
+
+#ifndef DIRSIM_TRACE_READER_HH
+#define DIRSIM_TRACE_READER_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace.hh"
+
+namespace dirsim
+{
+
+/**
+ * Read a binary trace written by writeBinaryTrace().
+ *
+ * @throws UsageError on bad magic, unsupported version, truncated
+ *         input, or malformed records
+ */
+Trace readBinaryTrace(std::istream &is);
+
+/** Read a binary trace from @p path. */
+Trace readBinaryTraceFile(const std::string &path);
+
+/**
+ * Read a text trace written by writeTextTrace().
+ *
+ * Unknown '#' header keys are ignored; malformed record lines throw
+ * UsageError with the offending line number.
+ */
+Trace readTextTrace(std::istream &is);
+
+/** Read a text trace from @p path. */
+Trace readTextTraceFile(const std::string &path);
+
+} // namespace dirsim
+
+#endif // DIRSIM_TRACE_READER_HH

@@ -1,0 +1,34 @@
+#include "trace/record.hh"
+
+#include "common/logging.hh"
+
+namespace dirsim
+{
+
+const char *
+toString(RefType type)
+{
+    switch (type) {
+      case RefType::Instr:
+        return "instr";
+      case RefType::Read:
+        return "read";
+      case RefType::Write:
+        return "write";
+    }
+    panic("unknown RefType ", static_cast<int>(type));
+}
+
+RefType
+refTypeFromString(const std::string &name)
+{
+    if (name == "instr")
+        return RefType::Instr;
+    if (name == "read")
+        return RefType::Read;
+    if (name == "write")
+        return RefType::Write;
+    fatal("unknown reference type '", name, "'");
+}
+
+} // namespace dirsim

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The multiprocessor address-trace record model.
+ *
+ * This mirrors the information the ATUM traces of the paper carry:
+ * interleaved per-CPU reference streams where every reference is
+ * tagged with the CPU number and the identifier of the process that
+ * issued it, so a reference can be attributed either to a processor or
+ * to a process (the paper studies process sharing).
+ */
+
+#ifndef DIRSIM_TRACE_RECORD_HH
+#define DIRSIM_TRACE_RECORD_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace dirsim
+{
+
+/** The kind of memory reference a trace record describes. */
+enum class RefType : std::uint8_t
+{
+    Instr = 0, ///< instruction fetch (never causes coherence traffic)
+    Read = 1,  ///< data read
+    Write = 2, ///< data write
+};
+
+/** Human-readable name of a RefType ("instr", "read", "write"). */
+const char *toString(RefType type);
+
+/** Parse a RefType name; throws UsageError on unknown names. */
+RefType refTypeFromString(const std::string &name);
+
+/**
+ * Attribute flags carried by a trace record.
+ *
+ * The generator marks references it knows are spin-lock tests or
+ * operating-system activity. The lock flag feeds the Section 5.2
+ * experiment (excluding "the first test in a test-and-test-and-set");
+ * the system flag feeds the Table 3 user/system split.
+ */
+enum RecordFlags : std::uint8_t
+{
+    flagNone = 0,
+    /** Reference is part of a spin on a lock (the read in T&T&S). */
+    flagLockSpin = 1u << 0,
+    /** Reference executed in system (OS) context. */
+    flagSystem = 1u << 1,
+    /** Reference is the test-and-set or unlock write on a lock word. */
+    flagLockWrite = 1u << 2,
+};
+
+/**
+ * One reference in a multiprocessor address trace.
+ *
+ * Packed to 16 bytes so multi-million-record traces stay cheap.
+ */
+struct TraceRecord
+{
+    Addr addr = 0;       ///< byte address referenced
+    ProcId pid = 0;      ///< issuing process
+    CpuId cpu = 0;       ///< issuing processor
+    RefType type = RefType::Instr;
+    std::uint8_t flags = flagNone;
+
+    bool isInstr() const { return type == RefType::Instr; }
+    bool isRead() const { return type == RefType::Read; }
+    bool isWrite() const { return type == RefType::Write; }
+    bool isData() const { return type != RefType::Instr; }
+    bool isLockSpin() const { return flags & flagLockSpin; }
+    bool isLockWrite() const { return flags & flagLockWrite; }
+    /** Any reference that touches a lock word. */
+    bool isLockRef() const { return flags & (flagLockSpin|flagLockWrite); }
+    bool isSystem() const { return flags & flagSystem; }
+
+    bool operator==(const TraceRecord &other) const = default;
+};
+
+static_assert(sizeof(TraceRecord) == 16,
+              "TraceRecord is expected to pack into 16 bytes");
+
+} // namespace dirsim
+
+#endif // DIRSIM_TRACE_RECORD_HH

@@ -1,0 +1,137 @@
+#include "trace/trace_stats.hh"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/bitops.hh"
+#include "common/stats.hh"
+
+namespace dirsim
+{
+
+double
+TraceStats::readWriteRatio() const
+{
+    if (dataWrites == 0)
+        return 0.0;
+    return static_cast<double>(dataReads)
+        / static_cast<double>(dataWrites);
+}
+
+double
+TraceStats::spinReadFraction() const
+{
+    if (dataReads == 0)
+        return 0.0;
+    return static_cast<double>(lockSpinReads)
+        / static_cast<double>(dataReads);
+}
+
+double
+TraceStats::systemFraction() const
+{
+    if (refs == 0)
+        return 0.0;
+    return static_cast<double>(sys) / static_cast<double>(refs);
+}
+
+double
+TraceStats::sharedBlockFraction() const
+{
+    if (dataBlocks == 0)
+        return 0.0;
+    return static_cast<double>(sharedDataBlocks)
+        / static_cast<double>(dataBlocks);
+}
+
+TraceStats
+computeTraceStats(const Trace &trace, unsigned block_bytes)
+{
+    checkBlockSize(block_bytes);
+
+    TraceStats stats;
+    stats.name = trace.name();
+    stats.numCpus = trace.numCpus();
+
+    // block -> first accessor, promoted to the shared set on a second
+    // distinct process.
+    std::unordered_map<BlockNum, ProcId> first_accessor;
+    std::unordered_set<BlockNum> shared;
+    std::unordered_set<ProcId> pids;
+
+    for (const auto &record : trace) {
+        ++stats.refs;
+        pids.insert(record.pid);
+        if (record.isSystem())
+            ++stats.sys;
+        else
+            ++stats.user;
+
+        if (record.isInstr()) {
+            ++stats.instr;
+            continue;
+        }
+        if (record.isRead()) {
+            ++stats.dataReads;
+            if (record.isLockSpin())
+                ++stats.lockSpinReads;
+        } else {
+            ++stats.dataWrites;
+            if (record.isLockWrite())
+                ++stats.lockWrites;
+        }
+
+        const BlockNum block = blockNumber(record.addr, block_bytes);
+        const auto [it, inserted] =
+            first_accessor.emplace(block, record.pid);
+        if (!inserted && it->second != record.pid)
+            shared.insert(block);
+    }
+
+    stats.numProcesses = pids.size();
+    stats.dataBlocks = first_accessor.size();
+    stats.sharedDataBlocks = shared.size();
+    return stats;
+}
+
+std::vector<bool>
+detectSpinReads(const Trace &trace, unsigned threshold)
+{
+    struct WordState
+    {
+        ProcId last_reader = 0;
+        unsigned run = 0;       ///< consecutive same-process reads
+        std::vector<std::size_t> run_indices;
+    };
+
+    std::vector<bool> spin(trace.size(), false);
+    std::unordered_map<Addr, WordState> words;
+
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        const auto &record = trace[i];
+        if (record.isInstr())
+            continue;
+        auto &state = words[record.addr];
+        if (record.isWrite()) {
+            state.run = 0;
+            state.run_indices.clear();
+            continue;
+        }
+        if (state.run > 0 && state.last_reader == record.pid) {
+            ++state.run;
+        } else {
+            state.run = 1;
+            state.last_reader = record.pid;
+            state.run_indices.clear();
+        }
+        state.run_indices.push_back(i);
+        if (state.run >= threshold) {
+            // Mark the whole run once it qualifies as a spin.
+            for (std::size_t idx : state.run_indices)
+                spin[idx] = true;
+        }
+    }
+    return spin;
+}
+
+} // namespace dirsim

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Trace characterization: the quantities the paper reports in Table 3
+ * plus derived ratios discussed in Section 4.4 (read-to-write ratio,
+ * spin fraction, sharing summary).
+ */
+
+#ifndef DIRSIM_TRACE_TRACE_STATS_HH
+#define DIRSIM_TRACE_TRACE_STATS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hh"
+
+namespace dirsim
+{
+
+/**
+ * Summary characteristics of a trace, matching the Table 3 columns
+ * (Refs, Instr, DRd, DWrt, User, Sys) plus quantities quoted in the
+ * surrounding text.
+ */
+struct TraceStats
+{
+    std::string name;
+    unsigned numCpus = 0;
+    std::uint64_t numProcesses = 0;
+
+    std::uint64_t refs = 0;       ///< total references
+    std::uint64_t instr = 0;      ///< instruction fetches
+    std::uint64_t dataReads = 0;  ///< data reads (DRd)
+    std::uint64_t dataWrites = 0; ///< data writes (DWrt)
+    std::uint64_t user = 0;       ///< user-mode references
+    std::uint64_t sys = 0;        ///< system (OS) references
+
+    std::uint64_t lockSpinReads = 0; ///< spin reads on lock words
+    std::uint64_t lockWrites = 0;    ///< T&S / unlock writes
+
+    /** Distinct data blocks touched, and those touched by >1 process. */
+    std::uint64_t dataBlocks = 0;
+    std::uint64_t sharedDataBlocks = 0;
+
+    /** Data reads per data write; 0 when there are no writes. */
+    double readWriteRatio() const;
+
+    /** Fraction of data reads that are lock spins. */
+    double spinReadFraction() const;
+
+    /** Fraction of all references in system mode. */
+    double systemFraction() const;
+
+    /** Fraction of touched data blocks accessed by >1 process. */
+    double sharedBlockFraction() const;
+};
+
+/**
+ * Scan a trace and compute its statistics.
+ *
+ * @param trace the trace to characterize
+ * @param block_bytes block size for the sharing summary
+ */
+TraceStats computeTraceStats(const Trace &trace,
+                             unsigned block_bytes = defaultBlockBytes);
+
+/**
+ * Identify spin reads without generator metadata, the way one would
+ * have to on a real ATUM trace: a data read is classified as a spin
+ * read if the same process read the same word as its previous data
+ * reference to that word at least @p threshold times consecutively
+ * without an intervening write by anyone.
+ *
+ * Returns a vector parallel to the trace marking detected spin reads;
+ * used to validate the generator's flagLockSpin metadata.
+ */
+std::vector<bool> detectSpinReads(const Trace &trace,
+                                  unsigned threshold = 2);
+
+} // namespace dirsim
+
+#endif // DIRSIM_TRACE_TRACE_STATS_HH

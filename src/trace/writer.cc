@@ -1,0 +1,98 @@
+#include "trace/writer.hh"
+
+#include <fstream>
+#include <ostream>
+
+#include "common/logging.hh"
+
+namespace dirsim
+{
+
+namespace
+{
+
+template <typename T>
+void
+putLe(std::ostream &os, T value)
+{
+    unsigned char bytes[sizeof(T)];
+    for (std::size_t i = 0; i < sizeof(T); ++i)
+        bytes[i] = static_cast<unsigned char>(
+            (static_cast<std::uint64_t>(value) >> (8 * i)) & 0xff);
+    os.write(reinterpret_cast<const char *>(bytes), sizeof(T));
+}
+
+std::string
+flagNames(std::uint8_t flags)
+{
+    std::string out;
+    const auto append = [&out](const char *name) {
+        if (!out.empty())
+            out.push_back(',');
+        out += name;
+    };
+    if (flags & flagLockSpin)
+        append("lockspin");
+    if (flags & flagLockWrite)
+        append("lockwrite");
+    if (flags & flagSystem)
+        append("system");
+    return out.empty() ? "-" : out;
+}
+
+} // namespace
+
+void
+writeBinaryTrace(const Trace &trace, std::ostream &os)
+{
+    os.write("DSTR", 4);
+    putLe<std::uint16_t>(os, 1);
+    putLe<std::uint16_t>(os, static_cast<std::uint16_t>(trace.numCpus()));
+    putLe<std::uint32_t>(
+        os, static_cast<std::uint32_t>(trace.name().size()));
+    os.write(trace.name().data(),
+             static_cast<std::streamsize>(trace.name().size()));
+    putLe<std::uint64_t>(os, trace.size());
+    for (const auto &record : trace) {
+        putLe<std::uint64_t>(os, record.addr);
+        putLe<std::uint32_t>(os, record.pid);
+        putLe<std::uint16_t>(os, record.cpu);
+        putLe<std::uint8_t>(os, static_cast<std::uint8_t>(record.type));
+        putLe<std::uint8_t>(os, record.flags);
+    }
+    fatalIf(!os, "I/O error while writing binary trace '",
+            trace.name(), "'");
+}
+
+void
+writeBinaryTraceFile(const Trace &trace, const std::string &path)
+{
+    std::ofstream os(path, std::ios::binary);
+    fatalIf(!os, "cannot open '", path, "' for writing");
+    writeBinaryTrace(trace, os);
+}
+
+void
+writeTextTrace(const Trace &trace, std::ostream &os)
+{
+    os << "# dirsim-trace v1\n";
+    os << "# name: " << trace.name() << '\n';
+    os << "# cpus: " << trace.numCpus() << '\n';
+    for (const auto &record : trace) {
+        os << record.cpu << ' ' << record.pid << ' '
+           << toString(record.type) << ' ' << std::hex << record.addr
+           << std::dec << ' ' << flagNames(record.flags) << '\n';
+    }
+    fatalIf(!os, "I/O error while writing text trace '",
+            trace.name(), "'");
+}
+
+void
+writeTextTraceFile(const Trace &trace, const std::string &path)
+{
+    std::ofstream os(path);
+    fatalIf(!os, "cannot open '", path, "' for writing");
+    writeTextTrace(trace, os);
+}
+
+} // namespace dirsim

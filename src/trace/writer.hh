@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Trace serialization: a compact binary format and a human-readable
+ * text format. Both round-trip exactly (see trace/reader.hh).
+ */
+
+#ifndef DIRSIM_TRACE_WRITER_HH
+#define DIRSIM_TRACE_WRITER_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace.hh"
+
+namespace dirsim
+{
+
+/**
+ * Binary trace container layout (all integers little-endian):
+ *
+ *   magic   "DSTR"              4 bytes
+ *   version u16                 currently 1
+ *   cpus    u16
+ *   nameLen u32, name bytes
+ *   count   u64
+ *   count * record:
+ *     addr u64, pid u32, cpu u16, type u8, flags u8
+ */
+void writeBinaryTrace(const Trace &trace, std::ostream &os);
+
+/** Write a binary trace to @p path; throws UsageError on I/O failure. */
+void writeBinaryTraceFile(const Trace &trace, const std::string &path);
+
+/**
+ * Text format: '#'-prefixed header lines (name, cpus), then one record
+ * per line: "<cpu> <pid> <type> <hex addr> [flag,flag]".
+ */
+void writeTextTrace(const Trace &trace, std::ostream &os);
+
+/** Write a text trace to @p path; throws UsageError on I/O failure. */
+void writeTextTraceFile(const Trace &trace, const std::string &path);
+
+} // namespace dirsim
+
+#endif // DIRSIM_TRACE_WRITER_HH

@@ -1,0 +1,73 @@
+#include "tracegen/address_space.hh"
+
+#include "common/bitops.hh"
+
+namespace dirsim
+{
+
+AddressSpace::AddressSpace(unsigned block_bytes_arg)
+    : blockSize(block_bytes_arg)
+{
+    checkBlockSize(blockSize);
+}
+
+Addr
+AddressSpace::code(ProcId pid, std::uint64_t pos) const
+{
+    // Wrap within the per-process code segment.
+    const std::uint64_t offset =
+        (pos * busWordBytes) % codeStride;
+    return codeBase + static_cast<Addr>(pid) * codeStride + offset;
+}
+
+Addr
+AddressSpace::privateData(ProcId pid, std::uint64_t index) const
+{
+    const std::uint64_t offset =
+        (index * busWordBytes) % privateStride;
+    return privateBase + static_cast<Addr>(pid) * privateStride + offset;
+}
+
+Addr
+AddressSpace::shared(std::uint64_t index) const
+{
+    return sharedBase + index * busWordBytes;
+}
+
+Addr
+AddressSpace::lock(unsigned lock_id) const
+{
+    return lockBase + static_cast<Addr>(lock_id) * blockSize;
+}
+
+Addr
+AddressSpace::mailbox(unsigned lock_id, unsigned index) const
+{
+    return mailboxBase + static_cast<Addr>(lock_id) * mailboxStride
+        + static_cast<Addr>(index) * blockSize;
+}
+
+Addr
+AddressSpace::kernelCode(std::uint64_t pos) const
+{
+    const std::uint64_t offset =
+        (pos * busWordBytes) % (kernelDataBase - kernelCodeBase);
+    return kernelCodeBase + offset;
+}
+
+Addr
+AddressSpace::kernelData(std::uint64_t index) const
+{
+    return kernelDataBase + index * busWordBytes;
+}
+
+Addr
+AddressSpace::kernelProcData(ProcId pid, std::uint64_t index) const
+{
+    const std::uint64_t offset =
+        (index * busWordBytes) % kernelProcStride;
+    return kernelProcBase + static_cast<Addr>(pid) * kernelProcStride
+        + offset;
+}
+
+} // namespace dirsim

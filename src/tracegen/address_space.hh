@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Simulated virtual-address-space layout for the synthetic
+ * workloads.
+ *
+ * Segments are placed far apart so they can never alias:
+ *
+ *   code       per-process instruction stream
+ *   private    per-process data (never shared)
+ *   shared     application shared data pool
+ *   locks      one lock word per block (no false sharing)
+ *   mailboxes  per-lock migratory data blocks (protected payload)
+ *   kernel     OS code and shared kernel data
+ *
+ * Locks each occupy their own block deliberately: the paper's lock
+ * analysis (Section 5.2) concerns lock-word ping-ponging, not false
+ * sharing, so the generator keeps the two effects separate.
+ */
+
+#ifndef DIRSIM_TRACEGEN_ADDRESS_SPACE_HH
+#define DIRSIM_TRACEGEN_ADDRESS_SPACE_HH
+
+#include "common/types.hh"
+
+namespace dirsim
+{
+
+/** Address calculator for the synthetic workloads. */
+class AddressSpace
+{
+  public:
+    /** @param block_bytes_arg simulation block size (lock spacing) */
+    explicit AddressSpace(unsigned block_bytes_arg = defaultBlockBytes);
+
+    /** Instruction address at word position @p pos of process @p pid. */
+    Addr code(ProcId pid, std::uint64_t pos) const;
+
+    /** Private data word @p index of process @p pid. */
+    Addr privateData(ProcId pid, std::uint64_t index) const;
+
+    /** Shared data word @p index (application pool). */
+    Addr shared(std::uint64_t index) const;
+
+    /** Lock word of lock @p lock (one lock per block). */
+    Addr lock(unsigned lock) const;
+
+    /** Payload block @p index protected by lock @p lock. */
+    Addr mailbox(unsigned lock, unsigned index) const;
+
+    /** Kernel instruction address at word position @p pos. */
+    Addr kernelCode(std::uint64_t pos) const;
+
+    /** Shared kernel data word @p index. */
+    Addr kernelData(std::uint64_t index) const;
+
+    /**
+     * Per-process kernel data word @p index (kernel stack, process
+     * table entry, ...). Kernel writes mostly land here, so OS
+     * activity does not turn every kernel block into a 4-way-shared
+     * invalidation target.
+     */
+    Addr kernelProcData(ProcId pid, std::uint64_t index) const;
+
+    unsigned blockBytes() const { return blockSize; }
+
+    /** Segment bases (public for tests asserting non-overlap). */
+    // Each segment owns a disjoint 4 GiB region of the 64-bit
+    // address space, so no realistic process id or pool size can
+    // make segments collide (asserted by test).
+    static constexpr Addr codeBase = 0x1'0000'0000;
+    static constexpr Addr codeStride = 0x0040'0000;    // per process
+    static constexpr Addr privateBase = 0x2'0000'0000;
+    static constexpr Addr privateStride = 0x0100'0000; // per process
+    static constexpr Addr sharedBase = 0x3'0000'0000;
+    static constexpr Addr lockBase = 0x4'0000'0000;
+    static constexpr Addr mailboxBase = 0x5'0000'0000;
+    static constexpr Addr mailboxStride = 0x0001'0000; // per lock
+    static constexpr Addr kernelCodeBase = 0x6'0000'0000;
+    static constexpr Addr kernelDataBase = 0x7'0000'0000;
+    static constexpr Addr kernelProcBase = 0x8'0000'0000;
+    static constexpr Addr kernelProcStride = 0x0010'0000;
+
+  private:
+    unsigned blockSize;
+};
+
+} // namespace dirsim
+
+#endif // DIRSIM_TRACEGEN_ADDRESS_SPACE_HH

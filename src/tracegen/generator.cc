@@ -1,0 +1,23 @@
+#include "tracegen/generator.hh"
+
+#include "tracegen/scheduler.hh"
+
+namespace dirsim
+{
+
+Trace
+generateTrace(const WorkloadProfile &profile,
+              std::uint64_t target_refs, std::uint64_t seed)
+{
+    TraceScheduler scheduler(profile, seed);
+    return scheduler.generate(target_refs);
+}
+
+Trace
+generateTrace(const std::string &workload, std::uint64_t target_refs,
+              std::uint64_t seed)
+{
+    return generateTrace(profileByName(workload), target_refs, seed);
+}
+
+} // namespace dirsim

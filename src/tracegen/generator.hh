@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Top-level synthetic trace generation entry points.
+ */
+
+#ifndef DIRSIM_TRACEGEN_GENERATOR_HH
+#define DIRSIM_TRACEGEN_GENERATOR_HH
+
+#include <cstdint>
+#include <string>
+
+#include "trace/trace.hh"
+#include "tracegen/profile.hh"
+
+namespace dirsim
+{
+
+/**
+ * Generate a synthetic multiprocessor trace.
+ *
+ * Deterministic: the same (profile, target_refs, seed) triple always
+ * produces the identical trace, on any platform.
+ *
+ * @param profile workload parameters (see tracegen/profile.hh)
+ * @param target_refs approximate trace length in references (the
+ *        trace ends at the first timeslice boundary past the target)
+ * @param seed random seed
+ */
+Trace generateTrace(const WorkloadProfile &profile,
+                    std::uint64_t target_refs, std::uint64_t seed);
+
+/** generateTrace() with a profile looked up by name. */
+Trace generateTrace(const std::string &workload,
+                    std::uint64_t target_refs, std::uint64_t seed);
+
+} // namespace dirsim
+
+#endif // DIRSIM_TRACEGEN_GENERATOR_HH

@@ -1,0 +1,323 @@
+#include "tracegen/process.hh"
+
+#include "common/logging.hh"
+
+namespace dirsim
+{
+
+namespace
+{
+
+/** Words of hot kernel data (scheduler structures) every burst hits. */
+constexpr std::uint64_t kernelHotWords = 64;
+
+/** Mean instructions between taken jumps in the code walkers. */
+constexpr unsigned jumpEvery = 64;
+
+} // namespace
+
+WorldState::WorldState(const WorkloadProfile &profile_arg)
+    : profile(profile_arg), space(),
+      locks(profile_arg.numLocks),
+      privateSampler(profile_arg.privateWords, profile_arg.privateZipf),
+      sharedSampler(profile_arg.sharedWords, profile_arg.sharedZipf)
+{
+    profile.check();
+}
+
+SyntheticProcess::SyntheticProcess(unsigned index_arg, ProcId pid_arg,
+                                   WorldState &world_arg, Rng rng_arg)
+    : index(index_arg), processId(pid_arg), world(world_arg),
+      rng(rng_arg)
+{
+    enterPhase(Phase::Local, world.profile.localWorkRefs);
+    // Desynchronize the initial phase positions across processes.
+    remaining = 1 + static_cast<unsigned>(
+        rng.below(world.profile.localWorkRefs + 1));
+}
+
+unsigned
+SyntheticProcess::phaseLength(unsigned mean_refs)
+{
+    if (mean_refs <= 1)
+        return 1;
+    return 1 + static_cast<unsigned>(
+        rng.geometric(1.0 / static_cast<double>(mean_refs)));
+}
+
+void
+SyntheticProcess::enterPhase(Phase new_phase, unsigned mean_refs)
+{
+    phase = new_phase;
+    remaining = phaseLength(mean_refs);
+}
+
+void
+SyntheticProcess::emitRecord(Trace &out, CpuId cpu, RefType type,
+                             Addr addr, std::uint8_t flags)
+{
+    TraceRecord record;
+    record.addr = addr;
+    record.pid = processId;
+    record.cpu = cpu;
+    record.type = type;
+    record.flags = flags;
+    out.append(record);
+}
+
+Addr
+SyntheticProcess::nextInstr(bool kernel)
+{
+    std::uint64_t &pos = kernel ? kernelCodePos : codePos;
+    if (rng.below(jumpEvery) == 0)
+        pos = rng.below(1u << 16); // jump within the working loop set
+    else
+        ++pos;
+    return kernel ? world.space.kernelCode(pos)
+                  : world.space.code(processId, pos);
+}
+
+Addr
+SyntheticProcess::dataAddr(Phase for_phase, bool is_write)
+{
+    switch (for_phase) {
+      case Phase::Local:
+        // Writes come in bursts to the same word (store locality), so
+        // most writes rewrite an already-dirty block as in the
+        // paper's traces (wh-blk-drty dominates wh-blk-cln 24:1).
+        if (is_write) {
+            if (!rng.chance(0.3))
+                return world.space.privateData(processId,
+                                               lastPrivateWrite);
+            lastPrivateWrite = world.privateSampler(rng);
+            return world.space.privateData(processId,
+                                           lastPrivateWrite);
+        }
+        return world.space.privateData(processId,
+                                       world.privateSampler(rng));
+      case Phase::Browse:
+        // Browse writes go to a uniformly random (usually cold) word
+        // so that widely-read hot blocks are rarely invalidated.
+        if (is_write)
+            return world.space.shared(
+                rng.below(world.profile.sharedWords));
+        return world.space.shared(world.sharedSampler(rng));
+      case Phase::Critical: {
+        // Writes (and half the reads) target the lock's work region,
+        // which migrates between successive holders; the other reads
+        // browse the global shared pool.
+        const unsigned region = world.profile.lockRegionBlocks;
+        if (is_write || rng.chance(0.85)) {
+            const unsigned slot = world.profile.mailboxBlocks
+                + static_cast<unsigned>(rng.below(region));
+            return world.space.mailbox(currentLock, slot);
+        }
+        return world.space.shared(world.sharedSampler(rng));
+      }
+      case Phase::Os: {
+        // Kernel writes overwhelmingly target per-process structures
+        // (kernel stack, u-area); only hot scheduler words are
+        // written shared. Reads also browse the shared kernel pool.
+        if (is_write) {
+            if (rng.chance(world.profile.kernelHotFrac))
+                return world.space.kernelData(
+                    rng.below(kernelHotWords));
+            if (!rng.chance(0.4))
+                return world.space.kernelProcData(processId,
+                                                  lastKernelWrite);
+            lastKernelWrite = rng.below(kernelHotWords * 4);
+            return world.space.kernelProcData(processId,
+                                              lastKernelWrite);
+        }
+        if (rng.chance(0.35))
+            return world.space.kernelData(
+                rng.below(world.profile.kernelWords));
+        return world.space.kernelProcData(
+            processId, rng.below(kernelHotWords * 4));
+      }
+      case Phase::SpinWait:
+        break;
+    }
+    panic("dataAddr for a non-data phase");
+}
+
+void
+SyntheticProcess::emitMixed(Trace &out, CpuId cpu, const PhaseMix &mix,
+                            Phase for_phase)
+{
+    const bool kernel = for_phase == Phase::Os;
+    const std::uint8_t flags = kernel ? flagSystem : flagNone;
+    const double draw = rng.uniform();
+    if (draw < mix.instrFrac) {
+        emitRecord(out, cpu, RefType::Instr, nextInstr(kernel), flags);
+    } else if (draw < mix.instrFrac + mix.readFrac) {
+        emitRecord(out, cpu, RefType::Read,
+                   dataAddr(for_phase, false), flags);
+    } else {
+        emitRecord(out, cpu, RefType::Write,
+                   dataAddr(for_phase, true), flags);
+    }
+}
+
+void
+SyntheticProcess::advanceAfter(Phase finished)
+{
+    const WorkloadProfile &p = world.profile;
+
+    const auto begin_acquire = [this] {
+        currentLock = static_cast<unsigned>(
+            rng.below(world.profile.numLocks));
+        phase = Phase::SpinWait;
+        remaining = 1; // unused while spinning
+    };
+    const auto os_or_local = [this, &p] {
+        if (rng.chance(p.osBurstProb))
+            enterPhase(Phase::Os, p.osBurstRefs);
+        else
+            enterPhase(Phase::Local, p.localWorkRefs);
+    };
+
+    switch (finished) {
+      case Phase::Local:
+        if (rng.chance(p.browseProb)) {
+            wantLockAfterBrowse =
+                p.numLocks > 0 && rng.chance(p.lockUseProb);
+            enterPhase(Phase::Browse, p.browseRefs);
+        } else if (p.numLocks > 0 && rng.chance(p.lockUseProb)) {
+            begin_acquire();
+        } else {
+            os_or_local();
+        }
+        break;
+      case Phase::Browse:
+        if (wantLockAfterBrowse) {
+            wantLockAfterBrowse = false;
+            begin_acquire();
+        } else {
+            os_or_local();
+        }
+        break;
+      case Phase::Critical:
+        os_or_local();
+        break;
+      case Phase::Os:
+        enterPhase(Phase::Local, p.localWorkRefs);
+        break;
+      case Phase::SpinWait:
+        panic("SpinWait ends via acquisition, not phase exhaustion");
+    }
+}
+
+unsigned
+SyntheticProcess::step(Trace &out, CpuId cpu)
+{
+    const WorkloadProfile &p = world.profile;
+
+    switch (phase) {
+      case Phase::Local:
+        emitMixed(out, cpu, p.localMix, phase);
+        if (--remaining == 0)
+            advanceAfter(Phase::Local);
+        return 1;
+
+      case Phase::Browse: {
+        // Browsing is read-dominated by construction; the write
+        // fraction is a separate knob because it controls how often
+        // widely-shared blocks get invalidated (the Figure 1 tail).
+        const double instr_frac = 0.45;
+        PhaseMix mix;
+        mix.instrFrac = instr_frac;
+        mix.readFrac = (1.0 - instr_frac) * (1.0 - p.browseWriteProb);
+        emitMixed(out, cpu, mix, phase);
+        if (--remaining == 0)
+            advanceAfter(Phase::Browse);
+        return 1;
+      }
+
+      case Phase::SpinWait: {
+        WorldState::Lock &lock = world.locks[currentLock];
+        const Addr lock_addr = world.space.lock(currentLock);
+        if (lock.holder < 0) {
+            // Observed free: the final test read, then test-and-set.
+            emitRecord(out, cpu, RefType::Read, lock_addr,
+                       flagLockSpin);
+            ++spinReadCount;
+            emitRecord(out, cpu, RefType::Write, lock_addr,
+                       flagLockWrite);
+            lock.holder = static_cast<int>(index);
+            // Queue the migratory mailbox work: the first half of the
+            // payload blocks is read (the previous holder's data)
+            // then overwritten; the rest is overwritten blind.
+            mailboxOps.clear();
+            const unsigned half = p.mailboxBlocks / 2;
+            for (unsigned i = 0; i < half; ++i)
+                mailboxOps.push_back(
+                    {false, world.space.mailbox(currentLock, i)});
+            for (unsigned i = 0; i < p.mailboxBlocks; ++i)
+                mailboxOps.push_back(
+                    {true, world.space.mailbox(currentLock, i)});
+            enterPhase(Phase::Critical, p.criticalRefs);
+            return 2;
+        }
+        // Busy: one spin-loop iteration. Under test-and-test-and-set
+        // the test read stays cached until invalidated; under raw
+        // test-and-set every failed attempt is a write to the lock
+        // word (the ext_lock_primitive ablation).
+        for (unsigned i = 0; i < p.spinInstrs; ++i)
+            emitRecord(out, cpu, RefType::Instr, nextInstr(false));
+        if (p.spinWithTestAndSet) {
+            emitRecord(out, cpu, RefType::Write, lock_addr,
+                       flagLockWrite);
+        } else {
+            emitRecord(out, cpu, RefType::Read, lock_addr,
+                       flagLockSpin);
+            ++spinReadCount;
+        }
+        return p.spinInstrs + 1;
+      }
+
+      case Phase::Critical: {
+        WorldState::Lock &lock = world.locks[currentLock];
+        panicIfNot(lock.holder == static_cast<int>(index),
+                   "critical section without holding the lock");
+        if (remaining > 0) {
+            if (!mailboxOps.empty() && rng.chance(0.5)) {
+                const MailboxOp op = mailboxOps.front();
+                mailboxOps.pop_front();
+                emitRecord(out, cpu,
+                           op.write ? RefType::Write : RefType::Read,
+                           op.addr);
+            } else {
+                emitMixed(out, cpu, p.criticalMix, phase);
+            }
+            --remaining;
+            return 1;
+        }
+        if (!mailboxOps.empty()) {
+            // Drain the remaining payload work before unlocking.
+            const MailboxOp op = mailboxOps.front();
+            mailboxOps.pop_front();
+            emitRecord(out, cpu,
+                       op.write ? RefType::Write : RefType::Read,
+                       op.addr);
+            return 1;
+        }
+        // Unlock.
+        emitRecord(out, cpu, RefType::Write,
+                   world.space.lock(currentLock), flagLockWrite);
+        lock.holder = -1;
+        ++lock.handoffs;
+        advanceAfter(Phase::Critical);
+        return 1;
+      }
+
+      case Phase::Os:
+        emitMixed(out, cpu, p.osMix, phase);
+        if (--remaining == 0)
+            advanceAfter(Phase::Os);
+        return 1;
+    }
+    panic("unknown phase");
+}
+
+} // namespace dirsim

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * The behavioural process model that emits synthetic references.
+ *
+ * Each process cycles through phases:
+ *
+ *   Local     private computation (instructions + private data)
+ *   Browse    read-mostly browsing of the shared pool (optional)
+ *   SpinWait  test-and-test-and-set acquisition of a lock: spin
+ *             reads of the lock word until it is observed free, then
+ *             the test-and-set write
+ *   Critical  lock-protected work: migratory mailbox payload
+ *             (read-then-write and blind-write blocks) mixed with
+ *             shared-pool references, ended by the unlock write
+ *   Os        a system-call burst (kernel code + shared kernel data,
+ *             flagged as system references)
+ *
+ * Lock state is global (WorldState), so the spin/handoff interleaving
+ * across processes is causally consistent: a process only acquires a
+ * lock the generator has actually released.
+ */
+
+#ifndef DIRSIM_TRACEGEN_PROCESS_HH
+#define DIRSIM_TRACEGEN_PROCESS_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/random.hh"
+#include "trace/trace.hh"
+#include "tracegen/address_space.hh"
+#include "tracegen/profile.hh"
+
+namespace dirsim
+{
+
+/** Generator-global state shared by all processes of a workload. */
+struct WorldState
+{
+    /** @param profile_arg validated workload parameters */
+    explicit WorldState(const WorkloadProfile &profile_arg);
+
+    const WorkloadProfile profile;
+    AddressSpace space;
+
+    /** One entry per application lock. */
+    struct Lock
+    {
+        /** Holding process index, or -1 when free. */
+        int holder = -1;
+        /** Completed acquire/release pairs (diagnostics). */
+        std::uint64_t handoffs = 0;
+    };
+    std::vector<Lock> locks;
+
+    ZipfSampler privateSampler;
+    ZipfSampler sharedSampler;
+};
+
+/** One synthetic process; see the file comment for the model. */
+class SyntheticProcess
+{
+  public:
+    /**
+     * @param index_arg process index within the workload
+     * @param pid_arg process id recorded in the trace
+     * @param world_arg shared generator state
+     * @param rng_arg independent per-process random stream
+     */
+    SyntheticProcess(unsigned index_arg, ProcId pid_arg,
+                     WorldState &world_arg, Rng rng_arg);
+
+    /**
+     * Emit one micro-step of references (one record, or a few for a
+     * spin iteration / lock acquisition) onto @p out.
+     *
+     * @param out trace under construction
+     * @param cpu CPU the scheduler is running this process on
+     * @return number of references emitted
+     */
+    unsigned step(Trace &out, CpuId cpu);
+
+    ProcId pid() const { return processId; }
+
+    /** Spin reads emitted so far (calibration diagnostics). */
+    std::uint64_t spinReads() const { return spinReadCount; }
+
+  private:
+    enum class Phase
+    {
+        Local,
+        Browse,
+        SpinWait,
+        Critical,
+        Os,
+    };
+
+    /** A pending mailbox operation inside a critical section. */
+    struct MailboxOp
+    {
+        bool write;
+        Addr addr;
+    };
+
+    void emitRecord(Trace &out, CpuId cpu, RefType type, Addr addr,
+                    std::uint8_t flags = flagNone);
+
+    /** Emit one mix-drawn reference for the current phase. */
+    void emitMixed(Trace &out, CpuId cpu, const PhaseMix &mix,
+                   Phase phase);
+
+    /** Next instruction address (sequential with occasional jumps). */
+    Addr nextInstr(bool kernel);
+
+    /** Pick the data address for a phase's read/write. */
+    Addr dataAddr(Phase phase, bool is_write);
+
+    /** Decide what follows a completed phase. */
+    void advanceAfter(Phase finished);
+
+    /** Enter a phase with a freshly drawn geometric length. */
+    void enterPhase(Phase phase, unsigned mean_refs);
+
+    /** Draw 1 + geometric length with the given mean. */
+    unsigned phaseLength(unsigned mean_refs);
+
+    unsigned index;
+    ProcId processId;
+    WorldState &world;
+    Rng rng;
+
+    Phase phase = Phase::Local;
+    unsigned remaining = 1;
+
+    std::uint64_t codePos = 0;
+    std::uint64_t kernelCodePos = 0;
+    std::uint64_t lastPrivateWrite = 0;
+    std::uint64_t lastKernelWrite = 0;
+
+    unsigned currentLock = 0;
+    std::deque<MailboxOp> mailboxOps;
+    bool wantLockAfterBrowse = false;
+
+    std::uint64_t spinReadCount = 0;
+};
+
+} // namespace dirsim
+
+#endif // DIRSIM_TRACEGEN_PROCESS_HH

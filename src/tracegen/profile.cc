@@ -1,0 +1,160 @@
+#include "tracegen/profile.hh"
+
+#include "common/logging.hh"
+
+namespace dirsim
+{
+
+void
+PhaseMix::check(const std::string &what) const
+{
+    fatalIf(instrFrac < 0.0 || readFrac < 0.0
+                || instrFrac + readFrac > 1.0,
+            what, ": phase mix fractions out of range (instr ",
+            instrFrac, ", read ", readFrac, ")");
+}
+
+void
+WorkloadProfile::check() const
+{
+    fatalIf(name.empty(), "workload profile needs a name");
+    fatalIf(numCpus == 0, name, ": needs at least one CPU");
+    fatalIf(numProcesses == 0, name, ": needs at least one process");
+    fatalIf(privateWords == 0 || sharedWords == 0 || kernelWords == 0,
+            name, ": data pools must be non-empty");
+    fatalIf(numLocks == 0 && lockUseProb > 0.0,
+            name, ": lock use enabled but no locks configured");
+    fatalIf(lockUseProb > 0.0 && lockRegionBlocks == 0,
+            name, ": critical sections need a non-empty lock region");
+    fatalIf(burstMinRefs == 0 || burstMinRefs > burstMaxRefs,
+            name, ": invalid timeslice burst bounds");
+    localMix.check(name + " local");
+    criticalMix.check(name + " critical");
+    osMix.check(name + " os");
+}
+
+WorkloadProfile
+popsProfile()
+{
+    WorkloadProfile p;
+    p.name = "pops";
+    p.numProcesses = 5;
+
+    // Rule matching: long private computation over the process's own
+    // partition of the rule network.
+    p.localWorkRefs = 700;
+    p.localMix = PhaseMix{0.410, 0.430};
+    p.privateWords = 12288;
+    p.privateZipf = 0.85;
+
+    // Read-mostly browsing of the shared working memory.
+    p.browseProb = 0.50;
+    p.browseRefs = 30;
+    p.browseWriteProb = 0.006;
+    p.sharedWords = 6144;
+    p.sharedZipf = 0.75;
+
+    // The hot conflict-resolution/task queue: long critical sections
+    // keep waiters spinning (one third of reads are spins in the
+    // original POPS trace), while handoffs stay rare enough that the
+    // coherence-miss rate matches the paper's scale.
+    p.lockUseProb = 0.88;
+    p.numLocks = 1;
+    p.criticalRefs = 420;
+    p.criticalMix = PhaseMix{0.460, 0.480};
+    p.mailboxBlocks = 2;
+    p.lockRegionBlocks = 6;
+
+    // MACH system activity: roughly 10% of all references.
+    p.osBurstProb = 0.90;
+    p.osBurstRefs = 200;
+    p.osMix = PhaseMix{0.45, 0.47};
+    p.kernelHotFrac = 0.05;
+    return p;
+}
+
+WorkloadProfile
+thorProfile()
+{
+    WorkloadProfile p;
+    p.name = "thor";
+    p.numProcesses = 5;
+
+    // Gate evaluation over the process's own circuit partition.
+    p.localWorkRefs = 550;
+    p.localMix = PhaseMix{0.400, 0.410};
+    p.privateWords = 24576;
+    p.privateZipf = 0.80;
+
+    // Node values: a larger, read-mostly shared state than POPS.
+    p.browseProb = 0.55;
+    p.browseRefs = 34;
+    p.browseWriteProb = 0.008;
+    p.sharedWords = 12288;
+    p.sharedZipf = 0.70;
+
+    // The event wheel: events migrate between evaluating processes
+    // (more migratory payload than POPS, slightly more locks).
+    p.lockUseProb = 0.80;
+    p.numLocks = 1;
+    p.criticalRefs = 450;
+    p.criticalMix = PhaseMix{0.460, 0.480};
+    p.mailboxBlocks = 2;
+    p.lockRegionBlocks = 5;
+
+    p.osBurstProb = 0.90;
+    p.osBurstRefs = 170;
+    p.osMix = PhaseMix{0.45, 0.47};
+    p.kernelHotFrac = 0.05;
+    return p;
+}
+
+WorkloadProfile
+peroProfile()
+{
+    WorkloadProfile p;
+    p.name = "pero";
+    p.numProcesses = 4;
+
+    // Routing: very long private grid sweeps; the read-to-write
+    // ratio comes from the algorithm, not from lock spinning.
+    p.localWorkRefs = 1400;
+    p.localMix = PhaseMix{0.490, 0.390};
+    p.privateWords = 32768;
+    p.privateZipf = 0.70;
+
+    // Boundary cells of neighbouring regions.
+    p.browseProb = 0.35;
+    p.browseRefs = 20;
+    p.browseWriteProb = 0.008;
+    p.sharedWords = 4096;
+    p.sharedZipf = 0.60;
+
+    // The global net list is locked rarely.
+    p.lockUseProb = 0.12;
+    p.numLocks = 1;
+    p.criticalRefs = 200;
+    p.criticalMix = PhaseMix{0.460, 0.510};
+    p.mailboxBlocks = 2;
+    p.lockRegionBlocks = 10;
+
+    p.osBurstProb = 1.00;
+    p.osBurstRefs = 150;
+    p.osMix = PhaseMix{0.45, 0.47};
+    p.kernelHotFrac = 0.03;
+    return p;
+}
+
+WorkloadProfile
+profileByName(const std::string &name)
+{
+    if (name == "pops")
+        return popsProfile();
+    if (name == "thor")
+        return thorProfile();
+    if (name == "pero")
+        return peroProfile();
+    fatal("unknown workload '", name, "' (expected pops, thor, pero)");
+}
+
+} // namespace dirsim

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Parameter profiles for the synthetic workloads.
+ *
+ * The original study traced three parallel MACH applications on a
+ * 4-CPU VAX 8350: POPS (parallel OPS5 rule system), THOR (parallel
+ * logic simulator), and PERO (parallel VLSI router). Those ATUM
+ * traces are unrecoverable; each profile below parameterizes the
+ * behavioural process model (tracegen/process.hh) to reproduce the
+ * trace properties the paper reports and that the evaluation is
+ * sensitive to:
+ *
+ *  - reference mix of roughly 50% instructions, 40% reads, 10% writes
+ *    and ~10% operating-system references (Table 3);
+ *  - POPS and THOR: about one third of data reads are spins on locks
+ *    (the first test of test-and-test-and-set, Section 4.4);
+ *  - PERO: few lock references, a high read-to-write ratio caused by
+ *    the algorithm, and a much smaller shared-reference fraction;
+ *  - migratory lock-protected data, read-shared data, and mostly
+ *    private data in proportions that put writes to previously-clean
+ *    blocks overwhelmingly at <= 1 remote copy (Figure 1);
+ *  - rare process migration.
+ */
+
+#ifndef DIRSIM_TRACEGEN_PROFILE_HH
+#define DIRSIM_TRACEGEN_PROFILE_HH
+
+#include <cstdint>
+#include <string>
+
+namespace dirsim
+{
+
+/** Reference mix of a behavioural phase; fractions sum to <= 1. */
+struct PhaseMix
+{
+    double instrFrac = 0.5; ///< instruction fetches
+    double readFrac = 0.4;  ///< data reads (writes take the rest)
+
+    /** Validate; throws UsageError when fractions are inconsistent. */
+    void check(const std::string &what) const;
+};
+
+/** Complete parameter set of a synthetic workload. */
+struct WorkloadProfile
+{
+    std::string name;
+    unsigned numCpus = 4;
+    unsigned numProcesses = 4;
+
+    // --- local (private) computation phase ---
+    /** Mean refs per local-work phase (geometric). */
+    unsigned localWorkRefs = 70;
+    PhaseMix localMix{0.42, 0.34};
+    /** Private pool size in words per process. */
+    std::uint64_t privateWords = 16384;
+    /** Zipf skew of private accesses. */
+    double privateZipf = 0.6;
+
+    // --- shared-data browsing (read-mostly sharing) ---
+    /** Probability a cycle browses shared data after local work. */
+    double browseProb = 0.3;
+    /** Mean refs per browse phase. */
+    unsigned browseRefs = 12;
+    /** Fraction of browse data refs that are writes. */
+    double browseWriteProb = 0.02;
+    /** Shared pool size in words. */
+    std::uint64_t sharedWords = 8192;
+    /** Zipf skew of shared accesses. */
+    double sharedZipf = 0.8;
+
+    // --- critical sections ---
+    /** Probability a cycle enters a lock-protected section. */
+    double lockUseProb = 1.0;
+    /** Number of application locks. */
+    unsigned numLocks = 2;
+    /** Mean refs of computation inside the critical section. */
+    unsigned criticalRefs = 45;
+    PhaseMix criticalMix{0.50, 0.44};
+    /** Instructions per spin-loop iteration (plus one test read). */
+    unsigned spinInstrs = 2;
+    /**
+     * When true, waiters spin with raw test-and-set WRITES instead of
+     * the test-and-test-and-set read loop: every failed attempt dirties
+     * the lock block and invalidates all other copies. This is the
+     * classic anti-pattern the paper's applications avoid; used by the
+     * ext_lock_primitive ablation.
+     */
+    bool spinWithTestAndSet = false;
+    /**
+     * Migratory payload blocks per lock: the first half is
+     * read-then-written, the second half written blind, by each
+     * successive lock holder.
+     */
+    unsigned mailboxBlocks = 4;
+    /**
+     * Blocks of the per-lock work region. Critical-section writes go
+     * here (and half its reads), so written shared data migrates
+     * between successive lock holders instead of invalidating widely
+     * read-shared blocks — the structure behind the paper's Figure 1
+     * result that clean-block writes almost always invalidate at most
+     * one other copy.
+     */
+    unsigned lockRegionBlocks = 40;
+
+    // --- operating system activity ---
+    /** Probability a cycle ends with a system-call burst. */
+    double osBurstProb = 0.25;
+    /** Mean refs per system-call burst. */
+    unsigned osBurstRefs = 40;
+    PhaseMix osMix{0.55, 0.33};
+    /** Kernel shared-data pool in words. */
+    std::uint64_t kernelWords = 2048;
+    /** Probability a kernel write targets a hot shared scheduler
+     *  word rather than per-process kernel data. */
+    double kernelHotFrac = 0.05;
+
+    // --- scheduling ---
+    /** Timeslice burst bounds in references. */
+    unsigned burstMinRefs = 5;
+    unsigned burstMaxRefs = 16;
+    /** Probability a process migrates CPUs at a timeslice end. The
+     *  default makes migration genuinely rare (a few dozen events per
+     *  million references), matching the paper's "few instances of
+     *  process migration in our traces". */
+    double migrationProb = 0.0002;
+
+    /** Validate the whole profile; throws UsageError on nonsense. */
+    void check() const;
+};
+
+/** POPS: parallel OPS5 rule system — lock- and sharing-heavy. */
+WorkloadProfile popsProfile();
+
+/** THOR: parallel logic simulator — migratory event records. */
+WorkloadProfile thorProfile();
+
+/** PERO: parallel VLSI router — mostly private, few locks. */
+WorkloadProfile peroProfile();
+
+/** Look up a profile by name ("pops", "thor", "pero"). */
+WorkloadProfile profileByName(const std::string &name);
+
+} // namespace dirsim
+
+#endif // DIRSIM_TRACEGEN_PROFILE_HH

@@ -1,0 +1,94 @@
+#include "tracegen/scheduler.hh"
+
+#include "common/logging.hh"
+
+namespace dirsim
+{
+
+TraceScheduler::TraceScheduler(const WorkloadProfile &profile_arg,
+                               std::uint64_t seed)
+    : world(profile_arg), rng(seed)
+{
+    const unsigned cpus = world.profile.numCpus;
+    const unsigned nprocs = world.profile.numProcesses;
+
+    procs.reserve(nprocs);
+    for (unsigned i = 0; i < nprocs; ++i) {
+        // Pids are offset so tests can tell pids from cpu numbers.
+        procs.push_back(std::make_unique<SyntheticProcess>(
+            i, static_cast<ProcId>(100 + i), world, rng.split()));
+    }
+    for (unsigned i = 0; i < nprocs && i < cpus; ++i)
+        cpuProc.push_back(i);
+    // With fewer processes than CPUs, idle CPUs simply do not appear
+    // in the trace (matching a lightly-loaded machine).
+    for (unsigned i = cpus; i < nprocs; ++i)
+        readyQueue.push_back(i);
+}
+
+std::uint64_t
+TraceScheduler::lockHandoffs() const
+{
+    std::uint64_t total = 0;
+    for (const auto &lock : world.locks)
+        total += lock.handoffs;
+    return total;
+}
+
+std::uint64_t
+TraceScheduler::spinReads() const
+{
+    std::uint64_t total = 0;
+    for (const auto &proc : procs)
+        total += proc->spinReads();
+    return total;
+}
+
+void
+TraceScheduler::reschedule(unsigned cpu)
+{
+    // Context switch to a waiting process (round robin through the
+    // ready queue), if any.
+    if (!readyQueue.empty()) {
+        const unsigned incoming = readyQueue.front();
+        readyQueue.erase(readyQueue.begin());
+        readyQueue.push_back(cpuProc[cpu]);
+        cpuProc[cpu] = incoming;
+        return;
+    }
+    // Fully loaded machine: rare direct migration by swapping the
+    // processes of two CPUs.
+    if (cpuProc.size() > 1 && rng.chance(world.profile.migrationProb)) {
+        unsigned other = static_cast<unsigned>(
+            rng.below(cpuProc.size() - 1));
+        if (other >= cpu)
+            ++other;
+        std::swap(cpuProc[cpu], cpuProc[other]);
+        ++migrationCount;
+    }
+}
+
+Trace
+TraceScheduler::generate(std::uint64_t target_refs)
+{
+    fatalIf(target_refs == 0, "cannot generate an empty trace");
+    Trace trace(world.profile.name, world.profile.numCpus);
+    trace.reserve(target_refs + 64);
+
+    while (trace.size() < target_refs) {
+        for (unsigned cpu = 0; cpu < cpuProc.size(); ++cpu) {
+            const unsigned burst = static_cast<unsigned>(
+                rng.between(world.profile.burstMinRefs,
+                            world.profile.burstMaxRefs));
+            unsigned emitted = 0;
+            while (emitted < burst) {
+                emitted += procs[cpuProc[cpu]]->step(
+                    trace, static_cast<CpuId>(cpu));
+            }
+            reschedule(cpu);
+        }
+    }
+    return trace;
+}
+
+} // namespace dirsim

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The generator's CPU scheduler: interleaves the per-process
+ * reference streams in timeslice bursts, occasionally migrating
+ * processes between CPUs (the traces in the paper exhibit rare
+ * migration-induced sharing, which is why it studies process-based
+ * rather than processor-based sharing).
+ */
+
+#ifndef DIRSIM_TRACEGEN_SCHEDULER_HH
+#define DIRSIM_TRACEGEN_SCHEDULER_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/random.hh"
+#include "trace/trace.hh"
+#include "tracegen/process.hh"
+
+namespace dirsim
+{
+
+/** See file comment. */
+class TraceScheduler
+{
+  public:
+    /**
+     * @param profile_arg validated workload parameters
+     * @param seed deterministic seed for the whole generation
+     */
+    TraceScheduler(const WorkloadProfile &profile_arg,
+                   std::uint64_t seed);
+
+    /**
+     * Generate at least @p target_refs references (generation stops
+     * at the first timeslice boundary past the target).
+     */
+    Trace generate(std::uint64_t target_refs);
+
+    /** Number of process migrations performed (diagnostics). */
+    std::uint64_t migrations() const { return migrationCount; }
+
+    /** Total lock handoffs across all locks (diagnostics). */
+    std::uint64_t lockHandoffs() const;
+
+    /** Total spin reads across all processes (diagnostics). */
+    std::uint64_t spinReads() const;
+
+  private:
+    /** Timeslice end on @p cpu: maybe migrate / context switch. */
+    void reschedule(unsigned cpu);
+
+    WorldState world;
+    Rng rng;
+    std::vector<std::unique_ptr<SyntheticProcess>> procs;
+    /** Process index running on each CPU. */
+    std::vector<unsigned> cpuProc;
+    /** Runnable processes not currently on a CPU. */
+    std::vector<unsigned> readyQueue;
+    std::uint64_t migrationCount = 0;
+};
+
+} // namespace dirsim
+
+#endif // DIRSIM_TRACEGEN_SCHEDULER_HH

@@ -1,0 +1,97 @@
+/** @file Unit tests for bus/bus_model.hh (Table 2 derivation). */
+
+#include <gtest/gtest.h>
+
+#include "bus/bus_model.hh"
+#include "common/logging.hh"
+
+namespace dirsim
+{
+namespace
+{
+
+TEST(BusModelTest, PipelinedTable2Costs)
+{
+    // Section 4.3: memory or non-local cache accesses cost 5 cycles,
+    // write-backs 4, write-through/update 1, directory check 1,
+    // invalidate 1.
+    const BusCosts costs = paperPipelinedCosts();
+    EXPECT_DOUBLE_EQ(costs.memoryAccess, 5.0);
+    EXPECT_DOUBLE_EQ(costs.cacheAccess, 5.0);
+    EXPECT_DOUBLE_EQ(costs.writeBack, 4.0);
+    EXPECT_DOUBLE_EQ(costs.dirtySupplyRequest, 1.0);
+    EXPECT_DOUBLE_EQ(costs.writeThrough, 1.0);
+    EXPECT_DOUBLE_EQ(costs.dirCheck, 1.0);
+    EXPECT_DOUBLE_EQ(costs.invalidate, 1.0);
+}
+
+TEST(BusModelTest, NonPipelinedTable2Costs)
+{
+    // Memory access 7 cycles, cache access 6, write-back 4,
+    // write-through 2, directory check 3, invalidate 1.
+    const BusCosts costs = paperNonPipelinedCosts();
+    EXPECT_DOUBLE_EQ(costs.memoryAccess, 7.0);
+    EXPECT_DOUBLE_EQ(costs.cacheAccess, 6.0);
+    EXPECT_DOUBLE_EQ(costs.writeBack, 4.0);
+    EXPECT_DOUBLE_EQ(costs.dirtySupplyRequest, 2.0);
+    EXPECT_DOUBLE_EQ(costs.writeThrough, 2.0);
+    EXPECT_DOUBLE_EQ(costs.dirCheck, 3.0);
+    EXPECT_DOUBLE_EQ(costs.invalidate, 1.0);
+}
+
+TEST(BusModelTest, DirtySupplySplitsConsistently)
+{
+    // A dirty-block supply costs request + write-back, which must
+    // equal the cache-access cost on both buses.
+    for (const BusCosts &costs :
+         {paperPipelinedCosts(), paperNonPipelinedCosts()}) {
+        EXPECT_DOUBLE_EQ(costs.dirtySupplyRequest + costs.writeBack,
+                         costs.cacheAccess);
+    }
+}
+
+TEST(BusModelTest, BlockSizeScalesDataCycles)
+{
+    const BusCosts eight =
+        deriveBusCosts(paperBusTiming(), BusKind::Pipelined, 8);
+    EXPECT_DOUBLE_EQ(eight.memoryAccess, 9.0); // 1 addr + 8 words
+    EXPECT_DOUBLE_EQ(eight.writeBack, 8.0);
+    const BusCosts one =
+        deriveBusCosts(paperBusTiming(), BusKind::Pipelined, 1);
+    EXPECT_DOUBLE_EQ(one.memoryAccess, 2.0);
+}
+
+TEST(BusModelTest, CustomTimingPropagates)
+{
+    BusTiming timing = paperBusTiming();
+    timing.waitMemory = 6;
+    const BusCosts costs =
+        deriveBusCosts(timing, BusKind::NonPipelined, 4);
+    EXPECT_DOUBLE_EQ(costs.memoryAccess, 11.0); // 1 + 6 + 4
+}
+
+TEST(BusModelTest, PipelinedIgnoresWaits)
+{
+    BusTiming timing = paperBusTiming();
+    timing.waitMemory = 100;
+    timing.waitCache = 100;
+    const BusCosts costs =
+        deriveBusCosts(timing, BusKind::Pipelined, 4);
+    EXPECT_DOUBLE_EQ(costs.memoryAccess, 5.0);
+}
+
+TEST(BusModelTest, RejectsZeroBlockWords)
+{
+    EXPECT_THROW(
+        deriveBusCosts(paperBusTiming(), BusKind::Pipelined, 0),
+        UsageError);
+}
+
+TEST(BusModelTest, KindNames)
+{
+    EXPECT_STREQ(toString(BusKind::Pipelined), "pipelined");
+    EXPECT_STREQ(toString(BusKind::NonPipelined), "non-pipelined");
+}
+
+} // namespace
+} // namespace dirsim

@@ -1,0 +1,148 @@
+/** @file Unit tests for bus/latency_model.hh. */
+
+#include <gtest/gtest.h>
+
+#include "bus/latency_model.hh"
+#include "common/logging.hh"
+#include "sim/experiment.hh"
+
+namespace dirsim
+{
+namespace
+{
+
+CycleBreakdown
+dragonLike()
+{
+    CycleBreakdown cost;
+    cost.memAccess = 0.025;
+    cost.writeThroughOrUpdate = 0.009;
+    cost.transactions = 0.014;
+    return cost;
+}
+
+SystemParams
+paperMachine(unsigned processors)
+{
+    SystemParams params;
+    params.processors = processors;
+    return params; // 10 MIPS, 100ns bus, 2 refs/instr
+}
+
+TEST(LatencyModelTest, SaturationMatchesPaperEstimate)
+{
+    // ~0.0336 cycles/ref at 10 MIPS on a 100ns bus: ~15 processors.
+    CycleBreakdown cost;
+    cost.memAccess = 0.0336;
+    cost.transactions = 0.0206;
+    const double n = saturationProcessors(cost, paperMachine(1));
+    EXPECT_NEAR(n, 14.9, 0.2);
+    // And consistent with the simpler helper.
+    EXPECT_NEAR(n, effectiveProcessorLimit(cost, 10.0, 100.0), 1e-9);
+}
+
+TEST(LatencyModelTest, UtilizationScalesLinearlyBelowSaturation)
+{
+    const CycleBreakdown cost = dragonLike();
+    const SystemEstimate four =
+        estimateSystem(cost, paperMachine(4));
+    const SystemEstimate eight =
+        estimateSystem(cost, paperMachine(8));
+    EXPECT_NEAR(eight.offeredUtilization,
+                2.0 * four.offeredUtilization, 1e-12);
+    EXPECT_LT(four.utilization, 1.0);
+}
+
+TEST(LatencyModelTest, EffectiveProcessorsCapAtSaturation)
+{
+    const CycleBreakdown cost = dragonLike();
+    const double saturation =
+        saturationProcessors(cost, paperMachine(1));
+    const SystemEstimate far_past = estimateSystem(
+        cost, paperMachine(static_cast<unsigned>(saturation * 4)));
+    EXPECT_NEAR(far_past.effectiveProcessors, saturation, 0.5);
+    EXPECT_NEAR(far_past.efficiency, 0.25, 0.05);
+}
+
+TEST(LatencyModelTest, BelowSaturationAllProcessorsEffective)
+{
+    const CycleBreakdown cost = dragonLike();
+    const SystemEstimate estimate =
+        estimateSystem(cost, paperMachine(4));
+    EXPECT_DOUBLE_EQ(estimate.effectiveProcessors, 4.0);
+    EXPECT_DOUBLE_EQ(estimate.efficiency, 1.0);
+}
+
+TEST(LatencyModelTest, QueueingDelayGrowsTowardSaturation)
+{
+    const CycleBreakdown cost = dragonLike();
+    double previous = -1.0;
+    for (unsigned n : {2u, 6u, 10u, 14u}) {
+        const SystemEstimate estimate =
+            estimateSystem(cost, paperMachine(n));
+        EXPECT_GT(estimate.queueingDelayCycles, previous) << n;
+        previous = estimate.queueingDelayCycles;
+    }
+}
+
+TEST(LatencyModelTest, SaturatedQueueIsCapped)
+{
+    const CycleBreakdown cost = dragonLike();
+    const SystemEstimate estimate =
+        estimateSystem(cost, paperMachine(1000));
+    EXPECT_GE(estimate.offeredUtilization, 1.0);
+    EXPECT_DOUBLE_EQ(estimate.utilization, 1.0);
+    EXPECT_GE(estimate.queueingDelayCycles, 1e8);
+}
+
+TEST(LatencyModelTest, OverheadRaisesDemand)
+{
+    const CycleBreakdown cost = dragonLike();
+    SystemParams with_q = paperMachine(8);
+    with_q.overheadQ = 1.0;
+    const SystemEstimate base =
+        estimateSystem(cost, paperMachine(8));
+    const SystemEstimate loaded = estimateSystem(cost, with_q);
+    EXPECT_GT(loaded.offeredUtilization, base.offeredUtilization);
+    EXPECT_GT(loaded.serviceCycles, base.serviceCycles);
+}
+
+TEST(LatencyModelTest, AccessTimeIsServicePlusQueueing)
+{
+    const CycleBreakdown cost = dragonLike();
+    const SystemEstimate estimate =
+        estimateSystem(cost, paperMachine(8));
+    EXPECT_DOUBLE_EQ(estimate.accessCycles,
+                     estimate.serviceCycles
+                         + estimate.queueingDelayCycles);
+}
+
+TEST(LatencyModelTest, FasterBusSustainsMoreProcessors)
+{
+    const CycleBreakdown cost = dragonLike();
+    SystemParams fast = paperMachine(1);
+    fast.busCycleNs = 50.0;
+    EXPECT_NEAR(saturationProcessors(cost, fast),
+                2.0 * saturationProcessors(cost, paperMachine(1)),
+                1e-9);
+}
+
+TEST(LatencyModelTest, ParameterValidation)
+{
+    const CycleBreakdown cost = dragonLike();
+    SystemParams params = paperMachine(4);
+    params.mips = 0.0;
+    EXPECT_THROW(estimateSystem(cost, params), UsageError);
+    params = paperMachine(4);
+    params.processors = 0;
+    EXPECT_THROW(estimateSystem(cost, params), UsageError);
+    params = paperMachine(4);
+    params.overheadQ = -1.0;
+    EXPECT_THROW(estimateSystem(cost, params), UsageError);
+    EXPECT_THROW(saturationProcessors(CycleBreakdown{},
+                                      paperMachine(4)),
+                 UsageError);
+}
+
+} // namespace
+} // namespace dirsim

@@ -1,0 +1,43 @@
+/** @file Unit tests for bus/timing.hh (Table 1). */
+
+#include <gtest/gtest.h>
+
+#include "bus/timing.hh"
+#include "common/logging.hh"
+
+namespace dirsim
+{
+namespace
+{
+
+TEST(TimingTest, PaperTable1Values)
+{
+    const BusTiming timing = paperBusTiming();
+    EXPECT_EQ(timing.transferWord, 1u);
+    EXPECT_EQ(timing.invalidate, 1u);
+    EXPECT_EQ(timing.waitDirectory, 2u);
+    EXPECT_EQ(timing.waitMemory, 2u);
+    EXPECT_EQ(timing.waitCache, 1u);
+}
+
+TEST(TimingTest, DefaultsValidate)
+{
+    EXPECT_NO_THROW(paperBusTiming().check());
+}
+
+TEST(TimingTest, RejectsZeroTransfer)
+{
+    BusTiming timing = paperBusTiming();
+    timing.transferWord = 0;
+    EXPECT_THROW(timing.check(), UsageError);
+}
+
+TEST(TimingTest, RejectsZeroInvalidate)
+{
+    BusTiming timing = paperBusTiming();
+    timing.invalidate = 0;
+    EXPECT_THROW(timing.check(), UsageError);
+}
+
+} // namespace
+} // namespace dirsim

@@ -1,0 +1,203 @@
+/** @file Unit tests for cache/finite_cache.hh. */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "cache/finite_cache.hh"
+#include "common/logging.hh"
+
+namespace dirsim
+{
+namespace
+{
+
+FiniteCacheConfig
+smallConfig()
+{
+    FiniteCacheConfig config;
+    config.capacityBytes = 256; // 16 blocks
+    config.ways = 2;            // 8 sets
+    config.blockBytes = 16;
+    return config;
+}
+
+TEST(FiniteCacheConfigTest, GeometryDerivation)
+{
+    const FiniteCacheConfig config = smallConfig();
+    EXPECT_EQ(config.numSets(), 8u);
+    EXPECT_NO_THROW(config.check());
+}
+
+TEST(FiniteCacheConfigTest, RejectsBadGeometry)
+{
+    FiniteCacheConfig config = smallConfig();
+    config.capacityBytes = 100; // not a power of two
+    EXPECT_THROW(config.check(), UsageError);
+
+    config = smallConfig();
+    config.ways = 0;
+    EXPECT_THROW(config.check(), UsageError);
+
+    config = smallConfig();
+    config.ways = 3; // 16 lines not divisible by 3
+    EXPECT_THROW(config.check(), UsageError);
+
+    config = smallConfig();
+    config.blockBytes = 24;
+    EXPECT_THROW(config.check(), UsageError);
+}
+
+TEST(FiniteCacheTest, BasicInstallAndLookup)
+{
+    FiniteCache cache(smallConfig());
+    EXPECT_TRUE(cache.set(3, 1));
+    EXPECT_EQ(cache.lookup(3), 1);
+    EXPECT_EQ(cache.residentBlocks(), 1u);
+}
+
+TEST(FiniteCacheTest, UpdateDoesNotGrow)
+{
+    FiniteCache cache(smallConfig());
+    cache.set(3, 1);
+    EXPECT_FALSE(cache.set(3, 2));
+    EXPECT_EQ(cache.residentBlocks(), 1u);
+    EXPECT_EQ(cache.lookup(3), 2);
+}
+
+TEST(FiniteCacheTest, EvictsLruWithinSet)
+{
+    FiniteCache cache(smallConfig());
+    // Blocks 0, 8, 16 all map to set 0 (8 sets); ways = 2.
+    cache.set(0, 1);
+    cache.set(8, 1);
+    cache.touch(0); // 8 is now LRU
+    cache.set(16, 1);
+    EXPECT_TRUE(cache.contains(0));
+    EXPECT_FALSE(cache.contains(8));
+    EXPECT_TRUE(cache.contains(16));
+    EXPECT_EQ(cache.evictions(), 1u);
+}
+
+TEST(FiniteCacheTest, EvictionHookReceivesVictim)
+{
+    FiniteCache cache(smallConfig());
+    std::vector<std::pair<BlockNum, CacheBlockState>> evicted;
+    cache.setEvictionHook([&](BlockNum block, CacheBlockState state) {
+        evicted.emplace_back(block, state);
+    });
+    cache.set(0, 1);
+    cache.set(8, 2);
+    cache.set(16, 1); // evicts 0 (LRU)
+    ASSERT_EQ(evicted.size(), 1u);
+    EXPECT_EQ(evicted[0].first, 0u);
+    EXPECT_EQ(evicted[0].second, 1);
+}
+
+TEST(FiniteCacheTest, SetPromotesToMru)
+{
+    FiniteCache cache(smallConfig());
+    cache.set(0, 1);
+    cache.set(8, 1);
+    cache.set(0, 2); // rewrite promotes block 0
+    cache.set(16, 1);
+    EXPECT_TRUE(cache.contains(0));
+    EXPECT_FALSE(cache.contains(8));
+}
+
+TEST(FiniteCacheTest, DifferentSetsDoNotInterfere)
+{
+    FiniteCache cache(smallConfig());
+    cache.set(0, 1);
+    cache.set(1, 1);
+    cache.set(2, 1);
+    cache.set(3, 1);
+    EXPECT_EQ(cache.residentBlocks(), 4u);
+    EXPECT_EQ(cache.evictions(), 0u);
+}
+
+TEST(FiniteCacheTest, InvalidateFreesWay)
+{
+    FiniteCache cache(smallConfig());
+    cache.set(0, 1);
+    cache.set(8, 1);
+    EXPECT_EQ(cache.invalidate(0), 1);
+    cache.set(16, 1);
+    EXPECT_EQ(cache.evictions(), 0u);
+    EXPECT_TRUE(cache.contains(8));
+    EXPECT_TRUE(cache.contains(16));
+}
+
+TEST(FiniteCacheTest, InvalidateMissingReturnsNotPresent)
+{
+    FiniteCache cache(smallConfig());
+    EXPECT_EQ(cache.invalidate(77), stateNotPresent);
+}
+
+TEST(FiniteCacheTest, CapacityBound)
+{
+    FiniteCache cache(smallConfig());
+    for (BlockNum block = 0; block < 1000; ++block)
+        cache.set(block, 1);
+    EXPECT_LE(cache.residentBlocks(), 16u);
+}
+
+TEST(FiniteCacheTest, ClearEmptiesAllSets)
+{
+    FiniteCache cache(smallConfig());
+    for (BlockNum block = 0; block < 20; ++block)
+        cache.set(block, 1);
+    cache.clear();
+    EXPECT_EQ(cache.residentBlocks(), 0u);
+    for (BlockNum block = 0; block < 20; ++block)
+        EXPECT_FALSE(cache.contains(block));
+}
+
+TEST(FiniteCacheTest, ForEachVisitsResidentOnly)
+{
+    FiniteCache cache(smallConfig());
+    cache.set(0, 1);
+    cache.set(8, 1);
+    cache.set(16, 1); // evicts 0
+    unsigned count = 0;
+    cache.forEach([&](BlockNum, CacheBlockState) { ++count; });
+    EXPECT_EQ(count, 2u);
+}
+
+TEST(FiniteCacheTest, ReservedStateRejected)
+{
+    FiniteCache cache(smallConfig());
+    EXPECT_THROW(cache.set(1, stateNotPresent), LogicError);
+}
+
+TEST(FiniteCacheTest, LruStressAgainstModel)
+{
+    // Property check against a tiny reference model of one set.
+    FiniteCacheConfig config;
+    config.capacityBytes = 64; // 4 blocks
+    config.ways = 4;           // 1 set
+    config.blockBytes = 16;
+    FiniteCache cache(config);
+
+    std::vector<BlockNum> lru; // front = LRU
+    std::uint64_t x = 12345;
+    for (int i = 0; i < 2000; ++i) {
+        x = x * 6364136223846793005ull + 1442695040888963407ull;
+        const BlockNum block = (x >> 33) % 9;
+        const auto it = std::find(lru.begin(), lru.end(), block);
+        if (it != lru.end())
+            lru.erase(it);
+        else if (lru.size() == 4)
+            lru.erase(lru.begin());
+        lru.push_back(block);
+        cache.set(block, 1);
+
+        ASSERT_EQ(cache.residentBlocks(), lru.size());
+        for (const BlockNum resident : lru)
+            ASSERT_TRUE(cache.contains(resident));
+    }
+}
+
+} // namespace
+} // namespace dirsim

@@ -1,0 +1,93 @@
+/** @file Unit tests for cache/infinite_cache.hh. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cache/infinite_cache.hh"
+#include "common/logging.hh"
+
+namespace dirsim
+{
+namespace
+{
+
+TEST(InfiniteCacheTest, StartsEmpty)
+{
+    InfiniteCache cache;
+    EXPECT_EQ(cache.residentBlocks(), 0u);
+    EXPECT_EQ(cache.lookup(42), stateNotPresent);
+    EXPECT_FALSE(cache.contains(42));
+}
+
+TEST(InfiniteCacheTest, SetInstallsAndReports)
+{
+    InfiniteCache cache;
+    EXPECT_TRUE(cache.set(10, 1));
+    EXPECT_EQ(cache.lookup(10), 1);
+    EXPECT_TRUE(cache.contains(10));
+    EXPECT_EQ(cache.residentBlocks(), 1u);
+}
+
+TEST(InfiniteCacheTest, SetUpdatesInPlace)
+{
+    InfiniteCache cache;
+    EXPECT_TRUE(cache.set(10, 1));
+    EXPECT_FALSE(cache.set(10, 2)); // not newly installed
+    EXPECT_EQ(cache.lookup(10), 2);
+    EXPECT_EQ(cache.residentBlocks(), 1u);
+}
+
+TEST(InfiniteCacheTest, ReservedStateRejected)
+{
+    InfiniteCache cache;
+    EXPECT_THROW(cache.set(10, stateNotPresent), LogicError);
+}
+
+TEST(InfiniteCacheTest, InvalidateReturnsOldState)
+{
+    InfiniteCache cache;
+    cache.set(10, 3);
+    EXPECT_EQ(cache.invalidate(10), 3);
+    EXPECT_FALSE(cache.contains(10));
+    EXPECT_EQ(cache.invalidate(10), stateNotPresent);
+}
+
+TEST(InfiniteCacheTest, NeverEvicts)
+{
+    InfiniteCache cache;
+    for (BlockNum block = 0; block < 100'000; ++block)
+        cache.set(block, 1);
+    EXPECT_EQ(cache.residentBlocks(), 100'000u);
+    EXPECT_TRUE(cache.contains(0));
+    EXPECT_TRUE(cache.contains(99'999));
+}
+
+TEST(InfiniteCacheTest, ClearRemovesEverything)
+{
+    InfiniteCache cache;
+    cache.set(1, 1);
+    cache.set(2, 2);
+    cache.clear();
+    EXPECT_EQ(cache.residentBlocks(), 0u);
+    EXPECT_FALSE(cache.contains(1));
+}
+
+TEST(InfiniteCacheTest, ForEachVisitsAll)
+{
+    InfiniteCache cache;
+    cache.set(5, 1);
+    cache.set(6, 2);
+    cache.set(7, 1);
+    std::set<BlockNum> seen;
+    unsigned dirty = 0;
+    cache.forEach([&](BlockNum block, CacheBlockState state) {
+        seen.insert(block);
+        dirty += state == 2 ? 1 : 0;
+    });
+    EXPECT_EQ(seen, (std::set<BlockNum>{5, 6, 7}));
+    EXPECT_EQ(dirty, 1u);
+}
+
+} // namespace
+} // namespace dirsim

@@ -1,0 +1,106 @@
+/** @file Unit tests for common/bitops.hh. */
+
+#include <gtest/gtest.h>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace dirsim
+{
+namespace
+{
+
+TEST(BitopsTest, PowerOfTwoRecognizesPowers)
+{
+    for (unsigned shift = 0; shift < 63; ++shift)
+        EXPECT_TRUE(isPowerOfTwo(std::uint64_t{1} << shift)) << shift;
+}
+
+TEST(BitopsTest, PowerOfTwoRejectsZero)
+{
+    EXPECT_FALSE(isPowerOfTwo(0));
+}
+
+TEST(BitopsTest, PowerOfTwoRejectsComposites)
+{
+    for (const std::uint64_t value : {3ull, 6ull, 12ull, 100ull, 1023ull})
+        EXPECT_FALSE(isPowerOfTwo(value)) << value;
+}
+
+TEST(BitopsTest, FloorLog2ExactOnPowers)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(16), 4u);
+    EXPECT_EQ(floorLog2(std::uint64_t{1} << 40), 40u);
+}
+
+TEST(BitopsTest, FloorLog2RoundsDown)
+{
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(17), 4u);
+    EXPECT_EQ(floorLog2(1023), 9u);
+}
+
+TEST(BitopsTest, CeilLog2RoundsUp)
+{
+    EXPECT_EQ(ceilLog2(1), 0u);
+    EXPECT_EQ(ceilLog2(2), 1u);
+    EXPECT_EQ(ceilLog2(3), 2u);
+    EXPECT_EQ(ceilLog2(4), 2u);
+    EXPECT_EQ(ceilLog2(5), 3u);
+    EXPECT_EQ(ceilLog2(1025), 11u);
+}
+
+TEST(BitopsTest, BlockNumberStripsOffset)
+{
+    EXPECT_EQ(blockNumber(0x0, 16), 0u);
+    EXPECT_EQ(blockNumber(0xf, 16), 0u);
+    EXPECT_EQ(blockNumber(0x10, 16), 1u);
+    EXPECT_EQ(blockNumber(0x1234, 16), 0x123u);
+}
+
+TEST(BitopsTest, BlockBaseInvertsBlockNumber)
+{
+    for (const Addr addr : {0x0ull, 0x13ull, 0xfff0ull, 0x12345678ull}) {
+        const BlockNum block = blockNumber(addr, 16);
+        EXPECT_EQ(blockBase(block, 16), alignToBlock(addr, 16));
+    }
+}
+
+TEST(BitopsTest, AlignToBlockIdempotent)
+{
+    const Addr aligned = alignToBlock(0x12345, 64);
+    EXPECT_EQ(aligned % 64, 0u);
+    EXPECT_EQ(alignToBlock(aligned, 64), aligned);
+}
+
+TEST(BitopsTest, BlockSizesConsistentAcrossWidths)
+{
+    // The same address must map to a coarser block consistently.
+    const Addr addr = 0xdeadbeef;
+    EXPECT_EQ(blockNumber(addr, 32), blockNumber(addr, 16) / 2);
+    EXPECT_EQ(blockNumber(addr, 64), blockNumber(addr, 16) / 4);
+}
+
+TEST(BitopsTest, CheckBlockSizeAcceptsPowersOfTwo)
+{
+    EXPECT_NO_THROW(checkBlockSize(4));
+    EXPECT_NO_THROW(checkBlockSize(16));
+    EXPECT_NO_THROW(checkBlockSize(128));
+}
+
+TEST(BitopsTest, CheckBlockSizeRejectsTooSmall)
+{
+    EXPECT_THROW(checkBlockSize(1), UsageError);
+    EXPECT_THROW(checkBlockSize(2), UsageError);
+}
+
+TEST(BitopsTest, CheckBlockSizeRejectsNonPowers)
+{
+    EXPECT_THROW(checkBlockSize(24), UsageError);
+    EXPECT_THROW(checkBlockSize(100), UsageError);
+}
+
+} // namespace
+} // namespace dirsim

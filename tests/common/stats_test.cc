@@ -1,0 +1,85 @@
+/** @file Unit tests for common/stats.hh. */
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+
+namespace dirsim
+{
+namespace
+{
+
+TEST(CounterSetTest, StartsEmpty)
+{
+    CounterSet counters;
+    EXPECT_EQ(counters.size(), 0u);
+    EXPECT_EQ(counters.get("anything"), 0u);
+    EXPECT_FALSE(counters.has("anything"));
+}
+
+TEST(CounterSetTest, AddCreatesAndIncrements)
+{
+    CounterSet counters;
+    counters.add("hits");
+    counters.add("hits", 4);
+    EXPECT_TRUE(counters.has("hits"));
+    EXPECT_EQ(counters.get("hits"), 5u);
+}
+
+TEST(CounterSetTest, MergeSums)
+{
+    CounterSet a;
+    a.add("x", 2);
+    CounterSet b;
+    b.add("x", 3);
+    b.add("y", 1);
+    a.merge(b);
+    EXPECT_EQ(a.get("x"), 5u);
+    EXPECT_EQ(a.get("y"), 1u);
+}
+
+TEST(CounterSetTest, RatioHandlesZeroDenominator)
+{
+    CounterSet counters;
+    counters.add("num", 10);
+    EXPECT_DOUBLE_EQ(counters.ratio("num", "denom"), 0.0);
+    counters.add("denom", 4);
+    EXPECT_DOUBLE_EQ(counters.ratio("num", "denom"), 2.5);
+}
+
+TEST(CounterSetTest, ClearZeroesButKeepsNames)
+{
+    CounterSet counters;
+    counters.add("a", 7);
+    counters.clear();
+    EXPECT_TRUE(counters.has("a"));
+    EXPECT_EQ(counters.get("a"), 0u);
+}
+
+TEST(CounterSetTest, IterationIsNameOrdered)
+{
+    CounterSet counters;
+    counters.add("zebra");
+    counters.add("alpha");
+    counters.add("mid");
+    std::vector<std::string> names;
+    for (const auto &[name, value] : counters)
+        names.push_back(name);
+    EXPECT_EQ(names, (std::vector<std::string>{"alpha", "mid", "zebra"}));
+}
+
+TEST(StatsHelpersTest, Percent)
+{
+    EXPECT_DOUBLE_EQ(percent(1, 4), 25.0);
+    EXPECT_DOUBLE_EQ(percent(0, 4), 0.0);
+    EXPECT_DOUBLE_EQ(percent(3, 0), 0.0);
+}
+
+TEST(StatsHelpersTest, SafeRatio)
+{
+    EXPECT_DOUBLE_EQ(safeRatio(6.0, 3.0), 2.0);
+    EXPECT_DOUBLE_EQ(safeRatio(6.0, 0.0), 0.0);
+}
+
+} // namespace
+} // namespace dirsim

@@ -1,0 +1,122 @@
+/** @file Unit tests for common/table.hh. */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+
+namespace dirsim
+{
+namespace
+{
+
+TEST(TextTableTest, RendersHeaderAndRule)
+{
+    TextTable table({"name", "value"});
+    const std::string out = table.toString();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("value"), std::string::npos);
+    EXPECT_NE(out.find("-----"), std::string::npos);
+}
+
+TEST(TextTableTest, RowsAppearInOrder)
+{
+    TextTable table({"k", "v"});
+    table.addRow({"first", "1"});
+    table.addRow({"second", "2"});
+    const std::string out = table.toString();
+    EXPECT_LT(out.find("first"), out.find("second"));
+}
+
+TEST(TextTableTest, RejectsWrongArity)
+{
+    TextTable table({"a", "b"});
+    EXPECT_THROW(table.addRow({"only-one"}), UsageError);
+    EXPECT_THROW(table.addRow({"1", "2", "3"}), UsageError);
+}
+
+TEST(TextTableTest, RejectsEmptyHeader)
+{
+    EXPECT_THROW(TextTable({}), UsageError);
+}
+
+TEST(TextTableTest, ColumnsAligned)
+{
+    TextTable table({"k", "value"});
+    table.addRow({"x", "1"});
+    table.addRow({"longer-key", "22"});
+    const std::string out = table.toString();
+    // Right-aligned numeric column: the '1' and '22' must end at the
+    // same column.
+    std::vector<std::string> lines;
+    std::size_t pos = 0;
+    while (pos < out.size()) {
+        const auto nl = out.find('\n', pos);
+        lines.push_back(out.substr(pos, nl - pos));
+        pos = nl + 1;
+    }
+    ASSERT_GE(lines.size(), 4u);
+    EXPECT_EQ(lines[2].size(), lines[3].size());
+}
+
+TEST(TextTableTest, RuleInsertsSeparator)
+{
+    TextTable table({"alpha"});
+    table.addRow({"x"});
+    table.addRule();
+    table.addRow({"y"});
+    const std::string out = table.toString();
+    // Two rules: one under the header, one between x and y.
+    const auto first = out.find("---");
+    const auto second = out.find("---", first + 3);
+    EXPECT_NE(second, std::string::npos);
+}
+
+TEST(TextTableTest, FixedFormatsDecimals)
+{
+    EXPECT_EQ(TextTable::fixed(0.04911, 4), "0.0491");
+    EXPECT_EQ(TextTable::fixed(1.5, 2), "1.50");
+    EXPECT_EQ(TextTable::fixed(-0.25, 1), "-0.2");
+}
+
+TEST(TextTableTest, PctAppendsSign)
+{
+    EXPECT_EQ(TextTable::pct(49.72), "49.72%");
+    EXPECT_EQ(TextTable::pct(5.0, 1), "5.0%");
+}
+
+TEST(TextTableTest, GroupedInsertsSeparators)
+{
+    EXPECT_EQ(TextTable::grouped(0), "0");
+    EXPECT_EQ(TextTable::grouped(999), "999");
+    EXPECT_EQ(TextTable::grouped(1000), "1,000");
+    EXPECT_EQ(TextTable::grouped(3141592), "3,141,592");
+}
+
+TEST(AsciiBarTest, ScalesWithValue)
+{
+    const std::string full = asciiBar(10.0, 10.0, 20);
+    const std::string half = asciiBar(5.0, 10.0, 20);
+    EXPECT_EQ(full.size(), 20u);
+    EXPECT_EQ(half.size(), 10u);
+}
+
+TEST(AsciiBarTest, NonPositiveInputsGiveEmpty)
+{
+    EXPECT_TRUE(asciiBar(0.0, 10.0).empty());
+    EXPECT_TRUE(asciiBar(5.0, 0.0).empty());
+}
+
+TEST(AsciiBarTest, TinyValueStillVisible)
+{
+    // A non-zero value renders at least one character.
+    EXPECT_GE(asciiBar(0.001, 10.0, 20).size(), 1u);
+}
+
+TEST(AsciiBarTest, ClampsOverflow)
+{
+    EXPECT_EQ(asciiBar(100.0, 10.0, 20).size(), 20u);
+}
+
+} // namespace
+} // namespace dirsim

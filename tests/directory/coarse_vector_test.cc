@@ -1,0 +1,155 @@
+/** @file Unit and property tests for the Section 6 coarse vector. */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "directory/coarse_vector.hh"
+
+namespace dirsim
+{
+namespace
+{
+
+TEST(CoarseVectorTest, EmptyDecodesEmpty)
+{
+    CoarseVector code(8);
+    EXPECT_TRUE(code.empty());
+    EXPECT_EQ(code.decode().count(), 0u);
+    EXPECT_EQ(code.toString(), "(empty)");
+}
+
+TEST(CoarseVectorTest, SingleCacheIsExact)
+{
+    for (unsigned n : {1u, 2u, 4u, 8u, 16u}) {
+        for (CacheId cache = 0; cache < n; ++cache) {
+            CoarseVector code(n);
+            code.add(cache);
+            const SharerSet decoded = code.decode();
+            EXPECT_EQ(decoded.count(), 1u) << n << "/" << cache;
+            EXPECT_TRUE(decoded.contains(cache));
+            EXPECT_EQ(code.bothDigits(), 0u);
+        }
+    }
+}
+
+TEST(CoarseVectorTest, DigitCount)
+{
+    EXPECT_EQ(CoarseVector(1).digits(), 1u);
+    EXPECT_EQ(CoarseVector(2).digits(), 1u);
+    EXPECT_EQ(CoarseVector(4).digits(), 2u);
+    EXPECT_EQ(CoarseVector(5).digits(), 3u);
+    EXPECT_EQ(CoarseVector(16).digits(), 4u);
+}
+
+TEST(CoarseVectorTest, StorageBitsMatchPaper)
+{
+    // "Each digit can be coded in 2 bits, thus requiring 2log(n)
+    // bits in a system with n caches."
+    EXPECT_EQ(CoarseVector(16).storageBits(), 8u);
+    EXPECT_EQ(CoarseVector(64).storageBits(), 12u);
+}
+
+TEST(CoarseVectorTest, PaperExampleTwoCaches)
+{
+    // Caches 0b00 and 0b11 in a 4-cache system: both digits become
+    // BOTH and all four caches are denoted.
+    CoarseVector code(4);
+    code.add(0);
+    code.add(3);
+    EXPECT_EQ(code.bothDigits(), 2u);
+    EXPECT_EQ(code.supersetSize(), 4u);
+}
+
+TEST(CoarseVectorTest, AdjacentCachesShareDigits)
+{
+    // Caches 0b00 and 0b01 differ only in digit 0.
+    CoarseVector code(4);
+    code.add(0);
+    code.add(1);
+    EXPECT_EQ(code.bothDigits(), 1u);
+    const SharerSet decoded = code.decode();
+    EXPECT_EQ(decoded.count(), 2u);
+    EXPECT_TRUE(decoded.contains(0));
+    EXPECT_TRUE(decoded.contains(1));
+    EXPECT_FALSE(decoded.contains(2));
+}
+
+TEST(CoarseVectorTest, ToStringShowsDigits)
+{
+    CoarseVector code(4);
+    code.add(2); // binary 10
+    EXPECT_EQ(code.toString(), "1 0");
+    code.add(3); // binary 11 -> low digit becomes both
+    EXPECT_EQ(code.toString(), "1 *");
+}
+
+TEST(CoarseVectorTest, ClearRestoresEmpty)
+{
+    CoarseVector code(8);
+    code.add(5);
+    code.clear();
+    EXPECT_TRUE(code.empty());
+    EXPECT_EQ(code.decode().count(), 0u);
+}
+
+TEST(CoarseVectorTest, OutOfDomainPanics)
+{
+    CoarseVector code(6);
+    EXPECT_THROW(code.add(6), LogicError);
+}
+
+TEST(CoarseVectorTest, ZeroDomainRejected)
+{
+    EXPECT_THROW(CoarseVector(0), UsageError);
+}
+
+/** Property sweep over domain sizes, including non-powers of two. */
+class CoarseVectorProperty : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(CoarseVectorProperty, AlwaysSupersetOfExactSet)
+{
+    const unsigned n = GetParam();
+    Rng rng(1000 + n);
+    for (int round = 0; round < 200; ++round) {
+        CoarseVector code(n);
+        SharerSet exact(n);
+        const unsigned adds =
+            1 + static_cast<unsigned>(rng.below(n));
+        for (unsigned i = 0; i < adds; ++i) {
+            const auto cache =
+                static_cast<CacheId>(rng.below(n));
+            code.add(cache);
+            exact.add(cache);
+            ASSERT_TRUE(code.decode().isSupersetOf(exact))
+                << "n=" << n << " round=" << round;
+        }
+    }
+}
+
+TEST_P(CoarseVectorProperty, SupersetSizeMatchesBothDigits)
+{
+    const unsigned n = GetParam();
+    Rng rng(2000 + n);
+    for (int round = 0; round < 100; ++round) {
+        CoarseVector code(n);
+        const unsigned adds =
+            1 + static_cast<unsigned>(rng.below(n));
+        for (unsigned i = 0; i < adds; ++i)
+            code.add(static_cast<CacheId>(rng.below(n)));
+        // With k BOTH digits the code denotes 2^k indices, clipped to
+        // the domain when n is not a power of two.
+        const unsigned denoted = 1u << code.bothDigits();
+        EXPECT_LE(code.supersetSize(), denoted);
+        EXPECT_GE(code.supersetSize(), 1u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Domains, CoarseVectorProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 12, 16,
+                                           31, 32, 64));
+
+} // namespace
+} // namespace dirsim

@@ -1,0 +1,80 @@
+/** @file Unit tests for directory/full_map.hh. */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "directory/full_map.hh"
+
+namespace dirsim
+{
+namespace
+{
+
+TEST(FullMapTest, EntryCreatedCleanAndEmpty)
+{
+    FullMapDirectory dir(4);
+    const FullMapEntry &entry = dir.entry(100);
+    EXPECT_FALSE(entry.dirty);
+    EXPECT_TRUE(entry.sharers.empty());
+    EXPECT_TRUE(entry.valid());
+}
+
+TEST(FullMapTest, FindWithoutCreate)
+{
+    FullMapDirectory dir(4);
+    EXPECT_EQ(dir.find(5), nullptr);
+    dir.entry(5).sharers.add(1);
+    ASSERT_NE(dir.find(5), nullptr);
+    EXPECT_TRUE(dir.find(5)->sharers.contains(1));
+}
+
+TEST(FullMapTest, EntryPersists)
+{
+    FullMapDirectory dir(4);
+    dir.entry(7).sharers.add(2);
+    dir.entry(7).dirty = true;
+    EXPECT_TRUE(dir.entry(7).dirty);
+    EXPECT_TRUE(dir.entry(7).sharers.contains(2));
+    EXPECT_EQ(dir.trackedBlocks(), 1u);
+}
+
+TEST(FullMapTest, ValidityInvariant)
+{
+    FullMapEntry entry(4);
+    entry.dirty = true;
+    entry.sharers.add(0);
+    EXPECT_TRUE(entry.valid());
+    entry.sharers.add(1);
+    EXPECT_FALSE(entry.valid()); // dirty with two sharers
+    entry.dirty = false;
+    EXPECT_TRUE(entry.valid());
+}
+
+TEST(FullMapTest, CompactDropsIdleEntries)
+{
+    FullMapDirectory dir(4);
+    dir.entry(1).sharers.add(0);
+    dir.entry(2); // created but never populated
+    dir.entry(3).dirty = true;
+    EXPECT_EQ(dir.trackedBlocks(), 3u);
+    dir.compact();
+    EXPECT_EQ(dir.trackedBlocks(), 2u);
+    EXPECT_EQ(dir.find(2), nullptr);
+    EXPECT_NE(dir.find(1), nullptr);
+    EXPECT_NE(dir.find(3), nullptr);
+}
+
+TEST(FullMapTest, RejectsZeroCaches)
+{
+    EXPECT_THROW(FullMapDirectory(0), UsageError);
+}
+
+TEST(FullMapTest, NumCaches)
+{
+    FullMapDirectory dir(16);
+    EXPECT_EQ(dir.numCaches(), 16u);
+    EXPECT_EQ(dir.entry(0).sharers.numCaches(), 16u);
+}
+
+} // namespace
+} // namespace dirsim

@@ -1,0 +1,157 @@
+/** @file Unit tests for directory/sharer_set.hh. */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "directory/sharer_set.hh"
+
+namespace dirsim
+{
+namespace
+{
+
+TEST(SharerSetTest, StartsEmpty)
+{
+    SharerSet set(4);
+    EXPECT_TRUE(set.empty());
+    EXPECT_EQ(set.count(), 0u);
+    EXPECT_FALSE(set.contains(0));
+}
+
+TEST(SharerSetTest, AddRemoveContains)
+{
+    SharerSet set(4);
+    set.add(2);
+    EXPECT_TRUE(set.contains(2));
+    EXPECT_EQ(set.count(), 1u);
+    set.remove(2);
+    EXPECT_FALSE(set.contains(2));
+    EXPECT_TRUE(set.empty());
+}
+
+TEST(SharerSetTest, AddIsIdempotent)
+{
+    SharerSet set(4);
+    set.add(1);
+    set.add(1);
+    EXPECT_EQ(set.count(), 1u);
+}
+
+TEST(SharerSetTest, RemoveMissingIsNoop)
+{
+    SharerSet set(4);
+    set.add(1);
+    set.remove(3);
+    set.remove(100); // out of domain: silently ignored
+    EXPECT_EQ(set.count(), 1u);
+}
+
+TEST(SharerSetTest, AddOutOfDomainPanics)
+{
+    SharerSet set(4);
+    EXPECT_THROW(set.add(4), LogicError);
+}
+
+TEST(SharerSetTest, IsOnly)
+{
+    SharerSet set(4);
+    set.add(3);
+    EXPECT_TRUE(set.isOnly(3));
+    EXPECT_FALSE(set.isOnly(2));
+    set.add(1);
+    EXPECT_FALSE(set.isOnly(3));
+}
+
+TEST(SharerSetTest, CountExcluding)
+{
+    SharerSet set(4);
+    set.add(0);
+    set.add(2);
+    EXPECT_EQ(set.countExcluding(0), 1u);
+    EXPECT_EQ(set.countExcluding(1), 2u);
+}
+
+TEST(SharerSetTest, FirstReturnsLowest)
+{
+    SharerSet set(70);
+    set.add(65);
+    set.add(3);
+    EXPECT_EQ(set.first(), 3u);
+    set.remove(3);
+    EXPECT_EQ(set.first(), 65u);
+}
+
+TEST(SharerSetTest, FirstOnEmptyPanics)
+{
+    SharerSet set(4);
+    EXPECT_THROW(set.first(), LogicError);
+}
+
+TEST(SharerSetTest, LargeDomainAcrossWords)
+{
+    SharerSet set(200);
+    set.add(0);
+    set.add(63);
+    set.add(64);
+    set.add(199);
+    EXPECT_EQ(set.count(), 4u);
+    EXPECT_EQ(set.toVector(),
+              (std::vector<CacheId>{0, 63, 64, 199}));
+}
+
+TEST(SharerSetTest, ForEachAscending)
+{
+    SharerSet set(100);
+    set.add(70);
+    set.add(5);
+    set.add(33);
+    std::vector<CacheId> order;
+    set.forEach([&](CacheId cache) { order.push_back(cache); });
+    EXPECT_EQ(order, (std::vector<CacheId>{5, 33, 70}));
+}
+
+TEST(SharerSetTest, ClearEmpties)
+{
+    SharerSet set(10);
+    set.add(1);
+    set.add(9);
+    set.clear();
+    EXPECT_TRUE(set.empty());
+    EXPECT_EQ(set.numCaches(), 10u);
+}
+
+TEST(SharerSetTest, SupersetRelation)
+{
+    SharerSet big(8);
+    big.add(1);
+    big.add(2);
+    big.add(5);
+    SharerSet small(8);
+    small.add(2);
+    small.add(5);
+    EXPECT_TRUE(big.isSupersetOf(small));
+    EXPECT_FALSE(small.isSupersetOf(big));
+    EXPECT_TRUE(big.isSupersetOf(big));
+    SharerSet empty(8);
+    EXPECT_TRUE(small.isSupersetOf(empty));
+}
+
+TEST(SharerSetTest, SupersetAcrossDomainsPanics)
+{
+    SharerSet a(8);
+    SharerSet b(16);
+    EXPECT_THROW(a.isSupersetOf(b), LogicError);
+}
+
+TEST(SharerSetTest, Equality)
+{
+    SharerSet a(8);
+    SharerSet b(8);
+    a.add(3);
+    EXPECT_NE(a, b);
+    b.add(3);
+    EXPECT_EQ(a, b);
+}
+
+} // namespace
+} // namespace dirsim

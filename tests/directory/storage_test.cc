@@ -1,0 +1,123 @@
+/** @file Unit tests for directory/storage.hh. */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "directory/storage.hh"
+
+namespace dirsim
+{
+namespace
+{
+
+StorageParams
+params(unsigned n, unsigned i = 1)
+{
+    StorageParams p;
+    p.numCaches = n;
+    p.numPointers = i;
+    return p;
+}
+
+TEST(StorageTest, FullMapIsNPlusOne)
+{
+    EXPECT_DOUBLE_EQ(
+        directoryBitsPerBlock(DirectoryOrg::FullMap, params(4)), 5.0);
+    EXPECT_DOUBLE_EQ(
+        directoryBitsPerBlock(DirectoryOrg::FullMap, params(64)), 65.0);
+}
+
+TEST(StorageTest, TwoBitIsConstant)
+{
+    for (unsigned n : {2u, 16u, 1024u})
+        EXPECT_DOUBLE_EQ(
+            directoryBitsPerBlock(DirectoryOrg::TwoBit, params(n)), 2.0);
+}
+
+TEST(StorageTest, LimitedPtrGrowsLogarithmically)
+{
+    // 1 pointer of log2(64)=6 bits + 1-bit count + dirty = 8.
+    EXPECT_DOUBLE_EQ(
+        directoryBitsPerBlock(DirectoryOrg::LimitedPtr, params(64, 1)),
+        8.0);
+    // 2 pointers: 12 + ceil(log2 3)=2 + 1 = 15.
+    EXPECT_DOUBLE_EQ(
+        directoryBitsPerBlock(DirectoryOrg::LimitedPtr, params(64, 2)),
+        15.0);
+}
+
+TEST(StorageTest, BroadcastBitCostsOneBit)
+{
+    const double nb =
+        directoryBitsPerBlock(DirectoryOrg::LimitedPtr, params(32, 2));
+    const double b =
+        directoryBitsPerBlock(DirectoryOrg::LimitedPtrB, params(32, 2));
+    EXPECT_DOUBLE_EQ(b, nb + 1.0);
+}
+
+TEST(StorageTest, CoarseVectorIsTwoLogN)
+{
+    // 2*log2(64) + dirty = 13.
+    EXPECT_DOUBLE_EQ(
+        directoryBitsPerBlock(DirectoryOrg::CoarseVector, params(64)),
+        13.0);
+}
+
+TEST(StorageTest, LimitedBeatsFullMapAtScale)
+{
+    // The Section 6 motivation: for large n, a few pointers cost far
+    // less than a full bit vector.
+    const double full =
+        directoryBitsPerBlock(DirectoryOrg::FullMap, params(1024));
+    const double limited = directoryBitsPerBlock(
+        DirectoryOrg::LimitedPtrB, params(1024, 2));
+    EXPECT_LT(limited, full / 10.0);
+}
+
+TEST(StorageTest, TangAmortization)
+{
+    StorageParams p = params(4);
+    p.blocksPerCache = 1024;
+    p.tagBits = 15;
+    p.memoryBlocks = 1 << 16;
+    // 4 caches * 1024 blocks * 16 bits / 65536 blocks = 1 bit/block.
+    EXPECT_DOUBLE_EQ(
+        directoryBitsPerBlock(DirectoryOrg::TangDuplicate, p), 1.0);
+}
+
+TEST(StorageTest, RejectsDegenerateInputs)
+{
+    EXPECT_THROW(
+        directoryBitsPerBlock(DirectoryOrg::FullMap, params(0)),
+        UsageError);
+    StorageParams p = params(4);
+    p.memoryBlocks = 0;
+    EXPECT_THROW(
+        directoryBitsPerBlock(DirectoryOrg::TangDuplicate, p),
+        UsageError);
+}
+
+TEST(StorageTest, TableCoversRequestedSweep)
+{
+    const auto rows = storageTable({4, 16}, {1, 2});
+    // Per n: FullMap, TwoBit, CoarseVector + 2 orgs x 2 budgets = 7.
+    EXPECT_EQ(rows.size(), 14u);
+    for (const auto &row : rows) {
+        EXPECT_GT(row.bitsPerBlock, 0.0);
+        EXPECT_TRUE(row.numCaches == 4 || row.numCaches == 16);
+    }
+}
+
+TEST(StorageTest, OrgNames)
+{
+    EXPECT_STREQ(toString(DirectoryOrg::FullMap), "full-map");
+    EXPECT_STREQ(toString(DirectoryOrg::TwoBit), "two-bit");
+    EXPECT_STREQ(toString(DirectoryOrg::CoarseVector), "coarse-vector");
+    EXPECT_STREQ(toString(DirectoryOrg::TangDuplicate),
+                 "tang-duplicate");
+    EXPECT_STREQ(toString(DirectoryOrg::LimitedPtr), "limited-ptr");
+    EXPECT_STREQ(toString(DirectoryOrg::LimitedPtrB), "limited-ptr+b");
+}
+
+} // namespace
+} // namespace dirsim

@@ -1,0 +1,119 @@
+/** @file Scenario tests for the coarse-vector limited-broadcast
+ *  directory (DirCV). */
+
+#include <gtest/gtest.h>
+
+#include "protocols/dir_cv.hh"
+
+namespace dirsim
+{
+namespace
+{
+
+constexpr BlockNum B = 900;
+
+TEST(DirCVTest, SingleSharerIsExact)
+{
+    DirCV protocol(4);
+    protocol.read(2, B, true);
+    const auto *entry = protocol.directory().find(B);
+    ASSERT_NE(entry, nullptr);
+    EXPECT_EQ(entry->sharers.supersetSize(), 1u);
+    EXPECT_TRUE(entry->sharers.decode().contains(2));
+}
+
+TEST(DirCVTest, CodeIsAlwaysASuperset)
+{
+    DirCV protocol(4);
+    protocol.read(0, B, true);
+    protocol.read(3, B, false);
+    const auto *entry = protocol.directory().find(B);
+    EXPECT_TRUE(
+        entry->sharers.decode().isSupersetOf(protocol.holders(B)));
+    protocol.checkAllInvariants();
+}
+
+TEST(DirCVTest, SupersetInvalidationWastesMessages)
+{
+    // Caches 0 (00) and 3 (11) share: the code degenerates to all
+    // four caches, so a write by 0 sends 3 messages though only one
+    // other copy exists.
+    DirCV protocol(4);
+    protocol.read(0, B, true);
+    protocol.read(3, B, false);
+    protocol.write(0, B, false);
+    EXPECT_EQ(protocol.ops().invalMsgs, 3u);
+    EXPECT_EQ(protocol.holders(B).count(), 1u);
+}
+
+TEST(DirCVTest, AdjacentSharersStayTight)
+{
+    // Caches 0 (00) and 1 (01) differ in one digit: the superset has
+    // two members, so the invalidation costs exactly one message.
+    DirCV protocol(4);
+    protocol.read(0, B, true);
+    protocol.read(1, B, false);
+    protocol.write(0, B, false);
+    EXPECT_EQ(protocol.ops().invalMsgs, 1u);
+}
+
+TEST(DirCVTest, WriteResetsCodeToWriter)
+{
+    DirCV protocol(4);
+    protocol.read(0, B, true);
+    protocol.read(3, B, false);
+    protocol.write(1, B, false); // write miss
+    const auto *entry = protocol.directory().find(B);
+    EXPECT_EQ(entry->sharers.supersetSize(), 1u);
+    EXPECT_TRUE(entry->sharers.decode().contains(1));
+    EXPECT_TRUE(entry->dirty);
+}
+
+TEST(DirCVTest, DirtyFlushIsOneMessage)
+{
+    DirCV protocol(4);
+    protocol.write(0, B, true);
+    protocol.read(2, B, false);
+    EXPECT_EQ(protocol.events().count(EventType::RmBlkDrty), 1u);
+    EXPECT_EQ(protocol.ops().invalMsgs, 1u);
+    EXPECT_EQ(protocol.ops().dirtySupplies, 1u);
+    protocol.checkAllInvariants();
+}
+
+TEST(DirCVTest, NeverFullBroadcastOps)
+{
+    DirCV protocol(8);
+    protocol.read(0, B, true);
+    for (CacheId c = 1; c < 8; ++c)
+        protocol.read(c, B, false);
+    protocol.write(0, B, false);
+    EXPECT_EQ(protocol.ops().broadcastInvals, 0u);
+    // With all 8 caches sharing, the superset is everyone: 7 directed
+    // messages.
+    EXPECT_EQ(protocol.ops().invalMsgs, 7u);
+}
+
+TEST(DirCVTest, ReadSharingCostsNoInvalidations)
+{
+    DirCV protocol(4);
+    protocol.read(0, B, true);
+    protocol.read(1, B, false);
+    protocol.read(2, B, false);
+    EXPECT_EQ(protocol.ops().invalMsgs, 0u);
+}
+
+TEST(DirCVTest, InvariantsUnderChurn)
+{
+    DirCV protocol(8);
+    for (int round = 0; round < 30; ++round) {
+        const auto cache = static_cast<CacheId>((round * 5) % 8);
+        if (round % 7 == 3)
+            protocol.write(cache, B, round == 0);
+        else
+            protocol.read(cache, B, round == 0);
+        protocol.checkAllInvariants();
+    }
+}
+
+} // namespace
+} // namespace dirsim

@@ -1,0 +1,158 @@
+/** @file Scenario tests for the Dir_i B and Dir_i NB families. */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "protocols/dir_i_b.hh"
+#include "protocols/dir_i_nb.hh"
+
+namespace dirsim
+{
+namespace
+{
+
+constexpr BlockNum B = 700;
+
+TEST(DirIBTest, Names)
+{
+    EXPECT_EQ(DirIB(4, 1).name(), "Dir1B");
+    EXPECT_EQ(DirIB(8, 3).name(), "Dir3B");
+    EXPECT_EQ(DirINB(8, 2).name(), "Dir2NB");
+}
+
+TEST(DirIBTest, ExactModeUsesDirectedInvalidates)
+{
+    DirIB protocol(4, 2);
+    protocol.read(0, B, true);
+    protocol.read(1, B, false); // 2 pointers: still exact
+    protocol.write(0, B, false);
+    EXPECT_EQ(protocol.ops().invalMsgs, 1u);
+    EXPECT_EQ(protocol.ops().broadcastInvals, 0u);
+    EXPECT_EQ(protocol.holders(B).count(), 1u);
+}
+
+TEST(DirIBTest, OverflowSetsBroadcastMode)
+{
+    DirIB protocol(4, 1);
+    protocol.read(0, B, true);
+    protocol.read(1, B, false); // overflow: broadcast bit set
+    const LimitedEntry *entry = protocol.directory().find(B);
+    ASSERT_NE(entry, nullptr);
+    EXPECT_TRUE(entry->broadcastRequired());
+    // Both copies still exist (overflow costs nothing yet).
+    EXPECT_EQ(protocol.holders(B).count(), 2u);
+}
+
+TEST(DirIBTest, BroadcastModeWriteBroadcasts)
+{
+    DirIB protocol(4, 1);
+    protocol.read(0, B, true);
+    protocol.read(1, B, false);
+    protocol.read(2, B, false);
+    protocol.write(0, B, false);
+    EXPECT_EQ(protocol.ops().broadcastInvals, 1u);
+    EXPECT_EQ(protocol.ops().invalMsgs, 0u);
+    EXPECT_EQ(protocol.holders(B).count(), 1u);
+    // After the invalidation the entry is exact again.
+    EXPECT_FALSE(protocol.directory().find(B)->broadcastRequired());
+    EXPECT_TRUE(protocol.directory().find(B)->dirty);
+}
+
+TEST(DirIBTest, DirtyMissUsesDirectedFlush)
+{
+    DirIB protocol(4, 1);
+    protocol.write(0, B, true);
+    protocol.read(1, B, false);
+    // Dirty implies a known single pointer: directed request.
+    EXPECT_EQ(protocol.ops().invalMsgs, 1u);
+    EXPECT_EQ(protocol.ops().dirtySupplies, 1u);
+    EXPECT_EQ(protocol.ops().broadcastInvals, 0u);
+    EXPECT_EQ(protocol.holders(B).count(), 2u);
+}
+
+TEST(DirIBTest, InvariantsUnderMixedTraffic)
+{
+    DirIB protocol(4, 2);
+    protocol.read(0, B, true);
+    protocol.read(1, B, false);
+    protocol.read(2, B, false); // broadcast mode
+    protocol.checkAllInvariants();
+    protocol.write(3, B, false);
+    protocol.checkAllInvariants();
+    protocol.read(0, B, false);
+    protocol.checkAllInvariants();
+}
+
+TEST(DirINBTest, CopyCountNeverExceedsBudget)
+{
+    DirINB protocol(4, 2);
+    protocol.read(0, B, true);
+    protocol.read(1, B, false);
+    protocol.read(2, B, false); // evicts the oldest copy (cache 0)
+    EXPECT_EQ(protocol.holders(B).count(), 2u);
+    EXPECT_FALSE(protocol.holders(B).contains(0));
+    EXPECT_EQ(protocol.ops().overflowInvals, 1u);
+}
+
+TEST(DirINBTest, EvictedCopyRemisses)
+{
+    DirINB protocol(4, 2);
+    protocol.read(0, B, true);
+    protocol.read(1, B, false);
+    protocol.read(2, B, false); // cache 0 evicted
+    protocol.read(0, B, false); // must miss again
+    EXPECT_EQ(protocol.events().count(EventType::RdMiss), 3u);
+    // ...and evicts cache 1 in turn (FIFO).
+    EXPECT_FALSE(protocol.holders(B).contains(1));
+}
+
+TEST(DirINBTest, NeverBroadcasts)
+{
+    DirINB protocol(4, 2);
+    protocol.read(0, B, true);
+    protocol.read(1, B, false);
+    protocol.write(2, B, false);
+    protocol.read(3, B, false);
+    EXPECT_EQ(protocol.ops().broadcastInvals, 0u);
+}
+
+TEST(DirINBTest, WriteHitInvalidatesPointedCopies)
+{
+    DirINB protocol(4, 3);
+    protocol.read(0, B, true);
+    protocol.read(1, B, false);
+    protocol.read(2, B, false);
+    protocol.write(1, B, false);
+    EXPECT_EQ(protocol.ops().invalMsgs, 2u);
+    EXPECT_EQ(protocol.holders(B).count(), 1u);
+    EXPECT_EQ(protocol.cacheState(1, B), DirINB::stDirty);
+}
+
+TEST(DirINBTest, FirstRefOverflowImpossible)
+{
+    DirINB protocol(4, 1);
+    protocol.read(0, B, true);
+    EXPECT_EQ(protocol.ops().overflowInvals, 0u);
+    EXPECT_EQ(protocol.holders(B).count(), 1u);
+}
+
+TEST(DirINBTest, InvariantsUnderChurn)
+{
+    DirINB protocol(4, 2);
+    for (int round = 0; round < 8; ++round) {
+        protocol.read(static_cast<CacheId>(round % 4), B, round == 0);
+        protocol.checkAllInvariants();
+    }
+    protocol.write(1, B, false);
+    protocol.checkAllInvariants();
+    EXPECT_LE(protocol.holders(B).count(), 2u);
+}
+
+TEST(DirINBTest, BudgetValidation)
+{
+    EXPECT_THROW(DirINB(4, 0), UsageError);
+    EXPECT_THROW(DirIB(4, 0), UsageError);
+}
+
+} // namespace
+} // namespace dirsim

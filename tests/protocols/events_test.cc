@@ -1,0 +1,209 @@
+/** @file Unit tests for the event taxonomy (protocols/events.hh). */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "protocols/events.hh"
+
+namespace dirsim
+{
+namespace
+{
+
+TEST(EventCountsTest, StartsAtZero)
+{
+    EventCounts counts;
+    for (std::size_t e = 0; e < numEventTypes; ++e)
+        EXPECT_EQ(counts.count(static_cast<EventType>(e)), 0u);
+    EXPECT_EQ(counts.totalRefs(), 0u);
+}
+
+TEST(EventCountsTest, TotalRefsSumsTopLevelTypes)
+{
+    EventCounts counts;
+    counts.add(EventType::Instr, 50);
+    counts.add(EventType::Read, 40);
+    counts.add(EventType::Write, 10);
+    counts.add(EventType::RdHit, 35); // sub-events do not add refs
+    EXPECT_EQ(counts.totalRefs(), 100u);
+}
+
+TEST(EventCountsTest, FractionAndPercent)
+{
+    EventCounts counts;
+    counts.add(EventType::Instr, 50);
+    counts.add(EventType::Read, 40);
+    counts.add(EventType::Write, 10);
+    counts.add(EventType::RdMiss, 5);
+    EXPECT_DOUBLE_EQ(counts.fraction(EventType::RdMiss), 0.05);
+    EXPECT_DOUBLE_EQ(counts.percentOfRefs(EventType::RdMiss), 5.0);
+}
+
+TEST(EventCountsTest, FractionOfEmptyIsZero)
+{
+    EventCounts counts;
+    EXPECT_DOUBLE_EQ(counts.fraction(EventType::RdMiss), 0.0);
+}
+
+TEST(EventCountsTest, MergeAdds)
+{
+    EventCounts a;
+    a.add(EventType::Read, 3);
+    EventCounts b;
+    b.add(EventType::Read, 4);
+    b.add(EventType::Write, 1);
+    a.merge(b);
+    EXPECT_EQ(a.count(EventType::Read), 7u);
+    EXPECT_EQ(a.count(EventType::Write), 1u);
+}
+
+TEST(EventCountsTest, ClearResets)
+{
+    EventCounts counts;
+    counts.add(EventType::Instr, 9);
+    counts.clear();
+    EXPECT_EQ(counts.totalRefs(), 0u);
+}
+
+TEST(EventCountsTest, SubtractRemovesSnapshot)
+{
+    EventCounts counts;
+    counts.add(EventType::Read, 10);
+    counts.add(EventType::RdMiss, 3);
+    EventCounts snapshot;
+    snapshot.add(EventType::Read, 4);
+    snapshot.add(EventType::RdMiss, 1);
+    counts.subtract(snapshot);
+    EXPECT_EQ(counts.count(EventType::Read), 6u);
+    EXPECT_EQ(counts.count(EventType::RdMiss), 2u);
+}
+
+TEST(EventCountsTest, SubtractUnderflowPanics)
+{
+    EventCounts counts;
+    counts.add(EventType::Read, 1);
+    EventCounts snapshot;
+    snapshot.add(EventType::Read, 2);
+    EXPECT_THROW(counts.subtract(snapshot), LogicError);
+}
+
+TEST(OpCountsTest, SubtractRemovesSnapshot)
+{
+    OpCounts ops;
+    ops.memSupplies = 5;
+    ops.busTransactions = 7;
+    OpCounts snapshot;
+    snapshot.memSupplies = 2;
+    snapshot.busTransactions = 3;
+    ops.subtract(snapshot);
+    EXPECT_EQ(ops.memSupplies, 3u);
+    EXPECT_EQ(ops.busTransactions, 4u);
+    snapshot.memSupplies = 100;
+    EXPECT_THROW(ops.subtract(snapshot), LogicError);
+}
+
+TEST(EventFreqsTest, FromCountsNormalizes)
+{
+    EventCounts counts;
+    counts.add(EventType::Instr, 50);
+    counts.add(EventType::Read, 40);
+    counts.add(EventType::Write, 10);
+    counts.add(EventType::WhBlkCln, 2);
+    const EventFreqs freqs = EventFreqs::fromCounts(counts);
+    EXPECT_DOUBLE_EQ(freqs.get(EventType::Read), 0.4);
+    EXPECT_DOUBLE_EQ(freqs.get(EventType::WhBlkCln), 0.02);
+}
+
+TEST(EventFreqsTest, AverageIsArithmeticMean)
+{
+    EventFreqs a;
+    a.set(EventType::RdMiss, 0.02);
+    EventFreqs b;
+    b.set(EventType::RdMiss, 0.04);
+    EventFreqs c;
+    c.set(EventType::RdMiss, 0.06);
+    const EventFreqs avg = EventFreqs::average({a, b, c});
+    EXPECT_DOUBLE_EQ(avg.get(EventType::RdMiss), 0.04);
+}
+
+TEST(EventFreqsTest, AverageOfNothingIsRejected)
+{
+    EXPECT_THROW(EventFreqs::average({}), UsageError);
+}
+
+TEST(EventFreqsTest, MissNoCopyDerivations)
+{
+    EventFreqs freqs;
+    freqs.set(EventType::RdMiss, 0.05);
+    freqs.set(EventType::RmBlkCln, 0.03);
+    freqs.set(EventType::RmBlkDrty, 0.01);
+    freqs.set(EventType::WrtMiss, 0.002);
+    freqs.set(EventType::WmBlkCln, 0.001);
+    freqs.set(EventType::WmBlkDrty, 0.001);
+    EXPECT_NEAR(freqs.readMissNoCopy(), 0.01, 1e-12);
+    EXPECT_NEAR(freqs.writeMissNoCopy(), 0.0, 1e-12);
+    EXPECT_NEAR(freqs.dirtyMisses(), 0.011, 1e-12);
+}
+
+TEST(EventFreqsTest, MissNoCopyClampsRoundingNoise)
+{
+    // Published sub-rows can round to more than their parent (the
+    // paper's Dragon column does); the derivation must clamp at zero.
+    EventFreqs freqs;
+    freqs.set(EventType::RdMiss, 0.0030);
+    freqs.set(EventType::RmBlkCln, 0.0014);
+    freqs.set(EventType::RmBlkDrty, 0.0017);
+    EXPECT_DOUBLE_EQ(freqs.readMissNoCopy(), 0.0);
+}
+
+TEST(OpCountsTest, MergeAddsEveryField)
+{
+    OpCounts a;
+    a.memSupplies = 1;
+    a.cacheSupplies = 2;
+    a.dirtySupplies = 3;
+    a.invalMsgs = 4;
+    a.broadcastInvals = 5;
+    a.dirChecks = 6;
+    a.writeThroughs = 7;
+    a.writeUpdates = 8;
+    a.overflowInvals = 9;
+    a.evictionWriteBacks = 10;
+    a.busTransactions = 11;
+
+    OpCounts b = a;
+    b.merge(a);
+    EXPECT_EQ(b.memSupplies, 2u);
+    EXPECT_EQ(b.cacheSupplies, 4u);
+    EXPECT_EQ(b.dirtySupplies, 6u);
+    EXPECT_EQ(b.invalMsgs, 8u);
+    EXPECT_EQ(b.broadcastInvals, 10u);
+    EXPECT_EQ(b.dirChecks, 12u);
+    EXPECT_EQ(b.writeThroughs, 14u);
+    EXPECT_EQ(b.writeUpdates, 16u);
+    EXPECT_EQ(b.overflowInvals, 18u);
+    EXPECT_EQ(b.evictionWriteBacks, 20u);
+    EXPECT_EQ(b.busTransactions, 22u);
+}
+
+TEST(EventNamesTest, MatchTable4Legend)
+{
+    EXPECT_STREQ(toString(EventType::Instr), "instr");
+    EXPECT_STREQ(toString(EventType::RdMiss), "rd-miss(rm)");
+    EXPECT_STREQ(toString(EventType::RmBlkCln), "rm-blk-cln");
+    EXPECT_STREQ(toString(EventType::RmFirstRef), "rm-first-ref");
+    EXPECT_STREQ(toString(EventType::WhDistrib), "wh-distrib");
+    EXPECT_STREQ(toString(EventType::WmFirstRef), "wm-first-ref");
+}
+
+TEST(EventNamesTest, EveryEventHasAName)
+{
+    for (std::size_t e = 0; e < numEventTypes; ++e) {
+        const char *name = toString(static_cast<EventType>(e));
+        EXPECT_NE(name, nullptr);
+        EXPECT_GT(std::string(name).size(), 0u);
+    }
+}
+
+} // namespace
+} // namespace dirsim

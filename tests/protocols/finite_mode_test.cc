@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Finite-cache protocol simulation: replacement evictions interact
+ * correctly with coherence state, dirty victims are written back, and
+ * every scheme's invariants survive capacity pressure.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/finite_cache.hh"
+#include "common/logging.hh"
+#include "protocols/registry.hh"
+#include "sim/simulator.hh"
+#include "tracegen/generator.hh"
+
+namespace dirsim
+{
+namespace
+{
+
+/** Tiny caches: 8 blocks, 2 ways, so evictions are constant. */
+CacheFactory
+tinyFactory()
+{
+    FiniteCacheConfig config;
+    config.capacityBytes = 8 * defaultBlockBytes;
+    config.ways = 2;
+    config.blockBytes = defaultBlockBytes;
+    return [config] { return std::make_unique<FiniteCache>(config); };
+}
+
+TEST(FiniteModeTest, InfiniteByDefault)
+{
+    const auto protocol = makeProtocol("Dir0B", 2);
+    EXPECT_FALSE(protocol->finiteCaches());
+}
+
+TEST(FiniteModeTest, FactoryEnablesFiniteMode)
+{
+    const auto protocol = makeProtocol("Dir0B", 2, tinyFactory());
+    EXPECT_TRUE(protocol->finiteCaches());
+}
+
+TEST(FiniteModeTest, CapacityEvictionsDropBlocks)
+{
+    const auto protocol = makeProtocol("DirNNB", 2, tinyFactory());
+    // Touch 32 distinct blocks from one cache: only 8 can remain.
+    for (BlockNum block = 0; block < 32; ++block)
+        protocol->read(0, block, true);
+    unsigned resident = 0;
+    for (BlockNum block = 0; block < 32; ++block)
+        resident += protocol->holders(block).contains(0) ? 1 : 0;
+    EXPECT_EQ(resident, 8u);
+    protocol->checkAllInvariants();
+}
+
+TEST(FiniteModeTest, DirtyEvictionWritesBack)
+{
+    const auto protocol = makeProtocol("DirNNB", 2, tinyFactory());
+    // Blocks 0, 8, 16 map to the same set (8 sets); dirty the first.
+    protocol->write(0, 0, true);
+    protocol->read(0, 8, true);
+    protocol->read(0, 16, true); // evicts dirty block 0
+    EXPECT_FALSE(protocol->holders(0).contains(0));
+    EXPECT_EQ(protocol->ops().evictionWriteBacks, 1u);
+}
+
+TEST(FiniteModeTest, CleanEvictionIsFree)
+{
+    const auto protocol = makeProtocol("DirNNB", 2, tinyFactory());
+    protocol->read(0, 0, true);
+    protocol->read(0, 8, true);
+    protocol->read(0, 16, true); // evicts clean block 0
+    EXPECT_EQ(protocol->ops().evictionWriteBacks, 0u);
+}
+
+TEST(FiniteModeTest, EvictedBlockRemisses)
+{
+    const auto protocol = makeProtocol("Dir0B", 2, tinyFactory());
+    protocol->read(0, 0, true);
+    protocol->read(0, 8, true);
+    protocol->read(0, 16, true); // evicts 0
+    protocol->read(0, 0, false); // capacity miss
+    EXPECT_EQ(protocol->events().count(EventType::RdMiss), 1u);
+}
+
+TEST(FiniteModeTest, EvictionDoesNotDisturbOtherCaches)
+{
+    const auto protocol = makeProtocol("DirNNB", 3, tinyFactory());
+    protocol->read(0, 0, true);
+    protocol->read(1, 0, false);
+    // Cache 0 churns its set until block 0 is evicted from it.
+    protocol->read(0, 8, true);
+    protocol->read(0, 16, true);
+    EXPECT_FALSE(protocol->holders(0).contains(0));
+    EXPECT_TRUE(protocol->holders(0).contains(1));
+    protocol->checkAllInvariants();
+}
+
+TEST(FiniteModeTest, WriteBackCostAppearsInWriteBackRow)
+{
+    const auto protocol = makeProtocol("DirNNB", 2, tinyFactory());
+    protocol->write(0, 0, true);
+    protocol->read(0, 8, true);
+    protocol->read(0, 16, true);
+    const CycleBreakdown cost = costFromOps(
+        protocol->ops(), 3, paperPipelinedCosts());
+    EXPECT_DOUBLE_EQ(cost.writeBack, 4.0 / 3.0);
+}
+
+class FiniteModeAllSchemes
+    : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(FiniteModeAllSchemes, InvariantsSurviveCapacityPressure)
+{
+    const Trace trace = generateTrace("pops", 60'000, 99);
+    SimConfig config;
+    config.invariantCheckPeriod = 5'000;
+    FiniteCacheConfig cache_config;
+    cache_config.capacityBytes = 4 * 1024; // 256 blocks: heavy churn
+    cache_config.ways = 2;
+    config.finiteCache = cache_config;
+    EXPECT_NO_THROW(simulateTrace(trace, GetParam(), config));
+}
+
+TEST_P(FiniteModeAllSchemes, SmallerCachesMissMore)
+{
+    const Trace trace = generateTrace("pero", 60'000, 7);
+    SimConfig infinite;
+    const SimResult base = simulateTrace(trace, GetParam(), infinite);
+
+    SimConfig finite;
+    FiniteCacheConfig cache_config;
+    cache_config.capacityBytes = 8 * 1024;
+    cache_config.ways = 2;
+    finite.finiteCache = cache_config;
+    const SimResult capped = simulateTrace(trace, GetParam(), finite);
+
+    EXPECT_GT(capped.events.count(EventType::RdMiss),
+              base.events.count(EventType::RdMiss));
+    // Costs rise accordingly.
+    const BusCosts costs = paperPipelinedCosts();
+    EXPECT_GT(capped.cost(costs).total(), base.cost(costs).total());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schemes, FiniteModeAllSchemes,
+    ::testing::Values("Dir1NB", "WTI", "Dir0B", "Dragon", "DirNNB",
+                      "Berkeley", "YenFu", "DirCV", "Dir2B",
+                      "Dir2NB"));
+
+TEST(FiniteModeTest, BlockSizeMismatchRejected)
+{
+    const Trace trace = generateTrace("pero", 5'000, 7);
+    SimConfig config;
+    config.blockBytes = 32;
+    FiniteCacheConfig cache_config; // blockBytes 16
+    config.finiteCache = cache_config;
+    EXPECT_THROW(simulateTrace(trace, "Dir0B", config), UsageError);
+}
+
+} // namespace
+} // namespace dirsim

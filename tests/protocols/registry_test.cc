@@ -1,0 +1,79 @@
+/** @file Unit tests for protocols/registry.hh. */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "protocols/registry.hh"
+
+namespace dirsim
+{
+namespace
+{
+
+TEST(RegistryTest, NamedSchemesResolve)
+{
+    for (const auto &name : allSchemes()) {
+        const auto protocol = makeProtocol(name, 4);
+        ASSERT_NE(protocol, nullptr) << name;
+        EXPECT_EQ(protocol->name(), name);
+        EXPECT_EQ(protocol->numCaches(), 4u);
+    }
+}
+
+TEST(RegistryTest, CaseInsensitive)
+{
+    EXPECT_EQ(makeProtocol("dir0b", 2)->name(), "Dir0B");
+    EXPECT_EQ(makeProtocol("DRAGON", 2)->name(), "Dragon");
+    EXPECT_EQ(makeProtocol("wti", 2)->name(), "WTI");
+    EXPECT_EQ(makeProtocol("dirnnb", 2)->name(), "DirNNB");
+    EXPECT_EQ(makeProtocol("yenfu", 2)->name(), "YenFu");
+    EXPECT_EQ(makeProtocol("DirCV", 2)->name(), "DirCV");
+}
+
+TEST(RegistryTest, ParameterizedFamilies)
+{
+    EXPECT_EQ(makeProtocol("Dir2B", 8)->name(), "Dir2B");
+    EXPECT_EQ(makeProtocol("Dir4NB", 8)->name(), "Dir4NB");
+    EXPECT_EQ(makeProtocol("dir16b", 32)->name(), "Dir16B");
+}
+
+TEST(RegistryTest, Dir1NBUsesDedicatedImplementation)
+{
+    // The explicit single-pointer scheme, not DirINB(1): its name is
+    // the classic one and its behaviour is the paper's Dir1NB.
+    const auto protocol = makeProtocol("Dir1NB", 4);
+    EXPECT_EQ(protocol->name(), "Dir1NB");
+}
+
+TEST(RegistryTest, RejectsUnknownNames)
+{
+    EXPECT_THROW(makeProtocol("MOESI", 4), UsageError);
+    EXPECT_THROW(makeProtocol("", 4), UsageError);
+    EXPECT_THROW(makeProtocol("DirXB", 4), UsageError);
+    EXPECT_THROW(makeProtocol("Dir2", 4), UsageError);
+}
+
+TEST(RegistryTest, RejectsDir0NB)
+{
+    // "The one case that does not make sense is Dir0 NB, since there
+    // is no way to obtain exclusive access."
+    EXPECT_THROW(makeProtocol("Dir0NB", 4), UsageError);
+}
+
+TEST(RegistryTest, PaperSchemesAreTheEvaluationSet)
+{
+    const auto &schemes = paperSchemes();
+    ASSERT_EQ(schemes.size(), 4u);
+    EXPECT_EQ(schemes[0], "Dir1NB");
+    EXPECT_EQ(schemes[1], "WTI");
+    EXPECT_EQ(schemes[2], "Dir0B");
+    EXPECT_EQ(schemes[3], "Dragon");
+}
+
+TEST(RegistryTest, ZeroCachesRejected)
+{
+    EXPECT_THROW(makeProtocol("Dir0B", 0), UsageError);
+}
+
+} // namespace
+} // namespace dirsim

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Shared helpers for the dirsim test suite.
+ */
+
+#ifndef DIRSIM_TESTS_TEST_UTIL_HH
+#define DIRSIM_TESTS_TEST_UTIL_HH
+
+#include "trace/trace.hh"
+
+namespace dirsim::test
+{
+
+/** Build a record tersely. */
+inline TraceRecord
+rec(CpuId cpu, ProcId pid, RefType type, Addr addr,
+    std::uint8_t flags = flagNone)
+{
+    TraceRecord record;
+    record.cpu = cpu;
+    record.pid = pid;
+    record.type = type;
+    record.addr = addr;
+    record.flags = flags;
+    return record;
+}
+
+inline TraceRecord
+read(ProcId pid, Addr addr, std::uint8_t flags = flagNone)
+{
+    return rec(static_cast<CpuId>(pid % 4), pid, RefType::Read, addr,
+               flags);
+}
+
+inline TraceRecord
+write(ProcId pid, Addr addr, std::uint8_t flags = flagNone)
+{
+    return rec(static_cast<CpuId>(pid % 4), pid, RefType::Write, addr,
+               flags);
+}
+
+inline TraceRecord
+instr(ProcId pid, Addr addr)
+{
+    return rec(static_cast<CpuId>(pid % 4), pid, RefType::Instr, addr);
+}
+
+/** Build a trace from a record list. */
+inline Trace
+makeTrace(std::initializer_list<TraceRecord> records,
+          const std::string &name = "test", unsigned cpus = 4)
+{
+    Trace trace(name, cpus);
+    for (const auto &record : records)
+        trace.append(record);
+    return trace;
+}
+
+} // namespace dirsim::test
+
+#endif // DIRSIM_TESTS_TEST_UTIL_HH

@@ -1,0 +1,97 @@
+/** @file Unit tests for trace/record.hh. */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "trace/record.hh"
+
+namespace dirsim
+{
+namespace
+{
+
+TEST(RecordTest, DefaultRecord)
+{
+    TraceRecord record;
+    EXPECT_TRUE(record.isInstr());
+    EXPECT_FALSE(record.isData());
+    EXPECT_FALSE(record.isLockRef());
+    EXPECT_FALSE(record.isSystem());
+}
+
+TEST(RecordTest, TypePredicates)
+{
+    TraceRecord record;
+    record.type = RefType::Read;
+    EXPECT_TRUE(record.isRead());
+    EXPECT_TRUE(record.isData());
+    EXPECT_FALSE(record.isWrite());
+    record.type = RefType::Write;
+    EXPECT_TRUE(record.isWrite());
+    EXPECT_TRUE(record.isData());
+    EXPECT_FALSE(record.isRead());
+}
+
+TEST(RecordTest, FlagPredicates)
+{
+    TraceRecord record;
+    record.flags = flagLockSpin;
+    EXPECT_TRUE(record.isLockSpin());
+    EXPECT_TRUE(record.isLockRef());
+    EXPECT_FALSE(record.isLockWrite());
+
+    record.flags = flagLockWrite;
+    EXPECT_TRUE(record.isLockWrite());
+    EXPECT_TRUE(record.isLockRef());
+    EXPECT_FALSE(record.isLockSpin());
+
+    record.flags = flagSystem;
+    EXPECT_TRUE(record.isSystem());
+    EXPECT_FALSE(record.isLockRef());
+
+    record.flags = flagLockSpin | flagSystem;
+    EXPECT_TRUE(record.isLockSpin());
+    EXPECT_TRUE(record.isSystem());
+}
+
+TEST(RecordTest, EqualityComparesAllFields)
+{
+    TraceRecord a;
+    a.addr = 0x100;
+    a.pid = 7;
+    TraceRecord b = a;
+    EXPECT_EQ(a, b);
+    b.addr = 0x104;
+    EXPECT_NE(a, b);
+    b = a;
+    b.flags = flagSystem;
+    EXPECT_NE(a, b);
+}
+
+TEST(RecordTest, RefTypeNames)
+{
+    EXPECT_STREQ(toString(RefType::Instr), "instr");
+    EXPECT_STREQ(toString(RefType::Read), "read");
+    EXPECT_STREQ(toString(RefType::Write), "write");
+}
+
+TEST(RecordTest, RefTypeRoundTrip)
+{
+    for (const RefType type :
+         {RefType::Instr, RefType::Read, RefType::Write})
+        EXPECT_EQ(refTypeFromString(toString(type)), type);
+}
+
+TEST(RecordTest, RefTypeParseRejectsUnknown)
+{
+    EXPECT_THROW(refTypeFromString("fetch"), UsageError);
+    EXPECT_THROW(refTypeFromString(""), UsageError);
+}
+
+TEST(RecordTest, PackedSize)
+{
+    EXPECT_EQ(sizeof(TraceRecord), 16u);
+}
+
+} // namespace
+} // namespace dirsim

@@ -1,0 +1,163 @@
+/** @file Unit tests for trace/trace_stats.hh. */
+
+#include <gtest/gtest.h>
+
+#include "test_util.hh"
+#include "trace/trace_stats.hh"
+
+namespace dirsim
+{
+namespace
+{
+
+using test::instr;
+using test::read;
+using test::write;
+
+TEST(TraceStatsTest, CountsByType)
+{
+    Trace trace("t", 4);
+    trace.append(instr(100, 0x10));
+    trace.append(instr(100, 0x14));
+    trace.append(read(100, 0x1000));
+    trace.append(write(101, 0x2000));
+
+    const TraceStats stats = computeTraceStats(trace);
+    EXPECT_EQ(stats.refs, 4u);
+    EXPECT_EQ(stats.instr, 2u);
+    EXPECT_EQ(stats.dataReads, 1u);
+    EXPECT_EQ(stats.dataWrites, 1u);
+    EXPECT_EQ(stats.numProcesses, 2u);
+}
+
+TEST(TraceStatsTest, UserSystemSplit)
+{
+    Trace trace("t", 4);
+    trace.append(read(100, 0x1000));
+    trace.append(read(100, 0x1000, flagSystem));
+    trace.append(write(100, 0x1000, flagSystem));
+
+    const TraceStats stats = computeTraceStats(trace);
+    EXPECT_EQ(stats.user, 1u);
+    EXPECT_EQ(stats.sys, 2u);
+    EXPECT_NEAR(stats.systemFraction(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(TraceStatsTest, LockCounters)
+{
+    Trace trace("t", 4);
+    trace.append(read(100, 0x1000, flagLockSpin));
+    trace.append(read(100, 0x1000, flagLockSpin));
+    trace.append(write(100, 0x1000, flagLockWrite));
+    trace.append(read(100, 0x2000));
+
+    const TraceStats stats = computeTraceStats(trace);
+    EXPECT_EQ(stats.lockSpinReads, 2u);
+    EXPECT_EQ(stats.lockWrites, 1u);
+    EXPECT_NEAR(stats.spinReadFraction(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(TraceStatsTest, SharingByProcessNotCpu)
+{
+    Trace trace("t", 4);
+    // Same process from two different CPUs: NOT shared.
+    trace.append(test::rec(0, 100, RefType::Read, 0x1000));
+    trace.append(test::rec(1, 100, RefType::Read, 0x1000));
+    // Two processes touch 0x2000: shared.
+    trace.append(test::rec(0, 100, RefType::Read, 0x2000));
+    trace.append(test::rec(0, 101, RefType::Read, 0x2000));
+
+    const TraceStats stats = computeTraceStats(trace);
+    EXPECT_EQ(stats.dataBlocks, 2u);
+    EXPECT_EQ(stats.sharedDataBlocks, 1u);
+    EXPECT_DOUBLE_EQ(stats.sharedBlockFraction(), 0.5);
+}
+
+TEST(TraceStatsTest, BlockGranularitySharing)
+{
+    Trace trace("t", 4);
+    // Different words of the same 16B block count as one block.
+    trace.append(read(100, 0x1000));
+    trace.append(read(101, 0x100c));
+    const TraceStats stats = computeTraceStats(trace, 16);
+    EXPECT_EQ(stats.dataBlocks, 1u);
+    EXPECT_EQ(stats.sharedDataBlocks, 1u);
+
+    // With 4-byte blocks they are distinct and unshared.
+    const TraceStats fine = computeTraceStats(trace, 4);
+    EXPECT_EQ(fine.dataBlocks, 2u);
+    EXPECT_EQ(fine.sharedDataBlocks, 0u);
+}
+
+TEST(TraceStatsTest, RatiosHandleZeroDenominators)
+{
+    Trace trace("t", 4);
+    trace.append(instr(100, 0x10));
+    const TraceStats stats = computeTraceStats(trace);
+    EXPECT_DOUBLE_EQ(stats.readWriteRatio(), 0.0);
+    EXPECT_DOUBLE_EQ(stats.spinReadFraction(), 0.0);
+    EXPECT_DOUBLE_EQ(stats.sharedBlockFraction(), 0.0);
+}
+
+TEST(TraceStatsTest, InstructionsDoNotCountAsDataBlocks)
+{
+    Trace trace("t", 4);
+    trace.append(instr(100, 0x5000));
+    trace.append(instr(101, 0x5000));
+    const TraceStats stats = computeTraceStats(trace);
+    EXPECT_EQ(stats.dataBlocks, 0u);
+    EXPECT_EQ(stats.sharedDataBlocks, 0u);
+}
+
+TEST(SpinDetectorTest, DetectsRepeatedSameProcessReads)
+{
+    Trace trace("t", 4);
+    trace.append(read(100, 0x1000)); // run 1
+    trace.append(read(100, 0x1000)); // run 2 -> both flagged
+    trace.append(read(100, 0x1000)); // run 3 -> flagged
+    trace.append(read(101, 0x2000)); // unrelated
+
+    const auto spin = detectSpinReads(trace, 2);
+    EXPECT_TRUE(spin[0]);
+    EXPECT_TRUE(spin[1]);
+    EXPECT_TRUE(spin[2]);
+    EXPECT_FALSE(spin[3]);
+}
+
+TEST(SpinDetectorTest, WriteBreaksRun)
+{
+    Trace trace("t", 4);
+    trace.append(read(100, 0x1000));
+    trace.append(write(101, 0x1000));
+    trace.append(read(100, 0x1000));
+    const auto spin = detectSpinReads(trace, 2);
+    EXPECT_FALSE(spin[0]);
+    EXPECT_FALSE(spin[2]);
+}
+
+TEST(SpinDetectorTest, DifferentReaderBreaksRun)
+{
+    Trace trace("t", 4);
+    trace.append(read(100, 0x1000));
+    trace.append(read(101, 0x1000));
+    trace.append(read(100, 0x1000));
+    const auto spin = detectSpinReads(trace, 2);
+    EXPECT_FALSE(spin[0]);
+    EXPECT_FALSE(spin[1]);
+    EXPECT_FALSE(spin[2]);
+}
+
+TEST(SpinDetectorTest, ThresholdRespected)
+{
+    Trace trace("t", 4);
+    trace.append(read(100, 0x1000));
+    trace.append(read(100, 0x1000));
+    trace.append(read(100, 0x1000));
+    const auto spin = detectSpinReads(trace, 4);
+    EXPECT_FALSE(spin[0]);
+    EXPECT_FALSE(spin[1]);
+    EXPECT_FALSE(spin[2]);
+}
+
+} // namespace
+} // namespace dirsim

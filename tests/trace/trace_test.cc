@@ -1,0 +1,95 @@
+/** @file Unit tests for trace/trace.hh. */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "test_util.hh"
+#include "trace/trace.hh"
+
+namespace dirsim
+{
+namespace
+{
+
+using test::instr;
+using test::read;
+using test::rec;
+using test::write;
+
+TEST(TraceTest, EmptyTrace)
+{
+    Trace trace;
+    EXPECT_TRUE(trace.empty());
+    EXPECT_EQ(trace.size(), 0u);
+    EXPECT_EQ(trace.countProcesses(), 0u);
+    EXPECT_EQ(trace.observedCpus(), 0u);
+}
+
+TEST(TraceTest, MetadataAccessors)
+{
+    Trace trace("pops", 4);
+    EXPECT_EQ(trace.name(), "pops");
+    EXPECT_EQ(trace.numCpus(), 4u);
+    trace.setName("other");
+    trace.setNumCpus(8);
+    EXPECT_EQ(trace.name(), "other");
+    EXPECT_EQ(trace.numCpus(), 8u);
+}
+
+TEST(TraceTest, AppendPreservesOrder)
+{
+    Trace trace("t", 4);
+    trace.append(read(1, 0x100));
+    trace.append(write(2, 0x200));
+    trace.append(instr(1, 0x300));
+    ASSERT_EQ(trace.size(), 3u);
+    EXPECT_TRUE(trace[0].isRead());
+    EXPECT_TRUE(trace[1].isWrite());
+    EXPECT_TRUE(trace[2].isInstr());
+}
+
+TEST(TraceTest, AppendValidatesCpu)
+{
+    Trace trace("t", 2);
+    EXPECT_NO_THROW(trace.append(rec(1, 0, RefType::Read, 0x0)));
+    EXPECT_THROW(trace.append(rec(2, 0, RefType::Read, 0x0)),
+                 UsageError);
+}
+
+TEST(TraceTest, ZeroCpusDisablesValidation)
+{
+    Trace trace; // cpus == 0 means "unknown"
+    EXPECT_NO_THROW(trace.append(rec(63, 0, RefType::Read, 0x0)));
+}
+
+TEST(TraceTest, CountProcesses)
+{
+    Trace trace("t", 4);
+    trace.append(read(100, 0x0));
+    trace.append(read(100, 0x4));
+    trace.append(read(101, 0x8));
+    trace.append(write(102, 0xc));
+    EXPECT_EQ(trace.countProcesses(), 3u);
+}
+
+TEST(TraceTest, ObservedCpus)
+{
+    Trace trace("t", 4);
+    trace.append(rec(0, 1, RefType::Read, 0x0));
+    trace.append(rec(2, 1, RefType::Read, 0x0));
+    EXPECT_EQ(trace.observedCpus(), 3u); // max index 2 -> 3 CPUs
+}
+
+TEST(TraceTest, RangeForIteration)
+{
+    Trace trace("t", 4);
+    trace.append(read(1, 0x10));
+    trace.append(read(1, 0x20));
+    Addr sum = 0;
+    for (const auto &record : trace)
+        sum += record.addr;
+    EXPECT_EQ(sum, 0x30u);
+}
+
+} // namespace
+} // namespace dirsim

@@ -1,0 +1,97 @@
+/** @file Unit tests for tracegen/profile.hh. */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "tracegen/profile.hh"
+
+namespace dirsim
+{
+namespace
+{
+
+TEST(ProfileTest, NamedProfilesValidate)
+{
+    EXPECT_NO_THROW(popsProfile().check());
+    EXPECT_NO_THROW(thorProfile().check());
+    EXPECT_NO_THROW(peroProfile().check());
+}
+
+TEST(ProfileTest, LookupByName)
+{
+    EXPECT_EQ(profileByName("pops").name, "pops");
+    EXPECT_EQ(profileByName("thor").name, "thor");
+    EXPECT_EQ(profileByName("pero").name, "pero");
+}
+
+TEST(ProfileTest, LookupRejectsUnknown)
+{
+    EXPECT_THROW(profileByName("linpack"), UsageError);
+    EXPECT_THROW(profileByName(""), UsageError);
+}
+
+TEST(ProfileTest, AllProfilesUseFourCpus)
+{
+    // The paper's tracing machine was a 4-CPU VAX 8350.
+    EXPECT_EQ(popsProfile().numCpus, 4u);
+    EXPECT_EQ(thorProfile().numCpus, 4u);
+    EXPECT_EQ(peroProfile().numCpus, 4u);
+}
+
+TEST(ProfileTest, PeroIsLockLight)
+{
+    // The distinguishing property: PERO's read/write behaviour comes
+    // from the algorithm, not locks (Section 4.4).
+    EXPECT_LT(peroProfile().lockUseProb, 0.3);
+    EXPECT_GT(popsProfile().lockUseProb, 0.5);
+    EXPECT_GT(thorProfile().lockUseProb, 0.5);
+}
+
+TEST(ProfileTest, PhaseMixValidation)
+{
+    PhaseMix bad{0.8, 0.3}; // sums past 1
+    EXPECT_THROW(bad.check("test"), UsageError);
+    PhaseMix negative{-0.1, 0.5};
+    EXPECT_THROW(negative.check("test"), UsageError);
+    PhaseMix ok{0.5, 0.4};
+    EXPECT_NO_THROW(ok.check("test"));
+}
+
+TEST(ProfileTest, ChecksRejectBrokenProfiles)
+{
+    WorkloadProfile p = popsProfile();
+    p.name.clear();
+    EXPECT_THROW(p.check(), UsageError);
+
+    p = popsProfile();
+    p.numProcesses = 0;
+    EXPECT_THROW(p.check(), UsageError);
+
+    p = popsProfile();
+    p.numLocks = 0; // but lockUseProb > 0
+    EXPECT_THROW(p.check(), UsageError);
+
+    p = popsProfile();
+    p.burstMinRefs = 50;
+    p.burstMaxRefs = 10;
+    EXPECT_THROW(p.check(), UsageError);
+
+    p = popsProfile();
+    p.sharedWords = 0;
+    EXPECT_THROW(p.check(), UsageError);
+
+    p = popsProfile();
+    p.lockRegionBlocks = 0;
+    EXPECT_THROW(p.check(), UsageError);
+}
+
+TEST(ProfileTest, LockFreeProfileIsLegal)
+{
+    WorkloadProfile p = peroProfile();
+    p.numLocks = 0;
+    p.lockUseProb = 0.0;
+    EXPECT_NO_THROW(p.check());
+}
+
+} // namespace
+} // namespace dirsim

@@ -1,0 +1,86 @@
+/** @file Unit tests for tracegen/segments.hh. */
+
+#include <gtest/gtest.h>
+
+#include "tracegen/address_space.hh"
+#include "tracegen/generator.hh"
+#include "tracegen/segments.hh"
+
+namespace dirsim
+{
+namespace
+{
+
+TEST(SegmentsTest, ClassifiesEverySegment)
+{
+    AddressSpace space;
+    EXPECT_EQ(classifyAddress(space.code(3, 7)),
+              SegmentKind::UserCode);
+    EXPECT_EQ(classifyAddress(space.privateData(3, 7)),
+              SegmentKind::PrivateData);
+    EXPECT_EQ(classifyAddress(space.shared(7)),
+              SegmentKind::SharedData);
+    EXPECT_EQ(classifyAddress(space.lock(2)), SegmentKind::Lock);
+    EXPECT_EQ(classifyAddress(space.mailbox(2, 5)),
+              SegmentKind::Mailbox);
+    EXPECT_EQ(classifyAddress(space.kernelCode(7)),
+              SegmentKind::KernelCode);
+    EXPECT_EQ(classifyAddress(space.kernelData(7)),
+              SegmentKind::KernelData);
+    EXPECT_EQ(classifyAddress(space.kernelProcData(3, 7)),
+              SegmentKind::KernelProc);
+}
+
+TEST(SegmentsTest, UnknownOutsideLayout)
+{
+    EXPECT_EQ(classifyAddress(0x1000), SegmentKind::Unknown);
+    EXPECT_EQ(classifyAddress(~0ull), SegmentKind::Unknown);
+}
+
+TEST(SegmentsTest, NamesAreDistinct)
+{
+    EXPECT_STREQ(toString(SegmentKind::Lock), "lock");
+    EXPECT_STREQ(toString(SegmentKind::SharedData), "shared-data");
+    EXPECT_STREQ(toString(SegmentKind::KernelProc), "kernel-proc");
+}
+
+TEST(SegmentsTest, GeneratedTraceHasNoUnknownAddresses)
+{
+    const Trace trace = generateTrace("pops", 60'000, 9);
+    const SegmentProfile profile = profileSegments(trace);
+    EXPECT_EQ(profile.count(SegmentKind::Unknown), 0u);
+    EXPECT_EQ(profile.total, trace.size());
+}
+
+TEST(SegmentsTest, ProfileMatchesWorkloadStructure)
+{
+    const Trace trace = generateTrace("pops", 120'000, 9);
+    const SegmentProfile profile = profileSegments(trace);
+    // Code dominates (instructions are ~half the refs).
+    EXPECT_GT(profile.fraction(SegmentKind::UserCode), 0.3);
+    // Spin-heavy workload: lock references are a visible share.
+    EXPECT_GT(profile.fraction(SegmentKind::Lock), 0.05);
+    // Private data is the biggest data segment.
+    EXPECT_GT(profile.fraction(SegmentKind::PrivateData),
+              profile.fraction(SegmentKind::SharedData));
+}
+
+TEST(SegmentsTest, PeroIsLockLightBySegments)
+{
+    const Trace trace = generateTrace("pero", 120'000, 9);
+    const SegmentProfile profile = profileSegments(trace);
+    EXPECT_LT(profile.fraction(SegmentKind::Lock), 0.01);
+}
+
+TEST(SegmentsTest, FractionsSumToOne)
+{
+    const Trace trace = generateTrace("thor", 60'000, 9);
+    const SegmentProfile profile = profileSegments(trace);
+    double sum = 0.0;
+    for (int k = 0; k <= static_cast<int>(SegmentKind::Unknown); ++k)
+        sum += profile.fraction(static_cast<SegmentKind>(k));
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+} // namespace
+} // namespace dirsim
