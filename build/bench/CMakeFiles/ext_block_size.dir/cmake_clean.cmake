@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_block_size.dir/ext_block_size.cpp.o"
+  "CMakeFiles/ext_block_size.dir/ext_block_size.cpp.o.d"
+  "ext_block_size"
+  "ext_block_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_block_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_finite_cache.dir/ext_finite_cache.cpp.o"
+  "CMakeFiles/ext_finite_cache.dir/ext_finite_cache.cpp.o.d"
+  "ext_finite_cache"
+  "ext_finite_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_finite_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

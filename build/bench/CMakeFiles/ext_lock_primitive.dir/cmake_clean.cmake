@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_lock_primitive.dir/ext_lock_primitive.cpp.o"
+  "CMakeFiles/ext_lock_primitive.dir/ext_lock_primitive.cpp.o.d"
+  "ext_lock_primitive"
+  "ext_lock_primitive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_lock_primitive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

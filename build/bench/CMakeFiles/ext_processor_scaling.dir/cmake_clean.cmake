@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_processor_scaling.dir/ext_processor_scaling.cpp.o"
+  "CMakeFiles/ext_processor_scaling.dir/ext_processor_scaling.cpp.o.d"
+  "ext_processor_scaling"
+  "ext_processor_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_processor_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

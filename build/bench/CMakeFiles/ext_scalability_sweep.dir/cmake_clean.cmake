@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_scalability_sweep.dir/ext_scalability_sweep.cpp.o"
+  "CMakeFiles/ext_scalability_sweep.dir/ext_scalability_sweep.cpp.o.d"
+  "ext_scalability_sweep"
+  "ext_scalability_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_scalability_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

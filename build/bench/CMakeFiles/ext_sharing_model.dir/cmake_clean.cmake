@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_sharing_model.dir/ext_sharing_model.cpp.o"
+  "CMakeFiles/ext_sharing_model.dir/ext_sharing_model.cpp.o.d"
+  "ext_sharing_model"
+  "ext_sharing_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_sharing_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

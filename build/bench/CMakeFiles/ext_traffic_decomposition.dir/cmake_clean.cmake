@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_traffic_decomposition.dir/ext_traffic_decomposition.cpp.o"
+  "CMakeFiles/ext_traffic_decomposition.dir/ext_traffic_decomposition.cpp.o.d"
+  "ext_traffic_decomposition"
+  "ext_traffic_decomposition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_traffic_decomposition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_warmup.dir/ext_warmup.cpp.o"
+  "CMakeFiles/ext_warmup.dir/ext_warmup.cpp.o.d"
+  "ext_warmup"
+  "ext_warmup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_warmup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_workload_knobs.dir/ext_workload_knobs.cpp.o"
+  "CMakeFiles/ext_workload_knobs.dir/ext_workload_knobs.cpp.o.d"
+  "ext_workload_knobs"
+  "ext_workload_knobs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_workload_knobs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

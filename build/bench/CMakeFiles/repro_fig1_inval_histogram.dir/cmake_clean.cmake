@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_fig1_inval_histogram.dir/repro_fig1_inval_histogram.cpp.o"
+  "CMakeFiles/repro_fig1_inval_histogram.dir/repro_fig1_inval_histogram.cpp.o.d"
+  "repro_fig1_inval_histogram"
+  "repro_fig1_inval_histogram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_fig1_inval_histogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

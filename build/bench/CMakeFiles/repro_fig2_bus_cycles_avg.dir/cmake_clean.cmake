@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_fig2_bus_cycles_avg.dir/repro_fig2_bus_cycles_avg.cpp.o"
+  "CMakeFiles/repro_fig2_bus_cycles_avg.dir/repro_fig2_bus_cycles_avg.cpp.o.d"
+  "repro_fig2_bus_cycles_avg"
+  "repro_fig2_bus_cycles_avg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_fig2_bus_cycles_avg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

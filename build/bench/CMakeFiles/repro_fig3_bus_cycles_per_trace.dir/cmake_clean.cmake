@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_fig3_bus_cycles_per_trace.dir/repro_fig3_bus_cycles_per_trace.cpp.o"
+  "CMakeFiles/repro_fig3_bus_cycles_per_trace.dir/repro_fig3_bus_cycles_per_trace.cpp.o.d"
+  "repro_fig3_bus_cycles_per_trace"
+  "repro_fig3_bus_cycles_per_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_fig3_bus_cycles_per_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

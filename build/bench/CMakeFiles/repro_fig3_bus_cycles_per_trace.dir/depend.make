@@ -1,0 +1,2 @@
+# Empty dependencies file for repro_fig3_bus_cycles_per_trace.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_fig4_breakdown_fraction.dir/repro_fig4_breakdown_fraction.cpp.o"
+  "CMakeFiles/repro_fig4_breakdown_fraction.dir/repro_fig4_breakdown_fraction.cpp.o.d"
+  "repro_fig4_breakdown_fraction"
+  "repro_fig4_breakdown_fraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_fig4_breakdown_fraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for repro_fig4_breakdown_fraction.
+# This may be replaced when dependencies are built.

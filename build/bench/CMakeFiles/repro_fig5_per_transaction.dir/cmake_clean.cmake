@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_fig5_per_transaction.dir/repro_fig5_per_transaction.cpp.o"
+  "CMakeFiles/repro_fig5_per_transaction.dir/repro_fig5_per_transaction.cpp.o.d"
+  "repro_fig5_per_transaction"
+  "repro_fig5_per_transaction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_fig5_per_transaction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

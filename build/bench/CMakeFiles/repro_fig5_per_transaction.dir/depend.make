@@ -1,0 +1,2 @@
+# Empty dependencies file for repro_fig5_per_transaction.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_sec5_1_transaction_overhead.dir/repro_sec5_1_transaction_overhead.cpp.o"
+  "CMakeFiles/repro_sec5_1_transaction_overhead.dir/repro_sec5_1_transaction_overhead.cpp.o.d"
+  "repro_sec5_1_transaction_overhead"
+  "repro_sec5_1_transaction_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_sec5_1_transaction_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for repro_sec5_1_transaction_overhead.
+# This may be replaced when dependencies are built.

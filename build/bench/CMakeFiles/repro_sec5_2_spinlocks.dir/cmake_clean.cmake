@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_sec5_2_spinlocks.dir/repro_sec5_2_spinlocks.cpp.o"
+  "CMakeFiles/repro_sec5_2_spinlocks.dir/repro_sec5_2_spinlocks.cpp.o.d"
+  "repro_sec5_2_spinlocks"
+  "repro_sec5_2_spinlocks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_sec5_2_spinlocks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for repro_sec5_2_spinlocks.
+# This may be replaced when dependencies are built.

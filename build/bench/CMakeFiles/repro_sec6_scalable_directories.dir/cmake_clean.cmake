@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_sec6_scalable_directories.dir/repro_sec6_scalable_directories.cpp.o"
+  "CMakeFiles/repro_sec6_scalable_directories.dir/repro_sec6_scalable_directories.cpp.o.d"
+  "repro_sec6_scalable_directories"
+  "repro_sec6_scalable_directories.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_sec6_scalable_directories.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for repro_sec6_scalable_directories.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_table1_bus_timing.dir/repro_table1_bus_timing.cpp.o"
+  "CMakeFiles/repro_table1_bus_timing.dir/repro_table1_bus_timing.cpp.o.d"
+  "repro_table1_bus_timing"
+  "repro_table1_bus_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_table1_bus_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for repro_table1_bus_timing.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_table2_costs.dir/repro_table2_costs.cpp.o"
+  "CMakeFiles/repro_table2_costs.dir/repro_table2_costs.cpp.o.d"
+  "repro_table2_costs"
+  "repro_table2_costs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_table2_costs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_table3_traces.dir/repro_table3_traces.cpp.o"
+  "CMakeFiles/repro_table3_traces.dir/repro_table3_traces.cpp.o.d"
+  "repro_table3_traces"
+  "repro_table3_traces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_table3_traces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_table4_event_frequencies.dir/repro_table4_event_frequencies.cpp.o"
+  "CMakeFiles/repro_table4_event_frequencies.dir/repro_table4_event_frequencies.cpp.o.d"
+  "repro_table4_event_frequencies"
+  "repro_table4_event_frequencies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_table4_event_frequencies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

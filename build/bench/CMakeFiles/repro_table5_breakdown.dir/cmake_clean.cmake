@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_table5_breakdown.dir/repro_table5_breakdown.cpp.o"
+  "CMakeFiles/repro_table5_breakdown.dir/repro_table5_breakdown.cpp.o.d"
+  "repro_table5_breakdown"
+  "repro_table5_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_table5_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spinlock_anatomy.dir/spinlock_anatomy.cpp.o"
+  "CMakeFiles/spinlock_anatomy.dir/spinlock_anatomy.cpp.o.d"
+  "spinlock_anatomy"
+  "spinlock_anatomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spinlock_anatomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bus/bus_model.cc" "src/bus/CMakeFiles/dirsim_bus.dir/bus_model.cc.o" "gcc" "src/bus/CMakeFiles/dirsim_bus.dir/bus_model.cc.o.d"
+  "/root/repo/src/bus/cost_model.cc" "src/bus/CMakeFiles/dirsim_bus.dir/cost_model.cc.o" "gcc" "src/bus/CMakeFiles/dirsim_bus.dir/cost_model.cc.o.d"
+  "/root/repo/src/bus/latency_model.cc" "src/bus/CMakeFiles/dirsim_bus.dir/latency_model.cc.o" "gcc" "src/bus/CMakeFiles/dirsim_bus.dir/latency_model.cc.o.d"
+  "/root/repo/src/bus/timing.cc" "src/bus/CMakeFiles/dirsim_bus.dir/timing.cc.o" "gcc" "src/bus/CMakeFiles/dirsim_bus.dir/timing.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dirsim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocols/CMakeFiles/dirsim_protocols.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/dirsim_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/directory/CMakeFiles/dirsim_directory.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

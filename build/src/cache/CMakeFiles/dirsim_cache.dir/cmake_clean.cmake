@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dirsim_cache.dir/finite_cache.cc.o"
+  "CMakeFiles/dirsim_cache.dir/finite_cache.cc.o.d"
+  "CMakeFiles/dirsim_cache.dir/infinite_cache.cc.o"
+  "CMakeFiles/dirsim_cache.dir/infinite_cache.cc.o.d"
+  "libdirsim_cache.a"
+  "libdirsim_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dirsim_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dirsim_common.dir/bitops.cc.o"
+  "CMakeFiles/dirsim_common.dir/bitops.cc.o.d"
+  "CMakeFiles/dirsim_common.dir/histogram.cc.o"
+  "CMakeFiles/dirsim_common.dir/histogram.cc.o.d"
+  "CMakeFiles/dirsim_common.dir/logging.cc.o"
+  "CMakeFiles/dirsim_common.dir/logging.cc.o.d"
+  "CMakeFiles/dirsim_common.dir/random.cc.o"
+  "CMakeFiles/dirsim_common.dir/random.cc.o.d"
+  "CMakeFiles/dirsim_common.dir/stats.cc.o"
+  "CMakeFiles/dirsim_common.dir/stats.cc.o.d"
+  "CMakeFiles/dirsim_common.dir/table.cc.o"
+  "CMakeFiles/dirsim_common.dir/table.cc.o.d"
+  "libdirsim_common.a"
+  "libdirsim_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dirsim_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

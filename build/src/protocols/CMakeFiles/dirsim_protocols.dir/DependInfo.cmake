@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/protocols/berkeley.cc" "src/protocols/CMakeFiles/dirsim_protocols.dir/berkeley.cc.o" "gcc" "src/protocols/CMakeFiles/dirsim_protocols.dir/berkeley.cc.o.d"
+  "/root/repo/src/protocols/dir0_b.cc" "src/protocols/CMakeFiles/dirsim_protocols.dir/dir0_b.cc.o" "gcc" "src/protocols/CMakeFiles/dirsim_protocols.dir/dir0_b.cc.o.d"
+  "/root/repo/src/protocols/dir1_nb.cc" "src/protocols/CMakeFiles/dirsim_protocols.dir/dir1_nb.cc.o" "gcc" "src/protocols/CMakeFiles/dirsim_protocols.dir/dir1_nb.cc.o.d"
+  "/root/repo/src/protocols/dir_cv.cc" "src/protocols/CMakeFiles/dirsim_protocols.dir/dir_cv.cc.o" "gcc" "src/protocols/CMakeFiles/dirsim_protocols.dir/dir_cv.cc.o.d"
+  "/root/repo/src/protocols/dir_i_b.cc" "src/protocols/CMakeFiles/dirsim_protocols.dir/dir_i_b.cc.o" "gcc" "src/protocols/CMakeFiles/dirsim_protocols.dir/dir_i_b.cc.o.d"
+  "/root/repo/src/protocols/dir_i_nb.cc" "src/protocols/CMakeFiles/dirsim_protocols.dir/dir_i_nb.cc.o" "gcc" "src/protocols/CMakeFiles/dirsim_protocols.dir/dir_i_nb.cc.o.d"
+  "/root/repo/src/protocols/dir_n_nb.cc" "src/protocols/CMakeFiles/dirsim_protocols.dir/dir_n_nb.cc.o" "gcc" "src/protocols/CMakeFiles/dirsim_protocols.dir/dir_n_nb.cc.o.d"
+  "/root/repo/src/protocols/dragon.cc" "src/protocols/CMakeFiles/dirsim_protocols.dir/dragon.cc.o" "gcc" "src/protocols/CMakeFiles/dirsim_protocols.dir/dragon.cc.o.d"
+  "/root/repo/src/protocols/events.cc" "src/protocols/CMakeFiles/dirsim_protocols.dir/events.cc.o" "gcc" "src/protocols/CMakeFiles/dirsim_protocols.dir/events.cc.o.d"
+  "/root/repo/src/protocols/protocol.cc" "src/protocols/CMakeFiles/dirsim_protocols.dir/protocol.cc.o" "gcc" "src/protocols/CMakeFiles/dirsim_protocols.dir/protocol.cc.o.d"
+  "/root/repo/src/protocols/registry.cc" "src/protocols/CMakeFiles/dirsim_protocols.dir/registry.cc.o" "gcc" "src/protocols/CMakeFiles/dirsim_protocols.dir/registry.cc.o.d"
+  "/root/repo/src/protocols/wti.cc" "src/protocols/CMakeFiles/dirsim_protocols.dir/wti.cc.o" "gcc" "src/protocols/CMakeFiles/dirsim_protocols.dir/wti.cc.o.d"
+  "/root/repo/src/protocols/yen_fu.cc" "src/protocols/CMakeFiles/dirsim_protocols.dir/yen_fu.cc.o" "gcc" "src/protocols/CMakeFiles/dirsim_protocols.dir/yen_fu.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dirsim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/dirsim_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/directory/CMakeFiles/dirsim_directory.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

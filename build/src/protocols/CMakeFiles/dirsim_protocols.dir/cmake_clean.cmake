@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dirsim_protocols.dir/berkeley.cc.o"
+  "CMakeFiles/dirsim_protocols.dir/berkeley.cc.o.d"
+  "CMakeFiles/dirsim_protocols.dir/dir0_b.cc.o"
+  "CMakeFiles/dirsim_protocols.dir/dir0_b.cc.o.d"
+  "CMakeFiles/dirsim_protocols.dir/dir1_nb.cc.o"
+  "CMakeFiles/dirsim_protocols.dir/dir1_nb.cc.o.d"
+  "CMakeFiles/dirsim_protocols.dir/dir_cv.cc.o"
+  "CMakeFiles/dirsim_protocols.dir/dir_cv.cc.o.d"
+  "CMakeFiles/dirsim_protocols.dir/dir_i_b.cc.o"
+  "CMakeFiles/dirsim_protocols.dir/dir_i_b.cc.o.d"
+  "CMakeFiles/dirsim_protocols.dir/dir_i_nb.cc.o"
+  "CMakeFiles/dirsim_protocols.dir/dir_i_nb.cc.o.d"
+  "CMakeFiles/dirsim_protocols.dir/dir_n_nb.cc.o"
+  "CMakeFiles/dirsim_protocols.dir/dir_n_nb.cc.o.d"
+  "CMakeFiles/dirsim_protocols.dir/dragon.cc.o"
+  "CMakeFiles/dirsim_protocols.dir/dragon.cc.o.d"
+  "CMakeFiles/dirsim_protocols.dir/events.cc.o"
+  "CMakeFiles/dirsim_protocols.dir/events.cc.o.d"
+  "CMakeFiles/dirsim_protocols.dir/protocol.cc.o"
+  "CMakeFiles/dirsim_protocols.dir/protocol.cc.o.d"
+  "CMakeFiles/dirsim_protocols.dir/registry.cc.o"
+  "CMakeFiles/dirsim_protocols.dir/registry.cc.o.d"
+  "CMakeFiles/dirsim_protocols.dir/wti.cc.o"
+  "CMakeFiles/dirsim_protocols.dir/wti.cc.o.d"
+  "CMakeFiles/dirsim_protocols.dir/yen_fu.cc.o"
+  "CMakeFiles/dirsim_protocols.dir/yen_fu.cc.o.d"
+  "libdirsim_protocols.a"
+  "libdirsim_protocols.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dirsim_protocols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

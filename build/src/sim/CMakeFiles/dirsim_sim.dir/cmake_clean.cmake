@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dirsim_sim.dir/experiment.cc.o"
+  "CMakeFiles/dirsim_sim.dir/experiment.cc.o.d"
+  "CMakeFiles/dirsim_sim.dir/report.cc.o"
+  "CMakeFiles/dirsim_sim.dir/report.cc.o.d"
+  "CMakeFiles/dirsim_sim.dir/simulator.cc.o"
+  "CMakeFiles/dirsim_sim.dir/simulator.cc.o.d"
+  "CMakeFiles/dirsim_sim.dir/suite.cc.o"
+  "CMakeFiles/dirsim_sim.dir/suite.cc.o.d"
+  "libdirsim_sim.a"
+  "libdirsim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dirsim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdirsim_sim.a"
+)

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dirsim_trace.dir/filter.cc.o"
+  "CMakeFiles/dirsim_trace.dir/filter.cc.o.d"
+  "CMakeFiles/dirsim_trace.dir/reader.cc.o"
+  "CMakeFiles/dirsim_trace.dir/reader.cc.o.d"
+  "CMakeFiles/dirsim_trace.dir/record.cc.o"
+  "CMakeFiles/dirsim_trace.dir/record.cc.o.d"
+  "CMakeFiles/dirsim_trace.dir/trace.cc.o"
+  "CMakeFiles/dirsim_trace.dir/trace.cc.o.d"
+  "CMakeFiles/dirsim_trace.dir/trace_stats.cc.o"
+  "CMakeFiles/dirsim_trace.dir/trace_stats.cc.o.d"
+  "CMakeFiles/dirsim_trace.dir/writer.cc.o"
+  "CMakeFiles/dirsim_trace.dir/writer.cc.o.d"
+  "libdirsim_trace.a"
+  "libdirsim_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dirsim_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

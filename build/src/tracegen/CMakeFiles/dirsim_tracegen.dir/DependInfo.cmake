@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tracegen/address_space.cc" "src/tracegen/CMakeFiles/dirsim_tracegen.dir/address_space.cc.o" "gcc" "src/tracegen/CMakeFiles/dirsim_tracegen.dir/address_space.cc.o.d"
+  "/root/repo/src/tracegen/generator.cc" "src/tracegen/CMakeFiles/dirsim_tracegen.dir/generator.cc.o" "gcc" "src/tracegen/CMakeFiles/dirsim_tracegen.dir/generator.cc.o.d"
+  "/root/repo/src/tracegen/process.cc" "src/tracegen/CMakeFiles/dirsim_tracegen.dir/process.cc.o" "gcc" "src/tracegen/CMakeFiles/dirsim_tracegen.dir/process.cc.o.d"
+  "/root/repo/src/tracegen/profile.cc" "src/tracegen/CMakeFiles/dirsim_tracegen.dir/profile.cc.o" "gcc" "src/tracegen/CMakeFiles/dirsim_tracegen.dir/profile.cc.o.d"
+  "/root/repo/src/tracegen/scheduler.cc" "src/tracegen/CMakeFiles/dirsim_tracegen.dir/scheduler.cc.o" "gcc" "src/tracegen/CMakeFiles/dirsim_tracegen.dir/scheduler.cc.o.d"
+  "/root/repo/src/tracegen/segments.cc" "src/tracegen/CMakeFiles/dirsim_tracegen.dir/segments.cc.o" "gcc" "src/tracegen/CMakeFiles/dirsim_tracegen.dir/segments.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dirsim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/dirsim_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

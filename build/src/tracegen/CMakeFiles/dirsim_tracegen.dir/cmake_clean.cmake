@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dirsim_tracegen.dir/address_space.cc.o"
+  "CMakeFiles/dirsim_tracegen.dir/address_space.cc.o.d"
+  "CMakeFiles/dirsim_tracegen.dir/generator.cc.o"
+  "CMakeFiles/dirsim_tracegen.dir/generator.cc.o.d"
+  "CMakeFiles/dirsim_tracegen.dir/process.cc.o"
+  "CMakeFiles/dirsim_tracegen.dir/process.cc.o.d"
+  "CMakeFiles/dirsim_tracegen.dir/profile.cc.o"
+  "CMakeFiles/dirsim_tracegen.dir/profile.cc.o.d"
+  "CMakeFiles/dirsim_tracegen.dir/scheduler.cc.o"
+  "CMakeFiles/dirsim_tracegen.dir/scheduler.cc.o.d"
+  "CMakeFiles/dirsim_tracegen.dir/segments.cc.o"
+  "CMakeFiles/dirsim_tracegen.dir/segments.cc.o.d"
+  "libdirsim_tracegen.a"
+  "libdirsim_tracegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dirsim_tracegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

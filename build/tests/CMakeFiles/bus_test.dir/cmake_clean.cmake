@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bus_test.dir/bus/bus_model_test.cc.o"
+  "CMakeFiles/bus_test.dir/bus/bus_model_test.cc.o.d"
+  "CMakeFiles/bus_test.dir/bus/cost_model_test.cc.o"
+  "CMakeFiles/bus_test.dir/bus/cost_model_test.cc.o.d"
+  "CMakeFiles/bus_test.dir/bus/golden_paper_numbers_test.cc.o"
+  "CMakeFiles/bus_test.dir/bus/golden_paper_numbers_test.cc.o.d"
+  "CMakeFiles/bus_test.dir/bus/latency_model_test.cc.o"
+  "CMakeFiles/bus_test.dir/bus/latency_model_test.cc.o.d"
+  "CMakeFiles/bus_test.dir/bus/timing_test.cc.o"
+  "CMakeFiles/bus_test.dir/bus/timing_test.cc.o.d"
+  "bus_test"
+  "bus_test.pdb"
+  "bus_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

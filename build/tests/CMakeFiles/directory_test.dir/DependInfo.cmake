@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/directory/coarse_vector_test.cc" "tests/CMakeFiles/directory_test.dir/directory/coarse_vector_test.cc.o" "gcc" "tests/CMakeFiles/directory_test.dir/directory/coarse_vector_test.cc.o.d"
+  "/root/repo/tests/directory/full_map_test.cc" "tests/CMakeFiles/directory_test.dir/directory/full_map_test.cc.o" "gcc" "tests/CMakeFiles/directory_test.dir/directory/full_map_test.cc.o.d"
+  "/root/repo/tests/directory/limited_test.cc" "tests/CMakeFiles/directory_test.dir/directory/limited_test.cc.o" "gcc" "tests/CMakeFiles/directory_test.dir/directory/limited_test.cc.o.d"
+  "/root/repo/tests/directory/sharer_set_test.cc" "tests/CMakeFiles/directory_test.dir/directory/sharer_set_test.cc.o" "gcc" "tests/CMakeFiles/directory_test.dir/directory/sharer_set_test.cc.o.d"
+  "/root/repo/tests/directory/storage_test.cc" "tests/CMakeFiles/directory_test.dir/directory/storage_test.cc.o" "gcc" "tests/CMakeFiles/directory_test.dir/directory/storage_test.cc.o.d"
+  "/root/repo/tests/directory/tang_test.cc" "tests/CMakeFiles/directory_test.dir/directory/tang_test.cc.o" "gcc" "tests/CMakeFiles/directory_test.dir/directory/tang_test.cc.o.d"
+  "/root/repo/tests/directory/two_bit_test.cc" "tests/CMakeFiles/directory_test.dir/directory/two_bit_test.cc.o" "gcc" "tests/CMakeFiles/directory_test.dir/directory/two_bit_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/dirsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tracegen/CMakeFiles/dirsim_tracegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/dirsim_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/bus/CMakeFiles/dirsim_bus.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocols/CMakeFiles/dirsim_protocols.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/dirsim_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/directory/CMakeFiles/dirsim_directory.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dirsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

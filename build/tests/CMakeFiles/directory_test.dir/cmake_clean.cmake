@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/directory_test.dir/directory/coarse_vector_test.cc.o"
+  "CMakeFiles/directory_test.dir/directory/coarse_vector_test.cc.o.d"
+  "CMakeFiles/directory_test.dir/directory/full_map_test.cc.o"
+  "CMakeFiles/directory_test.dir/directory/full_map_test.cc.o.d"
+  "CMakeFiles/directory_test.dir/directory/limited_test.cc.o"
+  "CMakeFiles/directory_test.dir/directory/limited_test.cc.o.d"
+  "CMakeFiles/directory_test.dir/directory/sharer_set_test.cc.o"
+  "CMakeFiles/directory_test.dir/directory/sharer_set_test.cc.o.d"
+  "CMakeFiles/directory_test.dir/directory/storage_test.cc.o"
+  "CMakeFiles/directory_test.dir/directory/storage_test.cc.o.d"
+  "CMakeFiles/directory_test.dir/directory/tang_test.cc.o"
+  "CMakeFiles/directory_test.dir/directory/tang_test.cc.o.d"
+  "CMakeFiles/directory_test.dir/directory/two_bit_test.cc.o"
+  "CMakeFiles/directory_test.dir/directory/two_bit_test.cc.o.d"
+  "directory_test"
+  "directory_test.pdb"
+  "directory_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/directory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

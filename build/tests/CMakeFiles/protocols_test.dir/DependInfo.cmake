@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/protocols/berkeley_test.cc" "tests/CMakeFiles/protocols_test.dir/protocols/berkeley_test.cc.o" "gcc" "tests/CMakeFiles/protocols_test.dir/protocols/berkeley_test.cc.o.d"
+  "/root/repo/tests/protocols/dir0_b_test.cc" "tests/CMakeFiles/protocols_test.dir/protocols/dir0_b_test.cc.o" "gcc" "tests/CMakeFiles/protocols_test.dir/protocols/dir0_b_test.cc.o.d"
+  "/root/repo/tests/protocols/dir1_nb_test.cc" "tests/CMakeFiles/protocols_test.dir/protocols/dir1_nb_test.cc.o" "gcc" "tests/CMakeFiles/protocols_test.dir/protocols/dir1_nb_test.cc.o.d"
+  "/root/repo/tests/protocols/dir_cv_test.cc" "tests/CMakeFiles/protocols_test.dir/protocols/dir_cv_test.cc.o" "gcc" "tests/CMakeFiles/protocols_test.dir/protocols/dir_cv_test.cc.o.d"
+  "/root/repo/tests/protocols/dir_i_test.cc" "tests/CMakeFiles/protocols_test.dir/protocols/dir_i_test.cc.o" "gcc" "tests/CMakeFiles/protocols_test.dir/protocols/dir_i_test.cc.o.d"
+  "/root/repo/tests/protocols/dir_n_nb_test.cc" "tests/CMakeFiles/protocols_test.dir/protocols/dir_n_nb_test.cc.o" "gcc" "tests/CMakeFiles/protocols_test.dir/protocols/dir_n_nb_test.cc.o.d"
+  "/root/repo/tests/protocols/dragon_test.cc" "tests/CMakeFiles/protocols_test.dir/protocols/dragon_test.cc.o" "gcc" "tests/CMakeFiles/protocols_test.dir/protocols/dragon_test.cc.o.d"
+  "/root/repo/tests/protocols/equivalence_test.cc" "tests/CMakeFiles/protocols_test.dir/protocols/equivalence_test.cc.o" "gcc" "tests/CMakeFiles/protocols_test.dir/protocols/equivalence_test.cc.o.d"
+  "/root/repo/tests/protocols/events_test.cc" "tests/CMakeFiles/protocols_test.dir/protocols/events_test.cc.o" "gcc" "tests/CMakeFiles/protocols_test.dir/protocols/events_test.cc.o.d"
+  "/root/repo/tests/protocols/finite_mode_test.cc" "tests/CMakeFiles/protocols_test.dir/protocols/finite_mode_test.cc.o" "gcc" "tests/CMakeFiles/protocols_test.dir/protocols/finite_mode_test.cc.o.d"
+  "/root/repo/tests/protocols/invariants_test.cc" "tests/CMakeFiles/protocols_test.dir/protocols/invariants_test.cc.o" "gcc" "tests/CMakeFiles/protocols_test.dir/protocols/invariants_test.cc.o.d"
+  "/root/repo/tests/protocols/protocol_base_test.cc" "tests/CMakeFiles/protocols_test.dir/protocols/protocol_base_test.cc.o" "gcc" "tests/CMakeFiles/protocols_test.dir/protocols/protocol_base_test.cc.o.d"
+  "/root/repo/tests/protocols/registry_test.cc" "tests/CMakeFiles/protocols_test.dir/protocols/registry_test.cc.o" "gcc" "tests/CMakeFiles/protocols_test.dir/protocols/registry_test.cc.o.d"
+  "/root/repo/tests/protocols/wti_test.cc" "tests/CMakeFiles/protocols_test.dir/protocols/wti_test.cc.o" "gcc" "tests/CMakeFiles/protocols_test.dir/protocols/wti_test.cc.o.d"
+  "/root/repo/tests/protocols/yen_fu_test.cc" "tests/CMakeFiles/protocols_test.dir/protocols/yen_fu_test.cc.o" "gcc" "tests/CMakeFiles/protocols_test.dir/protocols/yen_fu_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/dirsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tracegen/CMakeFiles/dirsim_tracegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/dirsim_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/bus/CMakeFiles/dirsim_bus.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocols/CMakeFiles/dirsim_protocols.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/dirsim_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/directory/CMakeFiles/dirsim_directory.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dirsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tracegen_test.dir/tracegen/address_space_test.cc.o"
+  "CMakeFiles/tracegen_test.dir/tracegen/address_space_test.cc.o.d"
+  "CMakeFiles/tracegen_test.dir/tracegen/generator_test.cc.o"
+  "CMakeFiles/tracegen_test.dir/tracegen/generator_test.cc.o.d"
+  "CMakeFiles/tracegen_test.dir/tracegen/profile_test.cc.o"
+  "CMakeFiles/tracegen_test.dir/tracegen/profile_test.cc.o.d"
+  "CMakeFiles/tracegen_test.dir/tracegen/segments_test.cc.o"
+  "CMakeFiles/tracegen_test.dir/tracegen/segments_test.cc.o.d"
+  "tracegen_test"
+  "tracegen_test.pdb"
+  "tracegen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tracegen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
