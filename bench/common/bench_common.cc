@@ -30,18 +30,38 @@ suite()
     return traces;
 }
 
+namespace
+{
+
+/** Run a grid on the parallel runner and report its throughput. */
+std::vector<SchemeResults>
+timedGrid(const std::vector<std::string> &schemes)
+{
+    const ExperimentRunner runner;
+    GridResult grid = runner.run(schemes, suite());
+    inform("grid: ", schemes.size(), " schemes x ", suite().size(),
+           " traces on ", grid.jobs, " jobs in ",
+           TextTable::fixed(grid.wallSeconds, 2), "s (",
+           TextTable::grouped(
+               static_cast<std::uint64_t>(grid.refsPerSecond())),
+           " refs/s)");
+    return std::move(grid.schemes);
+}
+
+} // namespace
+
 const std::vector<SchemeResults> &
 paperGrid()
 {
     static const std::vector<SchemeResults> grid =
-        runGrid(paperSchemes(), suite());
+        timedGrid(paperSchemes());
     return grid;
 }
 
 std::vector<SchemeResults>
 gridFor(const std::vector<std::string> &schemes)
 {
-    return runGrid(schemes, suite());
+    return timedGrid(schemes);
 }
 
 const SchemeResults &

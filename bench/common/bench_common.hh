@@ -25,10 +25,14 @@ void banner(const std::string &artifact, const std::string &caption);
 /** The standard suite (generated once per process, then cached). */
 const std::vector<Trace> &suite();
 
-/** Grid of the paper's four schemes over the suite (cached). */
+/**
+ * Grid of the paper's four schemes over the suite (cached). Runs on
+ * the parallel ExperimentRunner — DIRSIM_JOBS workers (default: all
+ * hardware threads) — and reports wall time and throughput on stderr.
+ */
 const std::vector<SchemeResults> &paperGrid();
 
-/** Grid over the suite for arbitrary schemes (uncached). */
+/** Grid over the suite for arbitrary schemes (uncached, parallel). */
 std::vector<SchemeResults> gridFor(
     const std::vector<std::string> &schemes);
 

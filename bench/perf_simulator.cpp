@@ -1,7 +1,10 @@
 /**
  * @file
  * google-benchmark microbenchmarks: trace-generation and simulation
- * throughput (references per second) for every scheme.
+ * throughput (references per second) for every scheme, plus the
+ * parallel experiment runner at several job counts (BM_RunGrid/1 is
+ * the sequential baseline; the default-jobs run should approach a
+ * jobs-fold speedup on an idle multi-core host).
  */
 
 #include <benchmark/benchmark.h>
@@ -54,6 +57,41 @@ BENCHMARK_CAPTURE(BM_Simulate, dragon, "Dragon");
 BENCHMARK_CAPTURE(BM_Simulate, dirnnb, "DirNNB");
 BENCHMARK_CAPTURE(BM_Simulate, berkeley, "Berkeley");
 BENCHMARK_CAPTURE(BM_Simulate, dir2b, "Dir2B");
+
+const std::vector<Trace> &
+gridSuite()
+{
+    static const std::vector<Trace> traces = [] {
+        SuiteParams params;
+        params.refsPerTrace = 150'000;
+        params.seed = 88;
+        return standardSuite(params);
+    }();
+    return traces;
+}
+
+void
+BM_RunGrid(benchmark::State &state)
+{
+    // Arg 0 = default concurrency (DIRSIM_JOBS / hardware threads).
+    RunnerConfig config;
+    config.jobs = static_cast<unsigned>(state.range(0));
+    const ExperimentRunner runner(config);
+    std::uint64_t grid_refs = 0;
+    for (auto _ : state) {
+        const GridResult grid =
+            runner.run(paperSchemes(), gridSuite());
+        grid_refs = grid.totalRefs();
+        benchmark::DoNotOptimize(grid.schemes.size());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(grid_refs));
+}
+BENCHMARK(BM_RunGrid)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(0)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 void
 BM_TraceStats(benchmark::State &state)

@@ -219,11 +219,26 @@ bench/CMakeFiles/ext_scalability_sweep.dir/ext_scalability_sweep.cpp.o: \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h \
  /root/repo/src/cache/infinite_cache.hh /root/repo/src/common/bitops.hh \
- /root/repo/src/common/logging.hh /usr/include/c++/12/sstream \
- /usr/include/c++/12/bits/sstream.tcc /root/repo/src/common/random.hh \
- /root/repo/src/common/stats.hh /usr/include/c++/12/map \
- /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /root/repo/src/common/env.hh /root/repo/src/common/logging.hh \
+ /usr/include/c++/12/sstream /usr/include/c++/12/bits/sstream.tcc \
+ /root/repo/src/common/random.hh /root/repo/src/common/stats.hh \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/common/table.hh \
+ /root/repo/src/common/thread_pool.hh \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/atomic /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /usr/include/c++/12/cstddef /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/mutex /usr/include/c++/12/thread \
  /root/repo/src/directory/coarse_vector.hh \
  /root/repo/src/directory/sharer_set.hh \
  /root/repo/src/directory/full_map.hh /root/repo/src/directory/limited.hh \
@@ -237,7 +252,8 @@ bench/CMakeFiles/ext_scalability_sweep.dir/ext_scalability_sweep.cpp.o: \
  /root/repo/src/protocols/yen_fu.hh /root/repo/src/sim/experiment.hh \
  /root/repo/src/sim/simulator.hh /root/repo/src/trace/trace.hh \
  /root/repo/src/trace/record.hh /root/repo/src/sim/report.hh \
- /root/repo/src/sim/suite.hh /root/repo/src/trace/filter.hh \
- /root/repo/src/trace/reader.hh /root/repo/src/trace/trace_stats.hh \
- /root/repo/src/trace/writer.hh /root/repo/src/tracegen/generator.hh \
- /root/repo/src/tracegen/profile.hh /root/repo/src/tracegen/segments.hh
+ /root/repo/src/sim/runner.hh /root/repo/src/sim/suite.hh \
+ /root/repo/src/trace/filter.hh /root/repo/src/trace/reader.hh \
+ /root/repo/src/trace/trace_stats.hh /root/repo/src/trace/writer.hh \
+ /root/repo/src/tracegen/generator.hh /root/repo/src/tracegen/profile.hh \
+ /root/repo/src/tracegen/segments.hh

@@ -9,11 +9,13 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/common/bitops.cc" "src/common/CMakeFiles/dirsim_common.dir/bitops.cc.o" "gcc" "src/common/CMakeFiles/dirsim_common.dir/bitops.cc.o.d"
+  "/root/repo/src/common/env.cc" "src/common/CMakeFiles/dirsim_common.dir/env.cc.o" "gcc" "src/common/CMakeFiles/dirsim_common.dir/env.cc.o.d"
   "/root/repo/src/common/histogram.cc" "src/common/CMakeFiles/dirsim_common.dir/histogram.cc.o" "gcc" "src/common/CMakeFiles/dirsim_common.dir/histogram.cc.o.d"
   "/root/repo/src/common/logging.cc" "src/common/CMakeFiles/dirsim_common.dir/logging.cc.o" "gcc" "src/common/CMakeFiles/dirsim_common.dir/logging.cc.o.d"
   "/root/repo/src/common/random.cc" "src/common/CMakeFiles/dirsim_common.dir/random.cc.o" "gcc" "src/common/CMakeFiles/dirsim_common.dir/random.cc.o.d"
   "/root/repo/src/common/stats.cc" "src/common/CMakeFiles/dirsim_common.dir/stats.cc.o" "gcc" "src/common/CMakeFiles/dirsim_common.dir/stats.cc.o.d"
   "/root/repo/src/common/table.cc" "src/common/CMakeFiles/dirsim_common.dir/table.cc.o" "gcc" "src/common/CMakeFiles/dirsim_common.dir/table.cc.o.d"
+  "/root/repo/src/common/thread_pool.cc" "src/common/CMakeFiles/dirsim_common.dir/thread_pool.cc.o" "gcc" "src/common/CMakeFiles/dirsim_common.dir/thread_pool.cc.o.d"
   )
 
 # Targets to which this target links.

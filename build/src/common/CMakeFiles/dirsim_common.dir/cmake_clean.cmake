@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/dirsim_common.dir/bitops.cc.o"
   "CMakeFiles/dirsim_common.dir/bitops.cc.o.d"
+  "CMakeFiles/dirsim_common.dir/env.cc.o"
+  "CMakeFiles/dirsim_common.dir/env.cc.o.d"
   "CMakeFiles/dirsim_common.dir/histogram.cc.o"
   "CMakeFiles/dirsim_common.dir/histogram.cc.o.d"
   "CMakeFiles/dirsim_common.dir/logging.cc.o"
@@ -11,6 +13,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/dirsim_common.dir/stats.cc.o.d"
   "CMakeFiles/dirsim_common.dir/table.cc.o"
   "CMakeFiles/dirsim_common.dir/table.cc.o.d"
+  "CMakeFiles/dirsim_common.dir/thread_pool.cc.o"
+  "CMakeFiles/dirsim_common.dir/thread_pool.cc.o.d"
   "libdirsim_common.a"
   "libdirsim_common.pdb"
 )

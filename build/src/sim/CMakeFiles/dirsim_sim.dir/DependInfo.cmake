@@ -10,6 +10,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/sim/experiment.cc" "src/sim/CMakeFiles/dirsim_sim.dir/experiment.cc.o" "gcc" "src/sim/CMakeFiles/dirsim_sim.dir/experiment.cc.o.d"
   "/root/repo/src/sim/report.cc" "src/sim/CMakeFiles/dirsim_sim.dir/report.cc.o" "gcc" "src/sim/CMakeFiles/dirsim_sim.dir/report.cc.o.d"
+  "/root/repo/src/sim/runner.cc" "src/sim/CMakeFiles/dirsim_sim.dir/runner.cc.o" "gcc" "src/sim/CMakeFiles/dirsim_sim.dir/runner.cc.o.d"
   "/root/repo/src/sim/simulator.cc" "src/sim/CMakeFiles/dirsim_sim.dir/simulator.cc.o" "gcc" "src/sim/CMakeFiles/dirsim_sim.dir/simulator.cc.o.d"
   "/root/repo/src/sim/suite.cc" "src/sim/CMakeFiles/dirsim_sim.dir/suite.cc.o" "gcc" "src/sim/CMakeFiles/dirsim_sim.dir/suite.cc.o.d"
   )

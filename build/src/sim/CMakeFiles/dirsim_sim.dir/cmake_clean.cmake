@@ -3,6 +3,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/dirsim_sim.dir/experiment.cc.o.d"
   "CMakeFiles/dirsim_sim.dir/report.cc.o"
   "CMakeFiles/dirsim_sim.dir/report.cc.o.d"
+  "CMakeFiles/dirsim_sim.dir/runner.cc.o"
+  "CMakeFiles/dirsim_sim.dir/runner.cc.o.d"
   "CMakeFiles/dirsim_sim.dir/simulator.cc.o"
   "CMakeFiles/dirsim_sim.dir/simulator.cc.o.d"
   "CMakeFiles/dirsim_sim.dir/suite.cc.o"

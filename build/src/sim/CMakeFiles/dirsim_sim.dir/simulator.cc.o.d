@@ -216,10 +216,11 @@ src/sim/CMakeFiles/dirsim_sim.dir/simulator.cc.o: \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
  /root/repo/src/protocols/protocol.hh \
- /root/repo/src/directory/sharer_set.hh /root/repo/src/trace/trace.hh \
+ /root/repo/src/directory/sharer_set.hh \
+ /root/repo/src/protocols/registry.hh /root/repo/src/trace/trace.hh \
  /root/repo/src/trace/record.hh /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/common/bitops.hh \
- /root/repo/src/common/logging.hh /usr/include/c++/12/sstream \
- /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc \
- /root/repo/src/protocols/registry.hh
+ /root/repo/src/common/env.hh /root/repo/src/common/logging.hh \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc

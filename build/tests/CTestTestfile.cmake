@@ -12,3 +12,4 @@ include("/root/repo/build/tests/directory_test[1]_include.cmake")
 include("/root/repo/build/tests/protocols_test[1]_include.cmake")
 include("/root/repo/build/tests/bus_test[1]_include.cmake")
 include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/runner_test[1]_include.cmake")

@@ -4,12 +4,17 @@
  * workload — a miniature of the paper's whole methodology in one
  * command.
  *
+ * The scheme name is parsed into a structured SchemeSpec up front, so
+ * typos are rejected with the full list of valid schemes before any
+ * trace is generated; DIRSIM_BLOCK_BYTES / DIRSIM_WARMUP_REFS /
+ * DIRSIM_SHARING apply via SimConfig::fromEnvironment().
+ *
  * Usage: protocol_explorer [scheme] [workload] [refs] [seed]
  *   scheme    Dir1NB | WTI | Dir0B | Dragon | DirNNB | Berkeley |
- *             Dir<i>B | Dir<i>NB            (default Dir0B)
- *   workload  pops | thor | pero            (default pops)
- *   refs      trace length                  (default 500000)
- *   seed      generator seed                (default 1)
+ *             YenFu | DirCV | Dir<i>B | Dir<i>NB  (default Dir0B)
+ *   workload  pops | thor | pero               (default pops)
+ *   refs      trace length                     (default 500000)
+ *   seed      generator seed                   (default 1)
  */
 
 #include <cstdlib>
@@ -31,8 +36,10 @@ main(int argc, char **argv)
         argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 1;
 
     try {
+        const SchemeSpec spec = parseScheme(scheme);
+        const SimConfig config = SimConfig::fromEnvironment();
         const Trace trace = generateTrace(workload, refs, seed);
-        const SimResult result = simulateTrace(trace, scheme);
+        const SimResult result = simulateTrace(trace, spec, config);
         printRunReport(std::cout, result);
     } catch (const SimulationError &error) {
         std::cerr << "error: " << error.what() << '\n';

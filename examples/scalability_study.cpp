@@ -5,6 +5,10 @@
  * larger than the paper's 4-CPU tracing host, and relate traffic to
  * directory storage cost.
  *
+ * The whole sweep runs as one grid on the parallel ExperimentRunner
+ * (DIRSIM_JOBS workers; default: all hardware threads), with a
+ * progress line per finished scheme.
+ *
  * Usage: scalability_study [procs] [refs] [seed]
  */
 
@@ -13,9 +17,32 @@
 
 #include "dirsim/dirsim.hh"
 
+namespace
+{
+
+/** Directory organization implementing a scheme's spec. */
+dirsim::DirectoryOrg
+orgFor(const dirsim::SchemeSpec &spec)
+{
+    using dirsim::DirectoryOrg;
+    using dirsim::SchemeFamily;
+    switch (spec.family) {
+      case SchemeFamily::DirNNB:
+        return DirectoryOrg::FullMap;
+      case SchemeFamily::Dir0B:
+        return DirectoryOrg::TwoBit;
+      case SchemeFamily::DirIB:
+        return DirectoryOrg::LimitedPtrB;
+      default:
+        return DirectoryOrg::LimitedPtr;
+    }
+}
+
+} // namespace
+
 int
 main(int argc, char **argv)
-{
+try {
     using namespace dirsim;
 
     const unsigned procs = argc > 1
@@ -31,40 +58,56 @@ main(int argc, char **argv)
     profile.numCpus = procs;
     profile.numLocks = std::max(1u, procs / 4);
     profile.sharedWords *= std::max(1u, procs / 4);
-    const Trace trace = generateTrace(profile, refs, seed);
+    const std::vector<Trace> traces = {
+        generateTrace(profile, refs, seed)};
     const BusCosts bus = paperPipelinedCosts();
 
+    std::vector<SchemeSpec> schemes = {
+        parseScheme("DirNNB"), parseScheme("Dir0B")};
+    for (const unsigned i : {1u, 2u, 4u, 8u}) {
+        schemes.push_back(
+            parseScheme("Dir" + std::to_string(i) + "B"));
+        schemes.push_back(
+            parseScheme("Dir" + std::to_string(i) + "NB"));
+    }
+
+    RunnerConfig runner_config = RunnerConfig::fromEnvironment();
+    runner_config.onCellComplete = [](const GridProgress &progress) {
+        std::cerr << "  [" << progress.completedCells << "/"
+                  << progress.totalCells << "] " << progress.cell.scheme
+                  << " done in "
+                  << TextTable::fixed(progress.cell.wallSeconds, 2)
+                  << "s\n";
+    };
+    const ExperimentRunner runner(runner_config);
+    const GridResult grid = runner.run(schemes, traces);
+
     std::cout << procs << "-processor machine, "
-              << TextTable::grouped(trace.size()) << " references\n\n";
+              << TextTable::grouped(traces[0].size())
+              << " references; grid ran on " << grid.jobs
+              << " jobs in " << TextTable::fixed(grid.wallSeconds, 2)
+              << "s\n\n";
 
     TextTable table({"scheme", "cycles/ref", "vs full map",
                      "dir bits/block", "broadcasts"});
     const double full_map_cost =
-        simulateTrace(trace, "DirNNB").cost(bus).total();
+        grid.schemes[0].perTrace[0].cost(bus).total();
 
-    const auto report = [&](const std::string &scheme,
-                            DirectoryOrg org, unsigned pointers) {
-        const SimResult result = simulateTrace(trace, scheme);
+    for (std::size_t s = 0; s < schemes.size(); ++s) {
+        const SchemeSpec &spec = schemes[s];
+        const SimResult &result = grid.schemes[s].perTrace[0];
         const double total = result.cost(bus).total();
         StorageParams params;
         params.numCaches = procs;
-        params.numPointers = pointers;
+        params.numPointers = std::max(1u, spec.pointers);
         table.addRow({
-            scheme,
+            spec.name(),
             TextTable::fixed(total, 4),
             TextTable::pct(100.0 * (total / full_map_cost - 1.0), 1),
-            TextTable::fixed(directoryBitsPerBlock(org, params), 0),
+            TextTable::fixed(
+                directoryBitsPerBlock(orgFor(spec), params), 0),
             TextTable::grouped(result.ops.broadcastInvals),
         });
-    };
-
-    report("DirNNB", DirectoryOrg::FullMap, 1);
-    report("Dir0B", DirectoryOrg::TwoBit, 1);
-    for (const unsigned i : {1u, 2u, 4u, 8u}) {
-        report("Dir" + std::to_string(i) + "B",
-               DirectoryOrg::LimitedPtrB, i);
-        report("Dir" + std::to_string(i) + "NB",
-               DirectoryOrg::LimitedPtr, i);
     }
     table.print(std::cout);
 
@@ -73,4 +116,8 @@ main(int argc, char **argv)
                  "captures almost all of the full map's benefit at\n"
                  "a fraction of its storage.\n";
     return 0;
+} catch (const dirsim::SimulationError &error) {
+    std::cerr << "error: " << error.what() << '\n';
+    std::cerr << "usage: scalability_study [procs] [refs] [seed]\n";
+    return 1;
 }

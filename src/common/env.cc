@@ -1,0 +1,51 @@
+#include "common/env.hh"
+
+#include <cstdlib>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace dirsim
+{
+
+std::optional<std::string>
+envString(const char *name)
+{
+    const char *value = std::getenv(name);
+    if (value == nullptr || *value == '\0')
+        return std::nullopt;
+    return std::string(value);
+}
+
+std::uint64_t
+envU64(const char *name, std::uint64_t fallback)
+{
+    const auto value = envString(name);
+    if (!value)
+        return fallback;
+    try {
+        std::size_t consumed = 0;
+        const std::uint64_t parsed = std::stoull(*value, &consumed);
+        fatalIf(consumed != value->size(),
+                "environment variable ", name, "='", *value,
+                "' is not a number");
+        return parsed;
+    } catch (const SimulationError &) {
+        throw;
+    } catch (const std::exception &) {
+        fatal("environment variable ", name, "='", *value,
+              "' is not a number");
+    }
+}
+
+unsigned
+envUnsigned(const char *name, unsigned fallback)
+{
+    const std::uint64_t value = envU64(name, fallback);
+    fatalIf(value > std::numeric_limits<unsigned>::max(),
+            "environment variable ", name, "=", value,
+            " is out of range");
+    return static_cast<unsigned>(value);
+}
+
+} // namespace dirsim

@@ -123,4 +123,24 @@ Histogram::clear()
     total = 0;
 }
 
+bool
+Histogram::operator==(const Histogram &other) const
+{
+    if (total != other.total)
+        return false;
+    const std::size_t common =
+        std::min(counts.size(), other.counts.size());
+    for (std::size_t i = 0; i < common; ++i) {
+        if (counts[i] != other.counts[i])
+            return false;
+    }
+    const auto &longer =
+        counts.size() > other.counts.size() ? counts : other.counts;
+    for (std::size_t i = common; i < longer.size(); ++i) {
+        if (longer[i] != 0)
+            return false;
+    }
+    return true;
+}
+
 } // namespace dirsim

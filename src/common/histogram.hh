@@ -71,6 +71,12 @@ class Histogram
     /** Dense per-bucket counts, index = value. */
     const std::vector<std::uint64_t> &buckets() const { return counts; }
 
+    /**
+     * Same samples in every bucket; trailing empty buckets (left
+     * behind by subtract()) do not affect equality.
+     */
+    bool operator==(const Histogram &other) const;
+
   private:
     std::vector<std::uint64_t> counts;
     std::uint64_t total = 0;

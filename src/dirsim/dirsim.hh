@@ -25,11 +25,13 @@
 #include "cache/finite_cache.hh"
 #include "cache/infinite_cache.hh"
 #include "common/bitops.hh"
+#include "common/env.hh"
 #include "common/histogram.hh"
 #include "common/logging.hh"
 #include "common/random.hh"
 #include "common/stats.hh"
 #include "common/table.hh"
+#include "common/thread_pool.hh"
 #include "common/types.hh"
 #include "directory/coarse_vector.hh"
 #include "directory/full_map.hh"
@@ -53,6 +55,7 @@
 #include "protocols/yen_fu.hh"
 #include "sim/experiment.hh"
 #include "sim/report.hh"
+#include "sim/runner.hh"
 #include "sim/simulator.hh"
 #include "sim/suite.hh"
 #include "trace/filter.hh"

@@ -100,6 +100,9 @@ class EventCounts
 
     void clear() { counts.fill(0); }
 
+    /** Exact per-event equality (parallel-vs-sequential checks). */
+    bool operator==(const EventCounts &) const = default;
+
   private:
     std::array<std::uint64_t, numEventTypes> counts;
 };
@@ -187,6 +190,9 @@ struct OpCounts
 
     /** Remove a previously accumulated snapshot (warm-up discard). */
     void subtract(const OpCounts &other);
+
+    /** Exact per-operation equality. */
+    bool operator==(const OpCounts &) const = default;
 };
 
 } // namespace dirsim

@@ -64,29 +64,93 @@ parseDirFamily(const std::string &name, unsigned &pointers,
     return true;
 }
 
+SchemeSpec
+named(SchemeFamily family, unsigned pointers = 0)
+{
+    SchemeSpec spec;
+    spec.family = family;
+    spec.pointers = pointers;
+    return spec;
+}
+
 } // namespace
 
-std::unique_ptr<CoherenceProtocol>
-makeProtocol(const std::string &name, unsigned num_caches,
-             const CacheFactory &factory)
+bool
+SchemeSpec::broadcast() const
+{
+    switch (family) {
+      case SchemeFamily::Dir0B:
+      case SchemeFamily::DirIB:
+      case SchemeFamily::DirCV:
+      case SchemeFamily::WTI:
+      case SchemeFamily::Dragon:
+      case SchemeFamily::Berkeley:
+        return true;
+      case SchemeFamily::Dir1NB:
+      case SchemeFamily::DirNNB:
+      case SchemeFamily::YenFu:
+      case SchemeFamily::DirINB:
+        return false;
+    }
+    panic("SchemeSpec with invalid family");
+}
+
+bool
+SchemeSpec::snoopy() const
+{
+    return family == SchemeFamily::WTI
+        || family == SchemeFamily::Dragon
+        || family == SchemeFamily::Berkeley;
+}
+
+std::string
+SchemeSpec::name() const
+{
+    switch (family) {
+      case SchemeFamily::Dir1NB:
+        return "Dir1NB";
+      case SchemeFamily::DirNNB:
+        return "DirNNB";
+      case SchemeFamily::Dir0B:
+        return "Dir0B";
+      case SchemeFamily::WTI:
+        return "WTI";
+      case SchemeFamily::Dragon:
+        return "Dragon";
+      case SchemeFamily::Berkeley:
+        return "Berkeley";
+      case SchemeFamily::YenFu:
+        return "YenFu";
+      case SchemeFamily::DirCV:
+        return "DirCV";
+      case SchemeFamily::DirIB:
+        return "Dir" + std::to_string(pointers) + "B";
+      case SchemeFamily::DirINB:
+        return "Dir" + std::to_string(pointers) + "NB";
+    }
+    panic("SchemeSpec with invalid family");
+}
+
+SchemeSpec
+parseScheme(const std::string &name)
 {
     const std::string key = lower(name);
     if (key == "dir1nb")
-        return std::make_unique<Dir1NB>(num_caches, factory);
+        return named(SchemeFamily::Dir1NB, 1);
     if (key == "dirnnb")
-        return std::make_unique<DirNNB>(num_caches, factory);
+        return named(SchemeFamily::DirNNB);
     if (key == "dir0b")
-        return std::make_unique<Dir0B>(num_caches, factory);
+        return named(SchemeFamily::Dir0B, 0);
     if (key == "wti")
-        return std::make_unique<WTI>(num_caches, factory);
+        return named(SchemeFamily::WTI);
     if (key == "dragon")
-        return std::make_unique<Dragon>(num_caches, factory);
+        return named(SchemeFamily::Dragon);
     if (key == "berkeley")
-        return std::make_unique<Berkeley>(num_caches, factory);
+        return named(SchemeFamily::Berkeley);
     if (key == "yenfu")
-        return std::make_unique<YenFu>(num_caches, factory);
+        return named(SchemeFamily::YenFu);
     if (key == "dircv")
-        return std::make_unique<DirCV>(num_caches, factory);
+        return named(SchemeFamily::DirCV);
 
     unsigned pointers = 0;
     bool broadcast = false;
@@ -94,12 +158,54 @@ makeProtocol(const std::string &name, unsigned num_caches,
         fatalIf(pointers == 0 && !broadcast,
                 "Dir0NB cannot grant exclusive access (see the paper)");
         fatalIf(pointers == 0, "Dir0B is a named scheme; use 'Dir0B'");
-        if (broadcast)
-            return std::make_unique<DirIB>(num_caches, pointers,
-                                           factory);
-        return std::make_unique<DirINB>(num_caches, pointers, factory);
+        return named(broadcast ? SchemeFamily::DirIB
+                               : SchemeFamily::DirINB,
+                     pointers);
     }
-    fatal("unknown coherence scheme '", name, "'");
+    fatal("unknown coherence scheme '", name, "'; valid schemes: ",
+          validSchemesText());
+}
+
+std::unique_ptr<CoherenceProtocol>
+makeProtocol(const SchemeSpec &spec, unsigned num_caches,
+             const CacheFactory &factory)
+{
+    switch (spec.family) {
+      case SchemeFamily::Dir1NB:
+        return std::make_unique<Dir1NB>(num_caches, factory);
+      case SchemeFamily::DirNNB:
+        return std::make_unique<DirNNB>(num_caches, factory);
+      case SchemeFamily::Dir0B:
+        return std::make_unique<Dir0B>(num_caches, factory);
+      case SchemeFamily::WTI:
+        return std::make_unique<WTI>(num_caches, factory);
+      case SchemeFamily::Dragon:
+        return std::make_unique<Dragon>(num_caches, factory);
+      case SchemeFamily::Berkeley:
+        return std::make_unique<Berkeley>(num_caches, factory);
+      case SchemeFamily::YenFu:
+        return std::make_unique<YenFu>(num_caches, factory);
+      case SchemeFamily::DirCV:
+        return std::make_unique<DirCV>(num_caches, factory);
+      case SchemeFamily::DirIB:
+        fatalIf(spec.pointers == 0,
+                "Dir<i>B needs at least one pointer");
+        return std::make_unique<DirIB>(num_caches, spec.pointers,
+                                       factory);
+      case SchemeFamily::DirINB:
+        fatalIf(spec.pointers == 0,
+                "Dir0NB cannot grant exclusive access (see the paper)");
+        return std::make_unique<DirINB>(num_caches, spec.pointers,
+                                        factory);
+    }
+    panic("SchemeSpec with invalid family");
+}
+
+std::unique_ptr<CoherenceProtocol>
+makeProtocol(const std::string &name, unsigned num_caches,
+             const CacheFactory &factory)
+{
+    return makeProtocol(parseScheme(name), num_caches, factory);
 }
 
 const std::vector<std::string> &
@@ -119,6 +225,23 @@ allSchemes()
         "YenFu", "DirCV",
     };
     return names;
+}
+
+const std::string &
+validSchemesText()
+{
+    static const std::string text = [] {
+        std::string out;
+        for (const auto &name : allSchemes()) {
+            if (!out.empty())
+                out += ", ";
+            out += name;
+        }
+        out += ", and the parameterized families Dir<i>B / Dir<i>NB "
+               "(any integer i >= 1, e.g. Dir2B, Dir4NB)";
+        return out;
+    }();
+    return text;
 }
 
 } // namespace dirsim

@@ -1,6 +1,7 @@
 #include "sim/experiment.hh"
 
 #include "common/logging.hh"
+#include "sim/runner.hh"
 
 namespace dirsim
 {
@@ -75,20 +76,8 @@ std::vector<SchemeResults>
 runGrid(const std::vector<std::string> &schemes,
         const std::vector<Trace> &traces, const SimConfig &config)
 {
-    fatalIf(schemes.empty(), "runGrid with no schemes");
-    fatalIf(traces.empty(), "runGrid with no traces");
-
-    std::vector<SchemeResults> grid;
-    grid.reserve(schemes.size());
-    for (const auto &scheme : schemes) {
-        SchemeResults results;
-        results.scheme = scheme;
-        for (const auto &trace : traces)
-            results.perTrace.push_back(
-                simulateTrace(trace, scheme, config));
-        grid.push_back(std::move(results));
-    }
-    return grid;
+    const ExperimentRunner runner;
+    return runner.run(schemes, traces, config).schemes;
 }
 
 CycleBreakdown

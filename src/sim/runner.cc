@@ -1,0 +1,156 @@
+#include "sim/runner.hh"
+
+#include <chrono>
+#include <mutex>
+
+#include "common/env.hh"
+#include "common/logging.hh"
+#include "common/thread_pool.hh"
+
+namespace dirsim
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/** Simulate one cell and record its timing. */
+SimResult
+runCell(const SchemeSpec &scheme, const Trace &trace,
+        const SimConfig &sim, CellTiming &timing)
+{
+    const auto start = Clock::now();
+    SimResult result = simulateTrace(trace, scheme, sim);
+    timing.scheme = scheme.name();
+    timing.traceName = trace.name();
+    timing.refs = trace.size();
+    timing.wallSeconds = secondsSince(start);
+    return result;
+}
+
+} // namespace
+
+unsigned
+RunnerConfig::defaultJobs()
+{
+    const unsigned jobs = envUnsigned("DIRSIM_JOBS", 0);
+    return jobs > 0 ? jobs : ThreadPool::hardwareThreads();
+}
+
+RunnerConfig
+RunnerConfig::fromEnvironment()
+{
+    RunnerConfig config;
+    config.jobs = envUnsigned("DIRSIM_JOBS", 0);
+    return config;
+}
+
+std::uint64_t
+GridResult::totalRefs() const
+{
+    std::uint64_t refs = 0;
+    for (const auto &cell : cells)
+        refs += cell.refs;
+    return refs;
+}
+
+double
+GridResult::refsPerSecond() const
+{
+    return wallSeconds > 0.0
+        ? static_cast<double>(totalRefs()) / wallSeconds
+        : 0.0;
+}
+
+ExperimentRunner::ExperimentRunner(RunnerConfig config_arg)
+    : config(std::move(config_arg))
+{}
+
+unsigned
+ExperimentRunner::resolvedJobs() const
+{
+    return config.jobs > 0 ? config.jobs : RunnerConfig::defaultJobs();
+}
+
+GridResult
+ExperimentRunner::run(const std::vector<SchemeSpec> &schemes,
+                      const std::vector<Trace> &traces,
+                      const SimConfig &sim) const
+{
+    fatalIf(schemes.empty(), "experiment grid with no schemes");
+    fatalIf(traces.empty(), "experiment grid with no traces");
+
+    const std::size_t num_cells = schemes.size() * traces.size();
+    GridResult grid;
+    grid.cells.resize(num_cells);
+    grid.schemes.resize(schemes.size());
+    for (std::size_t s = 0; s < schemes.size(); ++s) {
+        grid.schemes[s].scheme = schemes[s].name();
+        grid.schemes[s].perTrace.resize(traces.size());
+    }
+
+    const auto start = Clock::now();
+
+    std::mutex progress_mutex;
+    std::size_t completed = 0;
+    const auto finishCell = [&](std::size_t cell) {
+        if (!config.onCellComplete)
+            return;
+        std::lock_guard<std::mutex> lock(progress_mutex);
+        GridProgress progress{++completed, num_cells,
+                              grid.cells[cell]};
+        config.onCellComplete(progress);
+    };
+
+    const unsigned jobs = resolvedJobs();
+    if (jobs == 1) {
+        // Exact legacy path: every cell in grid order on this thread.
+        for (std::size_t s = 0; s < schemes.size(); ++s) {
+            for (std::size_t t = 0; t < traces.size(); ++t) {
+                const std::size_t cell = s * traces.size() + t;
+                grid.schemes[s].perTrace[t] = runCell(
+                    schemes[s], traces[t], sim, grid.cells[cell]);
+                finishCell(cell);
+            }
+        }
+    } else {
+        ThreadPool pool(static_cast<unsigned>(
+            std::min<std::size_t>(jobs, num_cells)));
+        for (std::size_t s = 0; s < schemes.size(); ++s) {
+            for (std::size_t t = 0; t < traces.size(); ++t) {
+                const std::size_t cell = s * traces.size() + t;
+                pool.submit([&, s, t, cell] {
+                    grid.schemes[s].perTrace[t] = runCell(
+                        schemes[s], traces[t], sim, grid.cells[cell]);
+                    finishCell(cell);
+                });
+            }
+        }
+        pool.wait();
+    }
+
+    grid.wallSeconds = secondsSince(start);
+    grid.jobs = jobs;
+    return grid;
+}
+
+GridResult
+ExperimentRunner::run(const std::vector<std::string> &schemes,
+                      const std::vector<Trace> &traces,
+                      const SimConfig &sim) const
+{
+    std::vector<SchemeSpec> specs;
+    specs.reserve(schemes.size());
+    for (const auto &name : schemes)
+        specs.push_back(parseScheme(name));
+    return run(specs, traces, sim);
+}
+
+} // namespace dirsim

@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "common/bitops.hh"
+#include "common/env.hh"
 #include "common/logging.hh"
 #include "protocols/registry.hh"
 
@@ -44,7 +45,33 @@ class CacheMapper
     std::unordered_map<std::uint64_t, CacheId> ids;
 };
 
+/** Parse DIRSIM_SHARING into a SharingModel. */
+SharingModel
+sharingFromEnvironment(SharingModel fallback)
+{
+    const auto value = envString("DIRSIM_SHARING");
+    if (!value)
+        return fallback;
+    if (*value == "process")
+        return SharingModel::ByProcess;
+    if (*value == "processor")
+        return SharingModel::ByProcessor;
+    fatal("environment variable DIRSIM_SHARING='", *value,
+          "' is neither 'process' nor 'processor'");
+}
+
 } // namespace
+
+SimConfig
+SimConfig::fromEnvironment()
+{
+    SimConfig config;
+    config.blockBytes =
+        envUnsigned("DIRSIM_BLOCK_BYTES", config.blockBytes);
+    config.warmupRefs = envU64("DIRSIM_WARMUP_REFS", config.warmupRefs);
+    config.sharing = sharingFromEnvironment(config.sharing);
+    return config;
+}
 
 unsigned
 cachesNeeded(const Trace &trace, SharingModel sharing)
@@ -61,6 +88,11 @@ simulateTrace(const Trace &trace, CoherenceProtocol &protocol,
 {
     checkBlockSize(config.blockBytes);
     fatalIf(trace.empty(), "cannot simulate an empty trace");
+    fatalIf(config.finiteCache && !protocol.finiteCaches(),
+            "SimConfig::finiteCache is set but the supplied protocol "
+            "was built with infinite caches; build it with a "
+            "FiniteCache factory or use a scheme-building "
+            "simulateTrace overload");
 
     CacheMapper mapper(config.sharing, protocol.numCaches());
     std::unordered_set<BlockNum> seen_blocks;
@@ -122,7 +154,7 @@ simulateTrace(const Trace &trace, CoherenceProtocol &protocol,
 }
 
 SimResult
-simulateTrace(const Trace &trace, const std::string &scheme,
+simulateTrace(const Trace &trace, const SchemeSpec &scheme,
               const SimConfig &config)
 {
     const unsigned caches = cachesNeeded(trace, config.sharing);
@@ -141,6 +173,13 @@ simulateTrace(const Trace &trace, const std::string &scheme,
     }
     const auto protocol = makeProtocol(scheme, caches, factory);
     return simulateTrace(trace, *protocol, config);
+}
+
+SimResult
+simulateTrace(const Trace &trace, const std::string &scheme,
+              const SimConfig &config)
+{
+    return simulateTrace(trace, parseScheme(scheme), config);
 }
 
 } // namespace dirsim

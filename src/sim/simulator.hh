@@ -22,6 +22,7 @@
 #include "common/histogram.hh"
 #include "protocols/events.hh"
 #include "protocols/protocol.hh"
+#include "protocols/registry.hh"
 #include "trace/trace.hh"
 
 namespace dirsim
@@ -58,11 +59,21 @@ struct SimConfig
     /**
      * When set, build per-process FiniteCaches of this geometry
      * instead of the paper's infinite caches: replacement misses and
-     * eviction write-backs then appear in the results (only used by
-     * the by-name simulateTrace overload; the geometry's blockBytes
-     * must equal the simulation blockBytes).
+     * eviction write-backs then appear in the results (the geometry's
+     * blockBytes must equal the simulation blockBytes). Honored by
+     * the scheme-building simulateTrace overloads; the overload
+     * taking an already-built protocol rejects the combination unless
+     * the protocol itself runs finite caches.
      */
     std::optional<FiniteCacheConfig> finiteCache;
+
+    /**
+     * Apply the DIRSIM_BLOCK_BYTES / DIRSIM_WARMUP_REFS /
+     * DIRSIM_SHARING ("process" or "processor") environment
+     * overrides, if set — the SimConfig counterpart of
+     * SuiteParams::fromEnvironment().
+     */
+    static SimConfig fromEnvironment();
 };
 
 /** Everything a single (scheme, trace) simulation produces. */
@@ -101,15 +112,26 @@ struct SimResult
  * The protocol must have been built with enough caches for the
  * trace's processes (ByProcess) or CPUs (ByProcessor); process ids
  * are mapped to dense cache ids in order of first appearance.
+ *
+ * @throws UsageError when @p config requests a finite cache but the
+ *         already-built @p protocol does not run finite caches (the
+ *         geometry cannot be applied retroactively)
  */
 SimResult simulateTrace(const Trace &trace,
                         CoherenceProtocol &protocol,
                         const SimConfig &config = {});
 
 /**
- * Convenience: build the scheme by name (protocols/registry.hh) with
- * the cache count implied by the trace and the sharing model, then
- * simulate.
+ * Build the scheme from its structured spec with the cache count
+ * implied by the trace and the sharing model (honoring
+ * SimConfig::finiteCache), then simulate.
+ */
+SimResult simulateTrace(const Trace &trace, const SchemeSpec &scheme,
+                        const SimConfig &config = {});
+
+/**
+ * Convenience: parse the scheme name (protocols/registry.hh), then
+ * run the spec-based overload.
  */
 SimResult simulateTrace(const Trace &trace, const std::string &scheme,
                         const SimConfig &config = {});

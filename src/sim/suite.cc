@@ -1,40 +1,19 @@
 #include "sim/suite.hh"
 
-#include <cstdlib>
-#include <string>
-
+#include "common/env.hh"
 #include "common/logging.hh"
 #include "tracegen/generator.hh"
 
 namespace dirsim
 {
 
-namespace
-{
-
-std::uint64_t
-envOverride(const char *name, std::uint64_t fallback)
-{
-    const char *value = std::getenv(name);
-    if (value == nullptr || *value == '\0')
-        return fallback;
-    try {
-        return std::stoull(value);
-    } catch (const std::exception &) {
-        fatal("environment variable ", name, "='", value,
-              "' is not a number");
-    }
-}
-
-} // namespace
-
 SuiteParams
 SuiteParams::fromEnvironment()
 {
     SuiteParams params;
     params.refsPerTrace =
-        envOverride("DIRSIM_SUITE_REFS", params.refsPerTrace);
-    params.seed = envOverride("DIRSIM_SUITE_SEED", params.seed);
+        envU64("DIRSIM_SUITE_REFS", params.refsPerTrace);
+    params.seed = envU64("DIRSIM_SUITE_SEED", params.seed);
     return params;
 }
 

@@ -1,0 +1,89 @@
+/** @file Unit tests for common/thread_pool.hh. */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/thread_pool.hh"
+
+namespace dirsim
+{
+namespace
+{
+
+TEST(ThreadPoolTest, RunsEveryTask)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.numThreads(), 4u);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&ran] { ran.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(ran.load(), 100);
+    EXPECT_EQ(pool.pendingTasks(), 0u);
+}
+
+TEST(ThreadPoolTest, SingleThreadRunsTasksInOrder)
+{
+    ThreadPool pool(1);
+    std::vector<int> order;
+    for (int i = 0; i < 20; ++i)
+        pool.submit([&order, i] { order.push_back(i); });
+    pool.wait();
+    ASSERT_EQ(order.size(), 20u);
+    for (int i = 0; i < 20; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(ThreadPoolTest, ReusableAfterWait)
+{
+    ThreadPool pool(2);
+    std::atomic<int> ran{0};
+    pool.submit([&ran] { ran.fetch_add(1); });
+    pool.wait();
+    pool.submit([&ran] { ran.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(ran.load(), 2);
+}
+
+TEST(ThreadPoolTest, WaitRethrowsFirstTaskError)
+{
+    ThreadPool pool(2);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 10; ++i) {
+        pool.submit([&ran, i] {
+            ran.fetch_add(1);
+            if (i == 3)
+                fatal("task ", i, " failed");
+        });
+    }
+    EXPECT_THROW(pool.wait(), UsageError);
+    // The failure did not kill the workers or drop other tasks.
+    EXPECT_EQ(ran.load(), 10);
+    // The error was consumed; the pool is usable again.
+    pool.submit([&ran] { ran.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(ran.load(), 11);
+}
+
+TEST(ThreadPoolTest, WaitWithNoTasksReturnsImmediately)
+{
+    ThreadPool pool(3);
+    pool.wait();
+    EXPECT_EQ(pool.pendingTasks(), 0u);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsRejected)
+{
+    EXPECT_THROW(ThreadPool pool(0), UsageError);
+}
+
+TEST(ThreadPoolTest, HardwareThreadsIsPositive)
+{
+    EXPECT_GE(ThreadPool::hardwareThreads(), 1u);
+}
+
+} // namespace
+} // namespace dirsim

@@ -151,6 +151,22 @@ INSTANTIATE_TEST_SUITE_P(
                       "Berkeley", "YenFu", "DirCV", "Dir2B",
                       "Dir2NB"));
 
+TEST(FiniteModeTest, PrebuiltInfiniteProtocolRejectsFiniteConfig)
+{
+    // The overload taking an already-built protocol cannot apply the
+    // geometry retroactively; it must reject rather than silently
+    // ignore SimConfig::finiteCache.
+    const Trace trace = generateTrace("pero", 5'000, 7);
+    SimConfig config;
+    config.finiteCache = FiniteCacheConfig{};
+    const auto infinite = makeProtocol("Dir0B", 4);
+    EXPECT_THROW(simulateTrace(trace, *infinite, config), UsageError);
+
+    // A protocol that does run finite caches is honored.
+    const auto finite = makeProtocol("Dir0B", 4, tinyFactory());
+    EXPECT_NO_THROW(simulateTrace(trace, *finite, config));
+}
+
 TEST(FiniteModeTest, BlockSizeMismatchRejected)
 {
     const Trace trace = generateTrace("pero", 5'000, 7);

@@ -53,6 +53,112 @@ TEST(RegistryTest, RejectsUnknownNames)
     EXPECT_THROW(makeProtocol("Dir2", 4), UsageError);
 }
 
+TEST(RegistryTest, UnknownNameErrorNamesOffenderAndValidSchemes)
+{
+    try {
+        makeProtocol("MOESI", 4);
+        FAIL() << "expected UsageError";
+    } catch (const UsageError &error) {
+        const std::string what = error.what();
+        EXPECT_NE(what.find("MOESI"), std::string::npos) << what;
+        // Every named scheme and the parameterized families appear.
+        for (const auto &name : allSchemes())
+            EXPECT_NE(what.find(name), std::string::npos) << name;
+        EXPECT_NE(what.find("Dir<i>B"), std::string::npos) << what;
+        EXPECT_NE(what.find("Dir<i>NB"), std::string::npos) << what;
+    }
+}
+
+TEST(RegistryTest, SpecRoundTripsForNamedSchemes)
+{
+    for (const auto &name : allSchemes()) {
+        const SchemeSpec spec = parseScheme(name);
+        EXPECT_EQ(spec.name(), name);
+        EXPECT_EQ(parseScheme(spec.name()), spec);
+        EXPECT_FALSE(spec.parameterized()) << name;
+    }
+}
+
+TEST(RegistryTest, SpecRoundTripsForParameterizedFamilies)
+{
+    for (const unsigned i : {1u, 2u, 7u, 16u, 123u}) {
+        for (const bool broadcast : {true, false}) {
+            if (!broadcast && i == 1)
+                continue; // "Dir1NB" aliases the named scheme below
+            SchemeSpec spec;
+            spec.family = broadcast ? SchemeFamily::DirIB
+                                    : SchemeFamily::DirINB;
+            spec.pointers = i;
+            EXPECT_EQ(parseScheme(spec.name()), spec) << spec.name();
+            EXPECT_TRUE(spec.parameterized());
+            EXPECT_EQ(spec.broadcast(), broadcast);
+        }
+    }
+    EXPECT_EQ(parseScheme("dir4nb").name(), "Dir4NB");
+    EXPECT_EQ(parseScheme("Dir2B").pointers, 2u);
+
+    // A hand-built DirINB(1) prints as "Dir1NB", which canonicalizes
+    // to the dedicated named implementation of the same protocol.
+    SchemeSpec one_ptr;
+    one_ptr.family = SchemeFamily::DirINB;
+    one_ptr.pointers = 1;
+    EXPECT_EQ(one_ptr.name(), "Dir1NB");
+    EXPECT_EQ(parseScheme(one_ptr.name()).family,
+              SchemeFamily::Dir1NB);
+}
+
+TEST(RegistryTest, SpecStructure)
+{
+    EXPECT_EQ(parseScheme("Dir1NB").family, SchemeFamily::Dir1NB);
+    EXPECT_EQ(parseScheme("Dir1NB").pointers, 1u);
+    EXPECT_FALSE(parseScheme("Dir1NB").broadcast());
+
+    EXPECT_EQ(parseScheme("Dir0B").family, SchemeFamily::Dir0B);
+    EXPECT_EQ(parseScheme("Dir0B").pointers, 0u);
+    EXPECT_TRUE(parseScheme("Dir0B").broadcast());
+
+    // "Dir1B" is the parameterized family, not a named scheme.
+    EXPECT_EQ(parseScheme("Dir1B").family, SchemeFamily::DirIB);
+
+    EXPECT_FALSE(parseScheme("DirNNB").broadcast());
+    EXPECT_FALSE(parseScheme("YenFu").broadcast());
+    EXPECT_TRUE(parseScheme("DirCV").broadcast());
+
+    for (const char *name : {"WTI", "Dragon", "Berkeley"}) {
+        EXPECT_TRUE(parseScheme(name).snoopy()) << name;
+        EXPECT_TRUE(parseScheme(name).broadcast()) << name;
+    }
+    EXPECT_FALSE(parseScheme("DirNNB").snoopy());
+}
+
+TEST(RegistryTest, SpecFactoryBuildsTheSpecifiedProtocol)
+{
+    for (const char *name : {"Dir0B", "Dragon", "Dir3NB", "Dir2B"}) {
+        const auto protocol = makeProtocol(parseScheme(name), 8);
+        EXPECT_EQ(protocol->name(), name);
+        EXPECT_EQ(protocol->numCaches(), 8u);
+    }
+}
+
+TEST(RegistryTest, SpecFactoryRejectsZeroPointerFamilies)
+{
+    SchemeSpec spec;
+    spec.family = SchemeFamily::DirINB;
+    spec.pointers = 0;
+    EXPECT_THROW(makeProtocol(spec, 4), UsageError);
+    spec.family = SchemeFamily::DirIB;
+    EXPECT_THROW(makeProtocol(spec, 4), UsageError);
+}
+
+TEST(RegistryTest, ValidSchemesTextMentionsEverything)
+{
+    const std::string &text = validSchemesText();
+    for (const auto &name : allSchemes())
+        EXPECT_NE(text.find(name), std::string::npos) << name;
+    EXPECT_NE(text.find("Dir<i>B"), std::string::npos);
+    EXPECT_NE(text.find("Dir<i>NB"), std::string::npos);
+}
+
 TEST(RegistryTest, RejectsDir0NB)
 {
     // "The one case that does not make sense is Dir0 NB, since there

@@ -1,0 +1,222 @@
+/** @file Unit tests for sim/runner.hh (the parallel grid engine). */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <vector>
+
+#include "common/logging.hh"
+#include "sim/runner.hh"
+#include "sim/suite.hh"
+
+namespace dirsim
+{
+namespace
+{
+
+std::vector<Trace>
+smallSuite()
+{
+    SuiteParams params;
+    params.refsPerTrace = 40'000;
+    params.seed = 5;
+    return standardSuite(params);
+}
+
+/** Every field a simulation produces, compared exactly. */
+void
+expectIdentical(const SimResult &a, const SimResult &b)
+{
+    EXPECT_EQ(a.scheme, b.scheme);
+    EXPECT_EQ(a.traceName, b.traceName);
+    EXPECT_EQ(a.numCaches, b.numCaches);
+    EXPECT_EQ(a.totalRefs, b.totalRefs);
+    EXPECT_TRUE(a.events == b.events) << a.scheme << "/" << a.traceName;
+    EXPECT_TRUE(a.ops == b.ops) << a.scheme << "/" << a.traceName;
+    EXPECT_TRUE(a.cleanWriteHolders == b.cleanWriteHolders)
+        << a.scheme << "/" << a.traceName;
+}
+
+TEST(RunnerTest, ParallelGridIsBitIdenticalToSequential)
+{
+    const auto traces = smallSuite();
+
+    // The sequential reference: plain per-cell simulation, no runner.
+    std::vector<std::vector<SimResult>> reference;
+    for (const auto &name : paperSchemes()) {
+        std::vector<SimResult> row;
+        for (const auto &trace : traces)
+            row.push_back(simulateTrace(trace, name));
+        reference.push_back(std::move(row));
+    }
+
+    for (const unsigned jobs : {1u, 2u, 3u, 8u}) {
+        RunnerConfig config;
+        config.jobs = jobs;
+        const ExperimentRunner runner(config);
+        const GridResult grid = runner.run(paperSchemes(), traces);
+        EXPECT_EQ(grid.jobs, jobs);
+        ASSERT_EQ(grid.schemes.size(), paperSchemes().size());
+        for (std::size_t s = 0; s < grid.schemes.size(); ++s) {
+            EXPECT_EQ(grid.schemes[s].scheme, paperSchemes()[s]);
+            ASSERT_EQ(grid.schemes[s].perTrace.size(), traces.size());
+            for (std::size_t t = 0; t < traces.size(); ++t) {
+                expectIdentical(grid.schemes[s].perTrace[t],
+                                reference[s][t]);
+            }
+        }
+    }
+}
+
+TEST(RunnerTest, RunGridWrapperMatchesRunner)
+{
+    const auto traces = smallSuite();
+    const auto wrapped = runGrid({"Dir0B", "WTI"}, traces);
+    RunnerConfig config;
+    config.jobs = 2;
+    const GridResult direct =
+        ExperimentRunner(config).run(
+            std::vector<std::string>{"Dir0B", "WTI"}, traces);
+    ASSERT_EQ(wrapped.size(), direct.schemes.size());
+    for (std::size_t s = 0; s < wrapped.size(); ++s) {
+        for (std::size_t t = 0; t < traces.size(); ++t) {
+            expectIdentical(wrapped[s].perTrace[t],
+                            direct.schemes[s].perTrace[t]);
+        }
+    }
+}
+
+TEST(RunnerTest, CellTimingsCoverTheGridInOrder)
+{
+    const auto traces = smallSuite();
+    RunnerConfig config;
+    config.jobs = 2;
+    const GridResult grid =
+        ExperimentRunner(config).run(
+            std::vector<std::string>{"Dir0B", "Dragon"}, traces);
+    ASSERT_EQ(grid.cells.size(), 2 * traces.size());
+    for (std::size_t s = 0; s < 2; ++s) {
+        for (std::size_t t = 0; t < traces.size(); ++t) {
+            const CellTiming &cell = grid.cells[s * traces.size() + t];
+            EXPECT_EQ(cell.scheme, s == 0 ? "Dir0B" : "Dragon");
+            EXPECT_EQ(cell.traceName, traces[t].name());
+            EXPECT_EQ(cell.refs, traces[t].size());
+            EXPECT_GE(cell.wallSeconds, 0.0);
+        }
+    }
+    EXPECT_EQ(grid.totalRefs(),
+              2 * (traces[0].size() + traces[1].size()
+                   + traces[2].size()));
+    EXPECT_GT(grid.wallSeconds, 0.0);
+    EXPECT_GT(grid.refsPerSecond(), 0.0);
+}
+
+TEST(RunnerTest, ProgressCallbackFiresOncePerCell)
+{
+    const auto traces = smallSuite();
+    std::atomic<std::size_t> calls{0};
+    std::atomic<std::size_t> max_completed{0};
+    RunnerConfig config;
+    config.jobs = 3;
+    config.onCellComplete = [&](const GridProgress &progress) {
+        calls.fetch_add(1);
+        EXPECT_EQ(progress.totalCells, 2 * traces.size());
+        EXPECT_GE(progress.completedCells, 1u);
+        EXPECT_LE(progress.completedCells, progress.totalCells);
+        EXPECT_FALSE(progress.cell.scheme.empty());
+        max_completed.store(
+            std::max(max_completed.load(), progress.completedCells));
+    };
+    ExperimentRunner(config).run(
+            std::vector<std::string>{"Dir0B", "WTI"}, traces);
+    EXPECT_EQ(calls.load(), 2 * traces.size());
+    EXPECT_EQ(max_completed.load(), 2 * traces.size());
+}
+
+TEST(RunnerTest, CellErrorsPropagateFromWorkers)
+{
+    const auto traces = smallSuite();
+    SimConfig sim;
+    sim.warmupRefs = traces[0].size() + 1; // consumes every trace
+    RunnerConfig config;
+    config.jobs = 2;
+    const ExperimentRunner runner(config);
+    EXPECT_THROW(runner.run(std::vector<std::string>{"Dir0B", "WTI"},
+                            traces, sim),
+                 UsageError);
+}
+
+TEST(RunnerTest, EmptyInputsRejected)
+{
+    const auto traces = smallSuite();
+    const ExperimentRunner runner;
+    EXPECT_THROW(runner.run(std::vector<SchemeSpec>{}, traces),
+                 UsageError);
+    EXPECT_THROW(runner.run({parseScheme("Dir0B")}, {}), UsageError);
+}
+
+TEST(RunnerTest, SpecOverloadMatchesNameOverload)
+{
+    const auto traces = smallSuite();
+    RunnerConfig config;
+    config.jobs = 2;
+    const ExperimentRunner runner(config);
+    const GridResult by_spec =
+        runner.run({parseScheme("Dir2B")}, traces);
+    const GridResult by_name =
+        runner.run(std::vector<std::string>{"Dir2B"}, traces);
+    EXPECT_EQ(by_spec.schemes[0].scheme, "Dir2B");
+    for (std::size_t t = 0; t < traces.size(); ++t) {
+        expectIdentical(by_spec.schemes[0].perTrace[t],
+                        by_name.schemes[0].perTrace[t]);
+    }
+}
+
+TEST(RunnerTest, JobsResolveFromEnvironment)
+{
+    unsetenv("DIRSIM_JOBS");
+    EXPECT_EQ(RunnerConfig::fromEnvironment().jobs, 0u);
+    EXPECT_GE(RunnerConfig::defaultJobs(), 1u);
+
+    setenv("DIRSIM_JOBS", "3", 1);
+    EXPECT_EQ(RunnerConfig::fromEnvironment().jobs, 3u);
+    EXPECT_EQ(RunnerConfig::defaultJobs(), 3u);
+    EXPECT_EQ(ExperimentRunner().resolvedJobs(), 3u);
+
+    setenv("DIRSIM_JOBS", "nope", 1);
+    EXPECT_THROW(RunnerConfig::fromEnvironment(), UsageError);
+    unsetenv("DIRSIM_JOBS");
+
+    RunnerConfig fixed;
+    fixed.jobs = 5;
+    EXPECT_EQ(ExperimentRunner(fixed).resolvedJobs(), 5u);
+}
+
+TEST(RunnerTest, SimConfigFromEnvironment)
+{
+    unsetenv("DIRSIM_BLOCK_BYTES");
+    unsetenv("DIRSIM_WARMUP_REFS");
+    unsetenv("DIRSIM_SHARING");
+    const SimConfig defaults = SimConfig::fromEnvironment();
+    EXPECT_EQ(defaults.blockBytes, SimConfig{}.blockBytes);
+    EXPECT_EQ(defaults.warmupRefs, 0u);
+    EXPECT_EQ(defaults.sharing, SharingModel::ByProcess);
+
+    setenv("DIRSIM_BLOCK_BYTES", "32", 1);
+    setenv("DIRSIM_WARMUP_REFS", "1000", 1);
+    setenv("DIRSIM_SHARING", "processor", 1);
+    const SimConfig tuned = SimConfig::fromEnvironment();
+    EXPECT_EQ(tuned.blockBytes, 32u);
+    EXPECT_EQ(tuned.warmupRefs, 1000u);
+    EXPECT_EQ(tuned.sharing, SharingModel::ByProcessor);
+
+    setenv("DIRSIM_SHARING", "both", 1);
+    EXPECT_THROW(SimConfig::fromEnvironment(), UsageError);
+    unsetenv("DIRSIM_BLOCK_BYTES");
+    unsetenv("DIRSIM_WARMUP_REFS");
+    unsetenv("DIRSIM_SHARING");
+}
+
+} // namespace
+} // namespace dirsim
