@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/dirsim_validate.cpp" "examples/CMakeFiles/dirsim_validate.dir/dirsim_validate.cpp.o" "gcc" "examples/CMakeFiles/dirsim_validate.dir/dirsim_validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/dirsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tracegen/CMakeFiles/dirsim_tracegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/dirsim_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/bus/CMakeFiles/dirsim_bus.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocols/CMakeFiles/dirsim_protocols.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/dirsim_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/directory/CMakeFiles/dirsim_directory.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dirsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dirsim_validate.dir/dirsim_validate.cpp.o"
+  "CMakeFiles/dirsim_validate.dir/dirsim_validate.cpp.o.d"
+  "dirsim_validate"
+  "dirsim_validate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dirsim_validate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -249,10 +249,16 @@ examples/CMakeFiles/quickstart.dir/quickstart.cpp.o: \
  /root/repo/src/protocols/dir_n_nb.hh /root/repo/src/protocols/dragon.hh \
  /root/repo/src/protocols/registry.hh /root/repo/src/protocols/wti.hh \
  /root/repo/src/protocols/yen_fu.hh /root/repo/src/sim/experiment.hh \
- /root/repo/src/sim/simulator.hh /root/repo/src/trace/trace.hh \
- /root/repo/src/trace/record.hh /root/repo/src/sim/report.hh \
- /root/repo/src/sim/runner.hh /root/repo/src/sim/suite.hh \
- /root/repo/src/trace/filter.hh /root/repo/src/trace/reader.hh \
- /root/repo/src/trace/trace_stats.hh /root/repo/src/trace/writer.hh \
+ /root/repo/src/sim/simulator.hh /root/repo/src/trace/source.hh \
+ /root/repo/src/trace/trace.hh /root/repo/src/trace/record.hh \
+ /root/repo/src/sim/report.hh /root/repo/src/sim/runner.hh \
+ /root/repo/src/sim/suite.hh /root/repo/src/trace/filter.hh \
+ /root/repo/src/trace/format.hh /root/repo/src/trace/reader.hh \
+ /usr/include/c++/12/fstream /usr/include/c++/12/bits/codecvt.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
+ /usr/include/c++/12/bits/fstream.tcc /root/repo/src/trace/trace_stats.hh \
+ /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h /root/repo/src/trace/writer.hh \
  /root/repo/src/tracegen/generator.hh /root/repo/src/tracegen/profile.hh \
  /root/repo/src/tracegen/segments.hh

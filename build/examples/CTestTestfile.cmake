@@ -5,14 +5,16 @@
 # This file includes the relevant testing commands required for 
 # testing this directory and lists subdirectories to be tested as well.
 add_test(example_quickstart "/root/repo/build/examples/quickstart")
-set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;14;add_test;/root/repo/examples/CMakeLists.txt;0;")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;15;add_test;/root/repo/examples/CMakeLists.txt;0;")
 add_test(example_trace_inspector "/root/repo/build/examples/trace_inspector" "pero" "60000" "1")
-set_tests_properties(example_trace_inspector PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;15;add_test;/root/repo/examples/CMakeLists.txt;0;")
+set_tests_properties(example_trace_inspector PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
 add_test(example_protocol_explorer "/root/repo/build/examples/protocol_explorer" "Dir2B" "pops" "60000" "1")
-set_tests_properties(example_protocol_explorer PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+set_tests_properties(example_protocol_explorer PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
 add_test(example_scalability_study "/root/repo/build/examples/scalability_study" "8" "60000" "1")
-set_tests_properties(example_scalability_study PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+set_tests_properties(example_scalability_study PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
 add_test(example_spinlock_anatomy "/root/repo/build/examples/spinlock_anatomy")
-set_tests_properties(example_spinlock_anatomy PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+set_tests_properties(example_spinlock_anatomy PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
 add_test(example_trace_tool_roundtrip "/usr/bin/cmake" "-DTOOL=/root/repo/build/examples/trace_tool" "-DWORKDIR=/root/repo/build/examples" "-P" "/root/repo/examples/trace_tool_test.cmake")
-set_tests_properties(example_trace_tool_roundtrip PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+set_tests_properties(example_trace_tool_roundtrip PROPERTIES  LABELS "trace" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_dirsim_validate "/usr/bin/cmake" "-DGENERATOR=/root/repo/build/examples/trace_tool" "-DVALIDATOR=/root/repo/build/examples/dirsim_validate" "-DWORKDIR=/root/repo/build/examples" "-P" "/root/repo/examples/dirsim_validate_test.cmake")
+set_tests_properties(example_dirsim_validate PROPERTIES  LABELS "trace" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;28;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -216,8 +216,8 @@ src/sim/CMakeFiles/dirsim_sim.dir/report.cc.o: \
  /usr/include/c++/12/bits/uniform_int_dist.h \
  /root/repo/src/protocols/protocol.hh \
  /root/repo/src/directory/sharer_set.hh \
- /root/repo/src/protocols/registry.hh /root/repo/src/trace/trace.hh \
- /root/repo/src/trace/record.hh /root/repo/src/common/logging.hh \
- /usr/include/c++/12/sstream /usr/include/c++/12/istream \
- /usr/include/c++/12/bits/istream.tcc \
+ /root/repo/src/protocols/registry.hh /root/repo/src/trace/source.hh \
+ /root/repo/src/trace/trace.hh /root/repo/src/trace/record.hh \
+ /root/repo/src/common/logging.hh /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc

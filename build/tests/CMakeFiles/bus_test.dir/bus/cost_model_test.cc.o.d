@@ -301,6 +301,6 @@ tests/CMakeFiles/bus_test.dir/bus/cost_model_test.cc.o: \
  /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
  /root/repo/src/cache/cache_if.hh /root/repo/src/protocols/protocol.hh \
  /root/repo/src/directory/sharer_set.hh \
- /root/repo/src/protocols/registry.hh /root/repo/src/trace/trace.hh \
- /root/repo/src/trace/record.hh /root/repo/src/tracegen/generator.hh \
- /root/repo/src/tracegen/profile.hh
+ /root/repo/src/protocols/registry.hh /root/repo/src/trace/source.hh \
+ /root/repo/src/trace/trace.hh /root/repo/src/trace/record.hh \
+ /root/repo/src/tracegen/generator.hh /root/repo/src/tracegen/profile.hh

@@ -302,5 +302,5 @@ tests/CMakeFiles/bus_test.dir/bus/latency_model_test.cc.o: \
  /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
  /root/repo/src/cache/cache_if.hh /root/repo/src/protocols/protocol.hh \
  /root/repo/src/directory/sharer_set.hh \
- /root/repo/src/protocols/registry.hh /root/repo/src/trace/trace.hh \
- /root/repo/src/trace/record.hh
+ /root/repo/src/protocols/registry.hh /root/repo/src/trace/source.hh \
+ /root/repo/src/trace/trace.hh /root/repo/src/trace/record.hh

@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/common/bitops_test.cc" "tests/CMakeFiles/common_test.dir/common/bitops_test.cc.o" "gcc" "tests/CMakeFiles/common_test.dir/common/bitops_test.cc.o.d"
+  "/root/repo/tests/common/env_test.cc" "tests/CMakeFiles/common_test.dir/common/env_test.cc.o" "gcc" "tests/CMakeFiles/common_test.dir/common/env_test.cc.o.d"
   "/root/repo/tests/common/histogram_test.cc" "tests/CMakeFiles/common_test.dir/common/histogram_test.cc.o" "gcc" "tests/CMakeFiles/common_test.dir/common/histogram_test.cc.o.d"
   "/root/repo/tests/common/logging_test.cc" "tests/CMakeFiles/common_test.dir/common/logging_test.cc.o" "gcc" "tests/CMakeFiles/common_test.dir/common/logging_test.cc.o.d"
   "/root/repo/tests/common/random_test.cc" "tests/CMakeFiles/common_test.dir/common/random_test.cc.o" "gcc" "tests/CMakeFiles/common_test.dir/common/random_test.cc.o.d"

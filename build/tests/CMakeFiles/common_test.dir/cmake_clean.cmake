@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/common_test.dir/common/bitops_test.cc.o"
   "CMakeFiles/common_test.dir/common/bitops_test.cc.o.d"
+  "CMakeFiles/common_test.dir/common/env_test.cc.o"
+  "CMakeFiles/common_test.dir/common/env_test.cc.o.d"
   "CMakeFiles/common_test.dir/common/histogram_test.cc.o"
   "CMakeFiles/common_test.dir/common/histogram_test.cc.o.d"
   "CMakeFiles/common_test.dir/common/logging_test.cc.o"

@@ -303,6 +303,6 @@ tests/CMakeFiles/protocols_test.dir/protocols/equivalence_test.cc.o: \
  /root/repo/src/bus/cost_model.hh /root/repo/src/bus/bus_model.hh \
  /root/repo/src/bus/timing.hh /root/repo/src/cache/finite_cache.hh \
  /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
- /usr/include/c++/12/bits/list.tcc /root/repo/src/trace/trace.hh \
- /root/repo/src/trace/record.hh /root/repo/src/tracegen/generator.hh \
- /root/repo/src/tracegen/profile.hh
+ /usr/include/c++/12/bits/list.tcc /root/repo/src/trace/source.hh \
+ /root/repo/src/trace/trace.hh /root/repo/src/trace/record.hh \
+ /root/repo/src/tracegen/generator.hh /root/repo/src/tracegen/profile.hh

@@ -302,6 +302,6 @@ tests/CMakeFiles/protocols_test.dir/protocols/finite_mode_test.cc.o: \
  /root/repo/src/directory/sharer_set.hh \
  /root/repo/src/protocols/events.hh /root/repo/src/sim/simulator.hh \
  /root/repo/src/bus/cost_model.hh /root/repo/src/bus/bus_model.hh \
- /root/repo/src/bus/timing.hh /root/repo/src/trace/trace.hh \
- /root/repo/src/trace/record.hh /root/repo/src/tracegen/generator.hh \
- /root/repo/src/tracegen/profile.hh
+ /root/repo/src/bus/timing.hh /root/repo/src/trace/source.hh \
+ /root/repo/src/trace/trace.hh /root/repo/src/trace/record.hh \
+ /root/repo/src/tracegen/generator.hh /root/repo/src/tracegen/profile.hh

@@ -13,6 +13,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/sim/experiment_test.cc" "tests/CMakeFiles/sim_test.dir/sim/experiment_test.cc.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/experiment_test.cc.o.d"
   "/root/repo/tests/sim/report_test.cc" "tests/CMakeFiles/sim_test.dir/sim/report_test.cc.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/report_test.cc.o.d"
   "/root/repo/tests/sim/simulator_test.cc" "tests/CMakeFiles/sim_test.dir/sim/simulator_test.cc.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/simulator_test.cc.o.d"
+  "/root/repo/tests/sim/streaming_test.cc" "tests/CMakeFiles/sim_test.dir/sim/streaming_test.cc.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/streaming_test.cc.o.d"
   )
 
 # Targets to which this target links.

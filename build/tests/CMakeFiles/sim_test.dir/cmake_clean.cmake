@@ -9,6 +9,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/sim_test.dir/sim/report_test.cc.o.d"
   "CMakeFiles/sim_test.dir/sim/simulator_test.cc.o"
   "CMakeFiles/sim_test.dir/sim/simulator_test.cc.o.d"
+  "CMakeFiles/sim_test.dir/sim/streaming_test.cc.o"
+  "CMakeFiles/sim_test.dir/sim/streaming_test.cc.o.d"
   "sim_test"
   "sim_test.pdb"
   "sim_test[1]_tests.cmake"

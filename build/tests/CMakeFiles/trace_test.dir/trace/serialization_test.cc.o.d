@@ -296,5 +296,9 @@ tests/CMakeFiles/trace_test.dir/trace/serialization_test.cc.o: \
  /root/repo/src/common/logging.hh /root/repo/tests/test_util.hh \
  /root/repo/src/trace/trace.hh /root/repo/src/trace/record.hh \
  /root/repo/src/common/types.hh /root/repo/src/trace/reader.hh \
- /root/repo/src/trace/writer.hh /root/repo/src/tracegen/generator.hh \
- /root/repo/src/tracegen/profile.hh
+ /usr/include/c++/12/fstream \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
+ /usr/include/c++/12/bits/fstream.tcc /root/repo/src/trace/format.hh \
+ /root/repo/src/trace/source.hh /root/repo/src/trace/writer.hh \
+ /root/repo/src/tracegen/generator.hh /root/repo/src/tracegen/profile.hh

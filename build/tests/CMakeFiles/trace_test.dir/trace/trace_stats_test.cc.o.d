@@ -295,4 +295,5 @@ tests/CMakeFiles/trace_test.dir/trace/trace_stats_test.cc.o: \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/tests/test_util.hh /root/repo/src/trace/trace.hh \
  /root/repo/src/trace/record.hh /root/repo/src/common/types.hh \
- /root/repo/src/trace/trace_stats.hh
+ /root/repo/src/trace/trace_stats.hh /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h /root/repo/src/trace/source.hh

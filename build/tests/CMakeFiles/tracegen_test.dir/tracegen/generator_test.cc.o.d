@@ -296,8 +296,9 @@ tests/CMakeFiles/tracegen_test.dir/tracegen/generator_test.cc.o: \
  /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/common/logging.hh /root/repo/src/trace/trace_stats.hh \
+ /root/repo/src/common/types.hh /root/repo/src/trace/source.hh \
  /root/repo/src/trace/trace.hh /root/repo/src/trace/record.hh \
- /root/repo/src/common/types.hh /root/repo/src/tracegen/address_space.hh \
+ /root/repo/src/tracegen/address_space.hh \
  /root/repo/src/tracegen/generator.hh /root/repo/src/tracegen/profile.hh \
  /root/repo/src/tracegen/scheduler.hh /root/repo/src/common/random.hh \
  /root/repo/src/tracegen/process.hh /usr/include/c++/12/deque \

@@ -6,6 +6,7 @@
 # testing this directory and lists subdirectories to be tested as well.
 include("/root/repo/build/tests/common_test[1]_include.cmake")
 include("/root/repo/build/tests/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_io_test[1]_include.cmake")
 include("/root/repo/build/tests/tracegen_test[1]_include.cmake")
 include("/root/repo/build/tests/cache_test[1]_include.cmake")
 include("/root/repo/build/tests/directory_test[1]_include.cmake")

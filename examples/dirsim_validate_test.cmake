@@ -1,0 +1,24 @@
+# Smoke test for the dirsim_validate example: freshly generated
+# binary and text traces must validate, a malformed text trace must
+# be rejected with a clean diagnostic (exit 1, no crash).
+function(run)
+    execute_process(COMMAND ${ARGV} RESULT_VARIABLE rc)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR "command failed (${rc}): ${ARGV}")
+    endif()
+endfunction()
+
+set(bin "${WORKDIR}/dv_smoke.trace")
+set(txt "${WORKDIR}/dv_smoke.txt")
+set(bad "${WORKDIR}/dv_smoke_bad.txt")
+
+run(${GENERATOR} generate pops 40000 5 ${bin})
+run(${GENERATOR} convert ${bin} ${txt})
+run(${VALIDATOR} ${bin} ${txt})
+
+file(WRITE ${bad} "# cpus: banana\n0 1 read 100 -\n")
+execute_process(COMMAND ${VALIDATOR} ${bad} RESULT_VARIABLE rc)
+if(NOT rc EQUAL 1)
+    message(FATAL_ERROR
+        "validator accepted a malformed trace (rc=${rc}): ${bad}")
+endif()

@@ -109,13 +109,15 @@ printStats(const Trace &trace)
 }
 
 void
-simulate(const Trace &trace, const std::string &scheme)
+simulate(const std::string &path, const std::string &scheme)
 {
-    const SimResult result = simulateTrace(trace, scheme);
+    // Streams the file twice (domain-sizing scan, then simulation)
+    // instead of materializing it, so arbitrarily large traces fit.
+    const SimResult result = simulateTraceFile(path, scheme);
     const CycleBreakdown pipe = result.cost(paperPipelinedCosts());
     const CycleBreakdown nonpipe =
         result.cost(paperNonPipelinedCosts());
-    std::cout << result.scheme << " on '" << trace.name() << "': "
+    std::cout << result.scheme << " on '" << result.traceName << "': "
               << TextTable::fixed(pipe.total(), 4)
               << " (pipelined) / "
               << TextTable::fixed(nonpipe.total(), 4)
@@ -174,7 +176,7 @@ main(int argc, char **argv)
             return 0;
         }
         if (command == "simulate" && argc == 4) {
-            simulate(load(argv[2]), argv[3]);
+            simulate(argv[2], argv[3]);
             return 0;
         }
     } catch (const SimulationError &error) {

@@ -23,6 +23,13 @@ envU64(const char *name, std::uint64_t fallback)
     const auto value = envString(name);
     if (!value)
         return fallback;
+    // std::stoull skips leading whitespace and silently wraps
+    // negative values ("-1" -> 2^64-1), so insist on pure digits
+    // before parsing.
+    fatalIf(value->find_first_not_of("0123456789")
+                != std::string::npos,
+            "environment variable ", name, "='", *value,
+            "' is not a number");
     try {
         std::size_t consumed = 0;
         const std::uint64_t parsed = std::stoull(*value, &consumed);

@@ -59,8 +59,10 @@
 #include "sim/simulator.hh"
 #include "sim/suite.hh"
 #include "trace/filter.hh"
+#include "trace/format.hh"
 #include "trace/reader.hh"
 #include "trace/record.hh"
+#include "trace/source.hh"
 #include "trace/trace.hh"
 #include "trace/trace_stats.hh"
 #include "trace/writer.hh"

@@ -80,56 +80,52 @@ ExperimentRunner::resolvedJobs() const
 }
 
 GridResult
-ExperimentRunner::run(const std::vector<SchemeSpec> &schemes,
-                      const std::vector<Trace> &traces,
-                      const SimConfig &sim) const
+ExperimentRunner::runGridCells(
+    std::size_t num_schemes, std::size_t num_traces,
+    const std::function<SimResult(std::size_t, std::size_t,
+                                  CellTiming &)> &cell) const
 {
-    fatalIf(schemes.empty(), "experiment grid with no schemes");
-    fatalIf(traces.empty(), "experiment grid with no traces");
-
-    const std::size_t num_cells = schemes.size() * traces.size();
+    const std::size_t num_cells = num_schemes * num_traces;
     GridResult grid;
     grid.cells.resize(num_cells);
-    grid.schemes.resize(schemes.size());
-    for (std::size_t s = 0; s < schemes.size(); ++s) {
-        grid.schemes[s].scheme = schemes[s].name();
-        grid.schemes[s].perTrace.resize(traces.size());
-    }
+    grid.schemes.resize(num_schemes);
+    for (std::size_t s = 0; s < num_schemes; ++s)
+        grid.schemes[s].perTrace.resize(num_traces);
 
     const auto start = Clock::now();
 
     std::mutex progress_mutex;
     std::size_t completed = 0;
-    const auto finishCell = [&](std::size_t cell) {
+    const auto finishCell = [&](std::size_t index) {
         if (!config.onCellComplete)
             return;
         std::lock_guard<std::mutex> lock(progress_mutex);
         GridProgress progress{++completed, num_cells,
-                              grid.cells[cell]};
+                              grid.cells[index]};
         config.onCellComplete(progress);
     };
 
     const unsigned jobs = resolvedJobs();
     if (jobs == 1) {
         // Exact legacy path: every cell in grid order on this thread.
-        for (std::size_t s = 0; s < schemes.size(); ++s) {
-            for (std::size_t t = 0; t < traces.size(); ++t) {
-                const std::size_t cell = s * traces.size() + t;
-                grid.schemes[s].perTrace[t] = runCell(
-                    schemes[s], traces[t], sim, grid.cells[cell]);
-                finishCell(cell);
+        for (std::size_t s = 0; s < num_schemes; ++s) {
+            for (std::size_t t = 0; t < num_traces; ++t) {
+                const std::size_t index = s * num_traces + t;
+                grid.schemes[s].perTrace[t] =
+                    cell(s, t, grid.cells[index]);
+                finishCell(index);
             }
         }
     } else {
         ThreadPool pool(static_cast<unsigned>(
             std::min<std::size_t>(jobs, num_cells)));
-        for (std::size_t s = 0; s < schemes.size(); ++s) {
-            for (std::size_t t = 0; t < traces.size(); ++t) {
-                const std::size_t cell = s * traces.size() + t;
-                pool.submit([&, s, t, cell] {
-                    grid.schemes[s].perTrace[t] = runCell(
-                        schemes[s], traces[t], sim, grid.cells[cell]);
-                    finishCell(cell);
+        for (std::size_t s = 0; s < num_schemes; ++s) {
+            for (std::size_t t = 0; t < num_traces; ++t) {
+                const std::size_t index = s * num_traces + t;
+                pool.submit([&, s, t, index] {
+                    grid.schemes[s].perTrace[t] =
+                        cell(s, t, grid.cells[index]);
+                    finishCell(index);
                 });
             }
         }
@@ -139,6 +135,69 @@ ExperimentRunner::run(const std::vector<SchemeSpec> &schemes,
     grid.wallSeconds = secondsSince(start);
     grid.jobs = jobs;
     return grid;
+}
+
+GridResult
+ExperimentRunner::run(const std::vector<SchemeSpec> &schemes,
+                      const std::vector<Trace> &traces,
+                      const SimConfig &sim) const
+{
+    fatalIf(schemes.empty(), "experiment grid with no schemes");
+    fatalIf(traces.empty(), "experiment grid with no traces");
+
+    GridResult grid = runGridCells(
+        schemes.size(), traces.size(),
+        [&](std::size_t s, std::size_t t, CellTiming &timing) {
+            return runCell(schemes[s], traces[t], sim, timing);
+        });
+    for (std::size_t s = 0; s < schemes.size(); ++s)
+        grid.schemes[s].scheme = schemes[s].name();
+    return grid;
+}
+
+GridResult
+ExperimentRunner::runFiles(const std::vector<SchemeSpec> &schemes,
+                           const std::vector<std::string> &tracePaths,
+                           const SimConfig &sim) const
+{
+    fatalIf(schemes.empty(), "experiment grid with no schemes");
+    fatalIf(tracePaths.empty(), "experiment grid with no trace files");
+
+    // One validating scan per file, up front: sizes every cell's
+    // coherence domain and rejects malformed inputs before any
+    // simulation work is queued.
+    std::vector<TraceFileInfo> infos;
+    infos.reserve(tracePaths.size());
+    for (const auto &path : tracePaths)
+        infos.push_back(scanTraceFile(path, sim.sharing));
+
+    GridResult grid = runGridCells(
+        schemes.size(), tracePaths.size(),
+        [&](std::size_t s, std::size_t t, CellTiming &timing) {
+            const auto start = Clock::now();
+            SimResult result = simulateTraceFile(
+                tracePaths[t], schemes[s], sim, infos[t].caches);
+            timing.scheme = schemes[s].name();
+            timing.traceName = infos[t].name;
+            timing.refs = infos[t].records;
+            timing.wallSeconds = secondsSince(start);
+            return result;
+        });
+    for (std::size_t s = 0; s < schemes.size(); ++s)
+        grid.schemes[s].scheme = schemes[s].name();
+    return grid;
+}
+
+GridResult
+ExperimentRunner::runFiles(const std::vector<std::string> &schemes,
+                           const std::vector<std::string> &tracePaths,
+                           const SimConfig &sim) const
+{
+    std::vector<SchemeSpec> specs;
+    specs.reserve(schemes.size());
+    for (const auto &name : schemes)
+        specs.push_back(parseScheme(name));
+    return runFiles(specs, tracePaths, sim);
 }
 
 GridResult

@@ -138,10 +138,41 @@ class ExperimentRunner
                    const std::vector<Trace> &traces,
                    const SimConfig &sim = {}) const;
 
+    /**
+     * Run every scheme on every trace *file*, streaming each cell
+     * from disk in bounded memory instead of materializing the
+     * traces (sim/simulator.hh, simulateTraceFile()).
+     *
+     * Each path is scanned once up front (scanTraceFile()) to size
+     * the coherence domain and validate the file; every cell then
+     * re-opens its file and streams it, so peak memory is one
+     * record's parser state per worker plus the simulation's own
+     * tables — independent of trace length. Results are bit-identical
+     * to loading the files and calling run().
+     *
+     * @param schemes scheme specs (see protocols/registry.hh)
+     * @param tracePaths trace files (".txt" = text, else binary)
+     * @param sim simulation parameters applied to every cell
+     */
+    GridResult runFiles(const std::vector<SchemeSpec> &schemes,
+                        const std::vector<std::string> &tracePaths,
+                        const SimConfig &sim = {}) const;
+
+    /** Name-based convenience for runFiles(). */
+    GridResult runFiles(const std::vector<std::string> &schemes,
+                        const std::vector<std::string> &tracePaths,
+                        const SimConfig &sim = {}) const;
+
     /** The job count a run() will use (config resolved). */
     unsigned resolvedJobs() const;
 
   private:
+    /** Shared grid scaffolding: cells(s, t) fills one SimResult. */
+    GridResult runGridCells(
+        std::size_t num_schemes, std::size_t num_traces,
+        const std::function<SimResult(std::size_t, std::size_t,
+                                      CellTiming &)> &cell) const;
+
     RunnerConfig config;
 };
 

@@ -7,6 +7,7 @@
 #include "common/env.hh"
 #include "common/logging.hh"
 #include "protocols/registry.hh"
+#include "trace/reader.hh"
 
 namespace dirsim
 {
@@ -82,12 +83,24 @@ cachesNeeded(const Trace &trace, SharingModel sharing)
     return cpus > 0 ? cpus : trace.numCpus();
 }
 
+namespace
+{
+
+/**
+ * The simulation loop, generic over the record source so the
+ * in-memory path keeps its direct (devirtualized) vector iteration
+ * while the streaming path pays one virtual call per record. Both
+ * instantiations execute the identical statement sequence, which is
+ * what makes streaming results bit-identical to in-memory ones.
+ *
+ * @tparam Source provides bool next(TraceRecord&)
+ */
+template <typename Source>
 SimResult
-simulateTrace(const Trace &trace, CoherenceProtocol &protocol,
-              const SimConfig &config)
+simulateRecords(Source &&source, const std::string &trace_name,
+                CoherenceProtocol &protocol, const SimConfig &config)
 {
     checkBlockSize(config.blockBytes);
-    fatalIf(trace.empty(), "cannot simulate an empty trace");
     fatalIf(config.finiteCache && !protocol.finiteCaches(),
             "SimConfig::finiteCache is set but the supplied protocol "
             "was built with infinite caches; build it with a "
@@ -106,7 +119,8 @@ simulateTrace(const Trace &trace, CoherenceProtocol &protocol,
     Histogram warmup_hist;
     bool warmup_taken = config.warmupRefs == 0;
 
-    for (const auto &record : trace) {
+    TraceRecord record;
+    while (source.next(record)) {
         if (!warmup_taken && processed >= config.warmupRefs) {
             warmup_events = protocol.events();
             warmup_ops = protocol.ops();
@@ -132,16 +146,17 @@ simulateTrace(const Trace &trace, CoherenceProtocol &protocol,
             protocol.checkAllInvariants();
         }
     }
+    fatalIf(processed == 0, "cannot simulate an empty trace");
     if (config.invariantCheckPeriod != 0)
         protocol.checkAllInvariants();
     fatalIf(!warmup_taken,
             "warm-up of ", config.warmupRefs,
             " references consumed the whole trace (",
-            trace.size(), " references)");
+            processed, " references)");
 
     SimResult result;
     result.scheme = protocol.name();
-    result.traceName = trace.name();
+    result.traceName = trace_name;
     result.numCaches = protocol.numCaches();
     result.events = protocol.events();
     result.events.subtract(warmup_events);
@@ -153,12 +168,30 @@ simulateTrace(const Trace &trace, CoherenceProtocol &protocol,
     return result;
 }
 
-SimResult
-simulateTrace(const Trace &trace, const SchemeSpec &scheme,
-              const SimConfig &config)
+/** Non-virtual record cursor over an in-memory trace. */
+class TraceCursor
 {
-    const unsigned caches = cachesNeeded(trace, config.sharing);
-    fatalIf(caches == 0, "trace '", trace.name(), "' has no references");
+  public:
+    explicit TraceCursor(const Trace &trace_arg) : trace(trace_arg) {}
+
+    bool
+    next(TraceRecord &record)
+    {
+        if (index >= trace.size())
+            return false;
+        record = trace[index++];
+        return true;
+    }
+
+  private:
+    const Trace &trace;
+    std::size_t index = 0;
+};
+
+/** The SimConfig::finiteCache cache factory (empty = infinite). */
+CacheFactory
+cacheFactoryFor(const SimConfig &config)
+{
     CacheFactory factory;
     if (config.finiteCache) {
         const FiniteCacheConfig cache_config = *config.finiteCache;
@@ -171,8 +204,83 @@ simulateTrace(const Trace &trace, const SchemeSpec &scheme,
             return std::make_unique<FiniteCache>(cache_config);
         };
     }
-    const auto protocol = makeProtocol(scheme, caches, factory);
+    return factory;
+}
+
+} // namespace
+
+SimResult
+simulateTrace(const Trace &trace, CoherenceProtocol &protocol,
+              const SimConfig &config)
+{
+    fatalIf(trace.empty(), "cannot simulate an empty trace");
+    return simulateRecords(TraceCursor(trace), trace.name(), protocol,
+                           config);
+}
+
+SimResult
+simulateTrace(TraceSource &source, CoherenceProtocol &protocol,
+              const SimConfig &config)
+{
+    return simulateRecords(source, source.name(), protocol, config);
+}
+
+SimResult
+simulateTrace(const Trace &trace, const SchemeSpec &scheme,
+              const SimConfig &config)
+{
+    const unsigned caches = cachesNeeded(trace, config.sharing);
+    fatalIf(caches == 0, "trace '", trace.name(), "' has no references");
+    const auto protocol =
+        makeProtocol(scheme, caches, cacheFactoryFor(config));
     return simulateTrace(trace, *protocol, config);
+}
+
+TraceFileInfo
+scanTraceFile(const std::string &path, SharingModel sharing)
+{
+    const auto source = openTraceSource(path);
+    TraceFileInfo info;
+    std::unordered_set<std::uint64_t> pids;
+    unsigned max_cpu = 0;
+    TraceRecord record;
+    while (source->next(record)) {
+        ++info.records;
+        pids.insert(record.pid);
+        if (record.cpu > max_cpu)
+            max_cpu = record.cpu;
+    }
+    info.name = source->name();
+    if (sharing == SharingModel::ByProcess) {
+        info.caches = static_cast<unsigned>(pids.size());
+    } else {
+        const unsigned observed = info.records > 0 ? max_cpu + 1 : 0;
+        info.caches = observed > 0 ? observed : source->numCpus();
+    }
+    return info;
+}
+
+SimResult
+simulateTraceFile(const std::string &path, const SchemeSpec &scheme,
+                  const SimConfig &config, unsigned caches_hint)
+{
+    const unsigned caches = caches_hint != 0
+        ? caches_hint
+        : scanTraceFile(path, config.sharing).caches;
+    fatalIf(caches == 0, "trace file '", path,
+            "' has no references");
+    const auto protocol =
+        makeProtocol(scheme, caches, cacheFactoryFor(config));
+    const auto source = openTraceSource(path);
+    return simulateTrace(*source, *protocol, config);
+}
+
+SimResult
+simulateTraceFile(const std::string &path, const std::string &scheme,
+                  const SimConfig &config, unsigned caches_hint)
+{
+    return simulateTraceFile(path, parseScheme(scheme), config,
+                             caches_hint);
 }
 
 SimResult

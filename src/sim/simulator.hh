@@ -23,6 +23,7 @@
 #include "protocols/events.hh"
 #include "protocols/protocol.hh"
 #include "protocols/registry.hh"
+#include "trace/source.hh"
 #include "trace/trace.hh"
 
 namespace dirsim
@@ -122,6 +123,20 @@ SimResult simulateTrace(const Trace &trace,
                         const SimConfig &config = {});
 
 /**
+ * Streaming variant: run the records of @p source through
+ * @p protocol without ever materializing the trace.
+ *
+ * This is the same simulation loop the in-memory overload runs (that
+ * overload is a thin wrapper over a MemoryTraceSource), so the
+ * SimResult is bit-identical for an identical record sequence; only
+ * the reader's fixed-size parser state plus the simulation's own
+ * block/cache maps are resident, independent of trace length.
+ */
+SimResult simulateTrace(TraceSource &source,
+                        CoherenceProtocol &protocol,
+                        const SimConfig &config = {});
+
+/**
  * Build the scheme from its structured spec with the cache count
  * implied by the trace and the sharing model (honoring
  * SimConfig::finiteCache), then simulate.
@@ -138,6 +153,42 @@ SimResult simulateTrace(const Trace &trace, const std::string &scheme,
 
 /** Caches @p trace needs under @p sharing (distinct pids or CPUs). */
 unsigned cachesNeeded(const Trace &trace, SharingModel sharing);
+
+/** What one streaming pass over a trace file learns. */
+struct TraceFileInfo
+{
+    std::string name;          ///< workload name from the header
+    std::uint64_t records = 0; ///< records in the file
+    unsigned caches = 0;       ///< caches needed under the scan's
+                               ///< sharing model
+};
+
+/**
+ * Scan a trace file once (streaming, bounded memory) to learn what a
+ * simulation of it needs: the record count, the workload name, and
+ * the cache count under @p sharing. Validates the whole file as a
+ * side effect — header, every record, and the v2 checksum.
+ */
+TraceFileInfo scanTraceFile(const std::string &path,
+                            SharingModel sharing);
+
+/**
+ * Simulate a trace file end to end in bounded memory: one streaming
+ * scan to size the coherence domain (skipped when @p caches_hint is
+ * non-zero, e.g. from an earlier scanTraceFile()), then a streaming
+ * simulation pass. Results are bit-identical to loading the file and
+ * running the in-memory overload.
+ */
+SimResult simulateTraceFile(const std::string &path,
+                            const SchemeSpec &scheme,
+                            const SimConfig &config = {},
+                            unsigned caches_hint = 0);
+
+/** Name-based convenience for simulateTraceFile(). */
+SimResult simulateTraceFile(const std::string &path,
+                            const std::string &scheme,
+                            const SimConfig &config = {},
+                            unsigned caches_hint = 0);
 
 } // namespace dirsim
 

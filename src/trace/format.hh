@@ -1,0 +1,99 @@
+/**
+ * @file
+ * The dirsim binary trace container format, shared between the writer
+ * (trace/writer.hh), the streaming readers (trace/reader.hh), and
+ * tools that inspect trace files.
+ *
+ * Layout (all integers little-endian):
+ *
+ *   magic    "DSTR"             4 bytes
+ *   version  u16                1 or 2
+ *   cpus     u16                0 = unknown
+ *   nameLen  u32 (<= 4096), name bytes
+ *   count    u64                number of records
+ *   count * record (16 bytes):
+ *     addr u64, pid u32, cpu u16, type u8, flags u8
+ *   checksum u64                v2 only: FNV-1a 64 of every preceding
+ *                               byte (header + records)
+ *
+ * Version 2 adds two integrity guarantees v1 lacks: the record count
+ * can be cross-checked against the container length (truncation is
+ * detected before any allocation), and the trailing checksum detects
+ * bit corruption anywhere in the header or the records.
+ */
+
+#ifndef DIRSIM_TRACE_FORMAT_HH
+#define DIRSIM_TRACE_FORMAT_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dirsim::traceformat
+{
+
+/** The 4-byte container magic. */
+inline constexpr char magic[4] = {'D', 'S', 'T', 'R'};
+
+/** The original, checksum-less format. */
+inline constexpr std::uint16_t versionV1 = 1;
+/** Adds the length consistency check and the trailing checksum. */
+inline constexpr std::uint16_t versionV2 = 2;
+
+/** Sanity cap on the trace-name length field. */
+inline constexpr std::uint32_t maxNameLen = 4096;
+
+/** Serialized size of one trace record. */
+inline constexpr std::size_t recordBytes = 16;
+
+/** Serialized size of the v2 trailing checksum. */
+inline constexpr std::size_t checksumBytes = 8;
+
+/**
+ * Incremental FNV-1a 64-bit checksum, the integrity check of binary
+ * format v2. Chosen for being trivially portable and fast enough to
+ * disappear next to the I/O itself; this is corruption detection, not
+ * cryptography.
+ */
+class Fnv64
+{
+  public:
+    void
+    update(const void *data, std::size_t size)
+    {
+        const auto *bytes = static_cast<const unsigned char *>(data);
+        for (std::size_t i = 0; i < size; ++i) {
+            state ^= bytes[i];
+            state *= 0x100000001b3ull;
+        }
+    }
+
+    std::uint64_t value() const { return state; }
+
+  private:
+    std::uint64_t state = 0xcbf29ce484222325ull;
+};
+
+/** Encode an unsigned integer little-endian into @p out. */
+template <typename T>
+void
+encodeLe(unsigned char *out, T value)
+{
+    for (std::size_t i = 0; i < sizeof(T); ++i)
+        out[i] = static_cast<unsigned char>(
+            (static_cast<std::uint64_t>(value) >> (8 * i)) & 0xff);
+}
+
+/** Decode a little-endian unsigned integer from @p in. */
+template <typename T>
+T
+decodeLe(const unsigned char *in)
+{
+    std::uint64_t value = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i)
+        value |= static_cast<std::uint64_t>(in[i]) << (8 * i);
+    return static_cast<T>(value);
+}
+
+} // namespace dirsim::traceformat
+
+#endif // DIRSIM_TRACE_FORMAT_HH

@@ -53,6 +53,10 @@ enum RecordFlags : std::uint8_t
     flagLockWrite = 1u << 2,
 };
 
+/** Every flag bit with a defined meaning; readers reject the rest. */
+inline constexpr std::uint8_t flagKnownMask =
+    flagLockSpin | flagSystem | flagLockWrite;
+
 /**
  * One reference in a multiprocessor address trace.
  *

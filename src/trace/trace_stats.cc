@@ -44,54 +44,74 @@ TraceStats::sharedBlockFraction() const
         / static_cast<double>(dataBlocks);
 }
 
-TraceStats
-computeTraceStats(const Trace &trace, unsigned block_bytes)
+TraceStatsBuilder::TraceStatsBuilder(unsigned block_bytes_arg)
+    : blockBytes(block_bytes_arg)
 {
-    checkBlockSize(block_bytes);
+    checkBlockSize(blockBytes);
+}
 
-    TraceStats stats;
-    stats.name = trace.name();
-    stats.numCpus = trace.numCpus();
+void
+TraceStatsBuilder::add(const TraceRecord &record)
+{
+    ++stats.refs;
+    pids.insert(record.pid);
+    if (record.isSystem())
+        ++stats.sys;
+    else
+        ++stats.user;
+
+    if (record.isInstr()) {
+        ++stats.instr;
+        return;
+    }
+    if (record.isRead()) {
+        ++stats.dataReads;
+        if (record.isLockSpin())
+            ++stats.lockSpinReads;
+    } else {
+        ++stats.dataWrites;
+        if (record.isLockWrite())
+            ++stats.lockWrites;
+    }
 
     // block -> first accessor, promoted to the shared set on a second
     // distinct process.
-    std::unordered_map<BlockNum, ProcId> first_accessor;
-    std::unordered_set<BlockNum> shared;
-    std::unordered_set<ProcId> pids;
+    const BlockNum block = blockNumber(record.addr, blockBytes);
+    const auto [it, inserted] = firstAccessor.emplace(block, record.pid);
+    if (!inserted && it->second != record.pid)
+        shared.insert(block);
+}
 
-    for (const auto &record : trace) {
-        ++stats.refs;
-        pids.insert(record.pid);
-        if (record.isSystem())
-            ++stats.sys;
-        else
-            ++stats.user;
+TraceStats
+TraceStatsBuilder::finish(const std::string &name_arg,
+                          unsigned num_cpus_arg) const
+{
+    TraceStats result = stats;
+    result.name = name_arg;
+    result.numCpus = num_cpus_arg;
+    result.numProcesses = pids.size();
+    result.dataBlocks = firstAccessor.size();
+    result.sharedDataBlocks = shared.size();
+    return result;
+}
 
-        if (record.isInstr()) {
-            ++stats.instr;
-            continue;
-        }
-        if (record.isRead()) {
-            ++stats.dataReads;
-            if (record.isLockSpin())
-                ++stats.lockSpinReads;
-        } else {
-            ++stats.dataWrites;
-            if (record.isLockWrite())
-                ++stats.lockWrites;
-        }
+TraceStats
+computeTraceStats(const Trace &trace, unsigned block_bytes)
+{
+    TraceStatsBuilder builder(block_bytes);
+    for (const auto &record : trace)
+        builder.add(record);
+    return builder.finish(trace.name(), trace.numCpus());
+}
 
-        const BlockNum block = blockNumber(record.addr, block_bytes);
-        const auto [it, inserted] =
-            first_accessor.emplace(block, record.pid);
-        if (!inserted && it->second != record.pid)
-            shared.insert(block);
-    }
-
-    stats.numProcesses = pids.size();
-    stats.dataBlocks = first_accessor.size();
-    stats.sharedDataBlocks = shared.size();
-    return stats;
+TraceStats
+computeTraceStats(TraceSource &source, unsigned block_bytes)
+{
+    TraceStatsBuilder builder(block_bytes);
+    TraceRecord record;
+    while (source.next(record))
+        builder.add(record);
+    return builder.finish(source.name(), source.numCpus());
 }
 
 std::vector<bool>

@@ -10,8 +10,12 @@
 
 #include <cstdint>
 #include <string>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
+#include "common/types.hh"
+#include "trace/source.hh"
 #include "trace/trace.hh"
 
 namespace dirsim
@@ -56,12 +60,49 @@ struct TraceStats
 };
 
 /**
+ * Record-at-a-time accumulator behind computeTraceStats(), for
+ * callers that stream a trace (trace/source.hh) instead of holding it
+ * in memory. Working state grows with the number of distinct blocks
+ * and processes, never with trace length.
+ */
+class TraceStatsBuilder
+{
+  public:
+    /** @param block_bytes_arg block size for the sharing summary */
+    explicit TraceStatsBuilder(
+        unsigned block_bytes_arg = defaultBlockBytes);
+
+    /** Fold one record into the statistics. */
+    void add(const TraceRecord &record);
+
+    /**
+     * Finalize with the trace's metadata.
+     *
+     * @param name_arg workload name for TraceStats::name
+     * @param num_cpus_arg declared CPU count
+     */
+    TraceStats finish(const std::string &name_arg,
+                      unsigned num_cpus_arg) const;
+
+  private:
+    unsigned blockBytes;
+    TraceStats stats;
+    std::unordered_map<BlockNum, ProcId> firstAccessor;
+    std::unordered_set<BlockNum> shared;
+    std::unordered_set<ProcId> pids;
+};
+
+/**
  * Scan a trace and compute its statistics.
  *
  * @param trace the trace to characterize
  * @param block_bytes block size for the sharing summary
  */
 TraceStats computeTraceStats(const Trace &trace,
+                             unsigned block_bytes = defaultBlockBytes);
+
+/** Drain @p source and compute its statistics in bounded memory. */
+TraceStats computeTraceStats(TraceSource &source,
                              unsigned block_bytes = defaultBlockBytes);
 
 /**

@@ -1,35 +1,42 @@
 /**
  * @file
- * Trace serialization: a compact binary format and a human-readable
- * text format. Both round-trip exactly (see trace/reader.hh).
+ * Trace serialization: a compact binary container and a human-readable
+ * text format. Both round-trip exactly (see trace/reader.hh); the
+ * binary layout is specified in trace/format.hh and
+ * docs/trace-format.md.
  */
 
 #ifndef DIRSIM_TRACE_WRITER_HH
 #define DIRSIM_TRACE_WRITER_HH
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 
+#include "trace/format.hh"
 #include "trace/trace.hh"
 
 namespace dirsim
 {
 
 /**
- * Binary trace container layout (all integers little-endian):
+ * Write @p trace as a binary container.
  *
- *   magic   "DSTR"              4 bytes
- *   version u16                 currently 1
- *   cpus    u16
- *   nameLen u32, name bytes
- *   count   u64
- *   count * record:
- *     addr u64, pid u32, cpu u16, type u8, flags u8
+ * Defaults to format v2, which carries a validated record count and a
+ * trailing FNV-1a checksum so readers detect truncation and
+ * corruption; pass traceformat::versionV1 for the legacy layout.
+ *
+ * @throws UsageError for an unknown @p version, a trace whose
+ *         name/CPU count/flags exceed the format's field widths, or
+ *         an I/O failure
  */
-void writeBinaryTrace(const Trace &trace, std::ostream &os);
+void writeBinaryTrace(const Trace &trace, std::ostream &os,
+                      std::uint16_t version = traceformat::versionV2);
 
-/** Write a binary trace to @p path; throws UsageError on I/O failure. */
-void writeBinaryTraceFile(const Trace &trace, const std::string &path);
+/** Write a binary trace to @p path; throws UsageError on failure. */
+void writeBinaryTraceFile(const Trace &trace, const std::string &path,
+                          std::uint16_t version =
+                              traceformat::versionV2);
 
 /**
  * Text format: '#'-prefixed header lines (name, cpus), then one record

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Tests for the DIRSIM_* environment parsing (common/env.hh) — in
+ * particular that envU64() rejects anything but pure digits instead
+ * of letting std::stoull wrap negatives ("-1" -> 2^64-1) or skip
+ * leading whitespace.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "common/env.hh"
+#include "common/logging.hh"
+
+namespace dirsim
+{
+namespace
+{
+
+constexpr const char *var = "DIRSIM_ENV_TEST_VALUE";
+
+class EnvTest : public ::testing::Test
+{
+  protected:
+    void TearDown() override { unsetenv(var); }
+
+    void
+    set(const char *value)
+    {
+        setenv(var, value, 1);
+    }
+};
+
+TEST_F(EnvTest, UnsetAndEmptyFallBack)
+{
+    unsetenv(var);
+    EXPECT_EQ(envU64(var, 42), 42u);
+    EXPECT_FALSE(envString(var).has_value());
+    set("");
+    EXPECT_EQ(envU64(var, 42), 42u);
+    EXPECT_FALSE(envString(var).has_value());
+}
+
+TEST_F(EnvTest, ParsesPlainDigits)
+{
+    set("0");
+    EXPECT_EQ(envU64(var, 42), 0u);
+    set("1500000");
+    EXPECT_EQ(envU64(var, 42), 1'500'000u);
+    set("18446744073709551615"); // 2^64 - 1
+    EXPECT_EQ(envU64(var, 42), ~std::uint64_t{0});
+}
+
+TEST_F(EnvTest, RejectsNegativeValuesInsteadOfWrapping)
+{
+    // std::stoull("-1") silently yields 2^64-1; a warm-up of
+    // "all references" is the opposite of what -1 asked for.
+    set("-1");
+    EXPECT_THROW(envU64(var, 42), UsageError);
+}
+
+TEST_F(EnvTest, RejectsNonNumericValues)
+{
+    for (const char *bad : {"banana", " 5", "5 ", "+5", "0x10",
+                            "1e6", "3.5", "12abc"}) {
+        set(bad);
+        EXPECT_THROW(envU64(var, 42), UsageError) << "'" << bad << "'";
+    }
+}
+
+TEST_F(EnvTest, RejectsOverflow)
+{
+    set("18446744073709551616"); // 2^64
+    EXPECT_THROW(envU64(var, 42), UsageError);
+}
+
+TEST_F(EnvTest, EnvUnsignedRejectsValuesThatDoNotFit)
+{
+    set("4294967295");
+    EXPECT_EQ(envUnsigned(var, 1), 4294967295u);
+    set("4294967296");
+    EXPECT_THROW(envUnsigned(var, 1), UsageError);
+}
+
+} // namespace
+} // namespace dirsim

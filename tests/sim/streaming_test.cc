@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Streaming-vs-in-memory simulation equality: simulateTraceFile()
+ * and ExperimentRunner::runFiles() must produce bit-identical
+ * SimResults to the in-memory path for every paper scheme on every
+ * standard-suite trace, over both container formats.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "sim/runner.hh"
+#include "sim/suite.hh"
+#include "trace/reader.hh"
+#include "trace/writer.hh"
+
+namespace dirsim
+{
+namespace
+{
+
+std::vector<Trace>
+smallSuite()
+{
+    SuiteParams params;
+    params.refsPerTrace = 30'000;
+    params.seed = 7;
+    return standardSuite(params);
+}
+
+/** Every field a simulation produces, compared exactly. */
+void
+expectIdentical(const SimResult &a, const SimResult &b)
+{
+    EXPECT_EQ(a.scheme, b.scheme);
+    EXPECT_EQ(a.traceName, b.traceName);
+    EXPECT_EQ(a.numCaches, b.numCaches);
+    EXPECT_EQ(a.totalRefs, b.totalRefs);
+    EXPECT_TRUE(a.events == b.events) << a.scheme << "/" << a.traceName;
+    EXPECT_TRUE(a.ops == b.ops) << a.scheme << "/" << a.traceName;
+    EXPECT_TRUE(a.cleanWriteHolders == b.cleanWriteHolders)
+        << a.scheme << "/" << a.traceName;
+}
+
+/** Write every suite trace to a binary v2 file; return the paths. */
+std::vector<std::string>
+writeSuiteFiles(const std::vector<Trace> &traces)
+{
+    std::vector<std::string> paths;
+    for (const auto &trace : traces) {
+        const std::string path =
+            testing::TempDir() + "/streaming_" + trace.name()
+            + ".trace";
+        writeBinaryTraceFile(trace, path);
+        paths.push_back(path);
+    }
+    return paths;
+}
+
+TEST(StreamingSimTest, FileStreamingIsBitIdenticalToInMemory)
+{
+    const auto traces = smallSuite();
+    const auto paths = writeSuiteFiles(traces);
+
+    for (const auto &scheme : paperSchemes()) {
+        for (std::size_t t = 0; t < traces.size(); ++t) {
+            const SimResult in_memory =
+                simulateTrace(traces[t], scheme);
+            const SimResult streamed =
+                simulateTraceFile(paths[t], scheme);
+            expectIdentical(streamed, in_memory);
+        }
+    }
+}
+
+TEST(StreamingSimTest, TextContainerStreamsIdenticallyToo)
+{
+    const auto traces = smallSuite();
+    const std::string path =
+        testing::TempDir() + "/streaming_text.txt";
+    writeTextTraceFile(traces[0], path);
+    expectIdentical(simulateTraceFile(path, "Dir1NB"),
+                    simulateTrace(traces[0], "Dir1NB"));
+}
+
+TEST(StreamingSimTest, StreamingSourceOverloadMatchesProtocolOverload)
+{
+    const auto traces = smallSuite();
+    const Trace &trace = traces[1];
+    const SimResult in_memory = simulateTrace(trace, "Dir0B");
+
+    const auto protocol = makeProtocol(
+        "Dir0B", cachesNeeded(trace, SharingModel::ByProcess));
+    MemoryTraceSource source(trace);
+    expectIdentical(simulateTrace(source, *protocol), in_memory);
+}
+
+TEST(StreamingSimTest, WarmupAppliesIdenticallyWhenStreaming)
+{
+    const auto traces = smallSuite();
+    const auto paths = writeSuiteFiles(traces);
+    SimConfig config;
+    config.warmupRefs = 5'000;
+    expectIdentical(simulateTraceFile(paths[2], "Dir4NB", config),
+                    simulateTrace(traces[2], "Dir4NB", config));
+}
+
+TEST(StreamingSimTest, ScanTraceFileReportsTheTrace)
+{
+    const auto traces = smallSuite();
+    const auto paths = writeSuiteFiles(traces);
+    for (std::size_t t = 0; t < traces.size(); ++t) {
+        const auto info =
+            scanTraceFile(paths[t], SharingModel::ByProcess);
+        EXPECT_EQ(info.name, traces[t].name());
+        EXPECT_EQ(info.records, traces[t].size());
+        EXPECT_EQ(info.caches,
+                  cachesNeeded(traces[t], SharingModel::ByProcess));
+    }
+}
+
+TEST(StreamingSimTest, RunFilesMatchesRunAcrossJobCounts)
+{
+    const auto traces = smallSuite();
+    const auto paths = writeSuiteFiles(traces);
+    const auto &schemes = paperSchemes();
+
+    RunnerConfig sequential;
+    sequential.jobs = 1;
+    const GridResult reference =
+        ExperimentRunner(sequential).run(schemes, traces);
+
+    for (const unsigned jobs : {1u, 4u}) {
+        RunnerConfig config;
+        config.jobs = jobs;
+        const GridResult grid =
+            ExperimentRunner(config).runFiles(schemes, paths);
+        ASSERT_EQ(grid.schemes.size(), reference.schemes.size());
+        for (std::size_t s = 0; s < grid.schemes.size(); ++s) {
+            EXPECT_EQ(grid.schemes[s].scheme,
+                      reference.schemes[s].scheme);
+            ASSERT_EQ(grid.schemes[s].perTrace.size(),
+                      reference.schemes[s].perTrace.size());
+            for (std::size_t t = 0;
+                 t < grid.schemes[s].perTrace.size(); ++t)
+                expectIdentical(grid.schemes[s].perTrace[t],
+                                reference.schemes[s].perTrace[t]);
+        }
+        ASSERT_EQ(grid.cells.size(), schemes.size() * paths.size());
+        for (std::size_t c = 0; c < grid.cells.size(); ++c)
+            EXPECT_EQ(grid.cells[c].refs,
+                      traces[c % traces.size()].size());
+    }
+}
+
+TEST(StreamingSimTest, MissingOrCorruptFilesFailCleanly)
+{
+    EXPECT_THROW(simulateTraceFile("/nonexistent/x.trace", "Dir0B"),
+                 UsageError);
+    const std::string path = testing::TempDir() + "/streaming_bad.txt";
+    writeTextTraceFile(smallSuite()[0], path);
+    // Corrupt the file: append a bogus record line.
+    {
+        std::ofstream os(path, std::ios::app);
+        os << "0 1 read zzz -\n";
+    }
+    EXPECT_THROW(simulateTraceFile(path, "Dir0B"), UsageError);
+    EXPECT_THROW(
+        ExperimentRunner().runFiles(
+            std::vector<std::string>{"Dir0B"},
+            std::vector<std::string>{path}),
+        UsageError);
+}
+
+} // namespace
+} // namespace dirsim
