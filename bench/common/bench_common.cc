@@ -1,9 +1,41 @@
 #include "common/bench_common.hh"
 
+#include <cstdlib>
 #include <iostream>
 
 namespace dirsim::bench
 {
+
+namespace
+{
+
+/** --jsonl destination; empty = no artifacts. */
+std::string jsonl_path;
+/** Only the first grid of the process is recorded. */
+bool artifacts_written = false;
+
+} // namespace
+
+void
+initArtifacts(int argc, char **argv)
+{
+    try {
+        for (int i = 1; i < argc; ++i) {
+            const std::string arg = argv[i];
+            if (arg == "--jsonl") {
+                fatalIf(i + 1 >= argc, "--jsonl requires a path");
+                jsonl_path = argv[++i];
+            } else {
+                fatal("unknown argument '", arg,
+                      "' (supported: --jsonl <path>)");
+            }
+        }
+    } catch (const SimulationError &error) {
+        std::cerr << "error: " << error.what() << '\n';
+        std::cerr << "usage: " << argv[0] << " [--jsonl <path>]\n";
+        std::exit(1);
+    }
+}
 
 void
 banner(const std::string &artifact, const std::string &caption)
@@ -38,7 +70,15 @@ std::vector<SchemeResults>
 timedGrid(const std::vector<std::string> &schemes)
 {
     const ExperimentRunner runner;
-    GridResult grid = runner.run(schemes, suite());
+    GridResult grid;
+    if (!jsonl_path.empty() && !artifacts_written) {
+        artifacts_written = true;
+        JsonlSink sink(jsonl_path);
+        grid = runWithArtifacts(runner, schemes, suite(), {}, sink);
+        inform("artifacts: wrote ", jsonl_path);
+    } else {
+        grid = runner.run(schemes, suite());
+    }
     inform("grid: ", schemes.size(), " schemes x ", suite().size(),
            " traces on ", grid.jobs, " jobs in ",
            TextTable::fixed(grid.wallSeconds, 2), "s (",

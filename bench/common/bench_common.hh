@@ -19,6 +19,15 @@
 namespace dirsim::bench
 {
 
+/**
+ * Parse the shared repro-bench command line. Supported:
+ *   --jsonl <path>   record the first experiment grid this process
+ *                    runs as structured artifacts (manifest + cell
+ *                    records + metrics, obs/sink.hh) at <path>
+ * Unknown arguments are a usage error. Call first thing in main().
+ */
+void initArtifacts(int argc, char **argv);
+
 /** Print the standard banner naming the reproduced artifact. */
 void banner(const std::string &artifact, const std::string &caption);
 

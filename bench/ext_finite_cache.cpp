@@ -77,8 +77,9 @@ infiniteMissRate(const Trace &trace)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    dirsim::bench::initArtifacts(argc, argv);
     bench::banner("Extension: finite caches",
                   "First-order estimate vs true finite-cache "
                   "simulation (pipelined bus)");

@@ -14,8 +14,9 @@
 #include "common/bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    dirsim::bench::initArtifacts(argc, argv);
     using namespace dirsim;
     bench::banner("Extension: processor scaling",
                   "Effective processors and bus queueing vs machine "

@@ -10,8 +10,9 @@
 #include "common/bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    dirsim::bench::initArtifacts(argc, argv);
     using namespace dirsim;
     bench::banner("Figure 3",
                   "Bus cycles per reference for the individual "

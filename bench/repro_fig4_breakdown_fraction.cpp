@@ -12,8 +12,9 @@
 #include "common/bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    dirsim::bench::initArtifacts(argc, argv);
     using namespace dirsim;
     bench::banner("Figure 4",
                   "Per-scheme bus-cycle breakdown as a fraction of "

@@ -12,8 +12,9 @@
 #include "common/bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    dirsim::bench::initArtifacts(argc, argv);
     using namespace dirsim;
     bench::banner("Section 5.1",
                   "Fixed per-transaction overhead q: total bus "

@@ -14,8 +14,9 @@
 #include "common/bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    dirsim::bench::initArtifacts(argc, argv);
     using namespace dirsim;
     bench::banner("Section 5.2",
                   "Impact of spin-lock references (pipelined bus)");

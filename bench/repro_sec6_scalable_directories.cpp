@@ -20,8 +20,9 @@
 #include "common/bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    dirsim::bench::initArtifacts(argc, argv);
     using namespace dirsim;
     bench::banner("Section 6",
                   "Scalable directory alternatives (pipelined bus)");

@@ -83,8 +83,9 @@ paperValue(EventType event, const std::string &scheme)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    dirsim::bench::initArtifacts(argc, argv);
     using namespace dirsim;
     bench::banner("Table 4",
                   "Event frequencies (percent of all references, "

@@ -11,8 +11,9 @@
 #include "common/bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    dirsim::bench::initArtifacts(argc, argv);
     using namespace dirsim;
     bench::banner("Table 5",
                   "Breakdown of bus cycles per reference (pipelined "

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Example: `dirsim_report` — re-render the paper tables from a JSONL
+ * results file, or diff two runs.
+ *
+ * Rendering consumes the structured artifacts a run wrote through
+ * JsonlSink (obs/sink.hh) and feeds the reconstructed per-scheme
+ * results through the very same report.hh table builders the
+ * in-process reports use, so the output is bit-identical to what the
+ * run itself would have printed — the artifacts lose nothing.
+ *
+ * Usage:
+ *   dirsim_report <results.jsonl>             render the report
+ *   dirsim_report --diff <a.jsonl> <b.jsonl>  compare two runs
+ *
+ * Diffing compares the deterministic metrics of every cell present
+ * in either run (event/op counters, the Figure 1 histogram, derived
+ * costs under both bus models) and ignores wall-clock fields, so two
+ * runs of the same experiment always diff clean. Exit status: 0 on a
+ * rendered report or a clean diff, 1 when the diff found deltas, 2
+ * on usage errors.
+ */
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "dirsim/dirsim.hh"
+
+namespace
+{
+
+using namespace dirsim;
+
+void
+printManifest(const RunManifest &manifest)
+{
+    std::cout << "run: started " << manifest.startedAt
+              << ", finished " << manifest.finishedAt << ", host "
+              << (manifest.host.empty() ? "?" : manifest.host)
+              << ", jobs " << manifest.jobs << '\n';
+    std::cout << "config: block " << manifest.blockBytes
+              << " B, sharing by " << manifest.sharing
+              << ", warmup " << manifest.warmupRefs << " refs\n";
+    for (const TraceProvenance &trace : manifest.traces) {
+        std::cout << "trace " << trace.name << ": "
+                  << TextTable::grouped(trace.records) << " records, "
+                  << trace.caches << " caches, source "
+                  << trace.source;
+        if (!trace.path.empty())
+            std::cout << " (" << trace.path << ")";
+        std::cout << '\n';
+    }
+    for (const auto &[name, value] : manifest.env)
+        std::cout << "env " << name << "=" << value << '\n';
+    std::cout << '\n';
+}
+
+int
+render(const std::string &path)
+{
+    const RunArtifacts artifacts = loadArtifacts(path);
+    if (artifacts.hasManifest)
+        printManifest(artifacts.manifest);
+
+    const std::vector<SchemeResults> grid =
+        toSchemeResults(artifacts.cells);
+    fatalIf(grid.empty(), "'", path, "' holds no cell records");
+
+    std::cout << "Table 4: event frequencies (percent of all "
+                 "references)\n";
+    eventFrequencyTable(grid, true).print(std::cout);
+
+    std::cout << "\nTable 5: bus cycles per reference (pipelined "
+                 "bus)\n";
+    costBreakdownTable(grid, paperPipelinedCosts()).print(std::cout);
+
+    std::cout << "\nTable 5b: bus cycles per reference "
+                 "(non-pipelined bus)\n";
+    costBreakdownTable(grid, paperNonPipelinedCosts())
+        .print(std::cout);
+
+    std::cout << "\nFigure 2: cycles per reference on both buses "
+                 "(averaged)\n";
+    busCyclesTable(grid).print(std::cout);
+
+    std::cout << "\nFigure 3: cycles per reference on both buses "
+                 "(per trace)\n";
+    busCyclesTable(grid, true).print(std::cout);
+
+    // Per-cell execution metadata the text reports never had.
+    std::cout << "\nExecution: wall time and phase split per cell\n";
+    TextTable timing({"scheme", "trace", "refs", "wall s", "refs/s",
+                      "read ms", "warmup ms", "simulate ms",
+                      "reduce ms"});
+    const auto ms = [](std::uint64_t ns) {
+        return TextTable::fixed(static_cast<double>(ns) / 1e6, 2);
+    };
+    for (const CellRecord &cell : artifacts.cells) {
+        timing.addRow(
+            {cell.scheme, cell.trace,
+             TextTable::grouped(cell.totalRefs),
+             TextTable::fixed(cell.wallSeconds, 3),
+             TextTable::grouped(static_cast<std::uint64_t>(
+                 cell.refsPerSecond())),
+             ms(cell.phases.get(Phase::Read)),
+             ms(cell.phases.get(Phase::Warmup)),
+             ms(cell.phases.get(Phase::Simulate)),
+             ms(cell.phases.get(Phase::Reduce))});
+    }
+    timing.print(std::cout);
+    return 0;
+}
+
+int
+diff(const std::string &path_a, const std::string &path_b)
+{
+    const RunArtifacts a = loadArtifacts(path_a);
+    const RunArtifacts b = loadArtifacts(path_b);
+    const std::vector<MetricDelta> deltas = diffArtifacts(a, b);
+    if (deltas.empty()) {
+        std::cout << "no deltas: " << a.cells.size()
+                  << " cells match across all deterministic "
+                     "metrics\n";
+        return 0;
+    }
+    TextTable table({"cell", "metric", path_a, path_b});
+    for (const MetricDelta &delta : deltas)
+        table.addRow({delta.cell, delta.metric, delta.a, delta.b});
+    table.print(std::cout);
+    std::cout << deltas.size() << " delta(s)\n";
+    return 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::vector<std::string> args(argv + 1, argv + argc);
+    try {
+        if (args.size() == 1 && args[0] != "--diff")
+            return render(args[0]);
+        if (args.size() == 3 && args[0] == "--diff")
+            return diff(args[1], args[2]);
+    } catch (const SimulationError &error) {
+        std::cerr << "error: " << error.what() << '\n';
+        return 2;
+    }
+    std::cerr << "usage: dirsim_report <results.jsonl>\n"
+                 "       dirsim_report --diff <a.jsonl> <b.jsonl>\n";
+    return 2;
+}

@@ -12,9 +12,16 @@
  *
  * Usage:
  *   dirsim_validate <trace-file> [<trace-file>...]
+ *   dirsim_validate --manifest <results.jsonl>
  *
  * Files ending in ".txt" are text traces; everything else is the
  * binary container (see docs/trace-format.md).
+ *
+ * With --manifest, the argument is a JSONL results file (see
+ * docs/observability.md): every file-sourced trace recorded in the
+ * run manifest is re-checksummed on disk with the trace-format-v2
+ * FNV-1a and compared against the manifest — catching traces that
+ * were moved, truncated, or regenerated since the run.
  */
 
 #include <iostream>
@@ -94,18 +101,71 @@ validate(const std::string &path)
     }
 }
 
+/** Cross-check a results manifest's trace checksums against disk. */
+bool
+checkManifest(const std::string &results_path)
+{
+    const RunArtifacts artifacts = loadArtifacts(results_path);
+    if (!artifacts.hasManifest) {
+        std::cerr << "error: '" << results_path
+                  << "' holds no run manifest\n";
+        return false;
+    }
+    bool all_ok = true;
+    std::size_t checked = 0;
+    for (const TraceProvenance &trace : artifacts.manifest.traces) {
+        if (trace.source != "file" || !trace.hasChecksum) {
+            std::cout << trace.name << ": SKIPPED (source '"
+                      << trace.source << "', no file checksum)\n";
+            continue;
+        }
+        ++checked;
+        try {
+            const std::uint64_t on_disk =
+                fileChecksumFnv64(trace.path);
+            if (on_disk == trace.checksum) {
+                std::cout << trace.name << ": OK (" << trace.path
+                          << ")\n";
+            } else {
+                std::cout << trace.name << ": MISMATCH ("
+                          << trace.path
+                          << " changed since the run)\n";
+                all_ok = false;
+            }
+        } catch (const SimulationError &) {
+            std::cout << trace.name << ": MISSING (" << trace.path
+                      << " unreadable)\n";
+            all_ok = false;
+        }
+    }
+    std::cout << checked << " trace file(s) checked, "
+              << (all_ok ? "all match" : "PROBLEMS FOUND") << '\n';
+    return all_ok;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    if (argc < 2) {
+    const std::vector<std::string> args(argv + 1, argv + argc);
+    if (args.size() == 2 && args[0] == "--manifest") {
+        try {
+            return checkManifest(args[1]) ? 0 : 1;
+        } catch (const SimulationError &error) {
+            std::cerr << "error: " << error.what() << '\n';
+            return 2;
+        }
+    }
+    if (args.empty() || args[0] == "--manifest") {
         std::cerr << "usage: dirsim_validate <trace-file> "
-                     "[<trace-file>...]\n";
+                     "[<trace-file>...]\n"
+                     "       dirsim_validate --manifest "
+                     "<results.jsonl>\n";
         return 2;
     }
     bool all_ok = true;
-    for (int i = 1; i < argc; ++i)
-        all_ok = validate(argv[i]) && all_ok;
+    for (const std::string &path : args)
+        all_ok = validate(path) && all_ok;
     return all_ok ? 0 : 1;
 }

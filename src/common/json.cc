@@ -1,0 +1,568 @@
+#include "common/json.hh"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace dirsim
+{
+
+std::string
+jsonEscape(std::string_view text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (const char c : text) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\b':
+            out += "\\b";
+            break;
+          case '\f':
+            out += "\\f";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+void
+JsonWriter::push(Frame frame, char open)
+{
+    preValue();
+    stack.push_back(frame);
+    hasElements.push_back(false);
+    os << open;
+}
+
+void
+JsonWriter::pop(Frame frame, char close)
+{
+    panicIfNot(!stack.empty() && stack.back() == frame && !pendingKey,
+               "unbalanced JSON writer end call");
+    stack.pop_back();
+    hasElements.pop_back();
+    os << close;
+}
+
+void
+JsonWriter::preValue()
+{
+    if (pendingKey) {
+        pendingKey = false;
+        return;
+    }
+    if (stack.empty())
+        return;
+    panicIfNot(stack.back() == Frame::Array,
+               "JSON object member written without a key");
+    if (hasElements.back())
+        os << ',';
+    hasElements.back() = true;
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    push(Frame::Object, '{');
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    pop(Frame::Object, '}');
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    push(Frame::Array, '[');
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    pop(Frame::Array, ']');
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(std::string_view name)
+{
+    panicIfNot(!stack.empty() && stack.back() == Frame::Object
+                   && !pendingKey,
+               "JSON key '", std::string(name),
+               "' written outside an object");
+    if (hasElements.back())
+        os << ',';
+    hasElements.back() = true;
+    os << '"' << jsonEscape(name) << "\":";
+    pendingKey = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::string_view text)
+{
+    preValue();
+    os << '"' << jsonEscape(text) << '"';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const char *text)
+{
+    return value(std::string_view(text));
+}
+
+JsonWriter &
+JsonWriter::value(bool flag)
+{
+    preValue();
+    os << (flag ? "true" : "false");
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(double number)
+{
+    preValue();
+    if (!std::isfinite(number)) {
+        // JSON has no NaN/Inf; null is the conventional stand-in.
+        os << "null";
+        return *this;
+    }
+    // Shortest round-trip representation.
+    char buf[32];
+    const auto [end, ec] =
+        std::to_chars(buf, buf + sizeof(buf), number);
+    panicIfNot(ec == std::errc(), "double formatting failed");
+    os.write(buf, end - buf);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::uint64_t number)
+{
+    preValue();
+    os << number;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::int64_t number)
+{
+    preValue();
+    os << number;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(unsigned number)
+{
+    return value(static_cast<std::uint64_t>(number));
+}
+
+JsonWriter &
+JsonWriter::null()
+{
+    preValue();
+    os << "null";
+    return *this;
+}
+
+/** Recursive-descent parser over an in-memory document (a friend of
+ *  JsonValue, so it stays out of the public header). */
+class JsonParser
+{
+  public:
+    explicit JsonParser(std::string_view text_arg) : text(text_arg) {}
+
+    JsonValue
+    document()
+    {
+        JsonValue value = parseValue();
+        skipSpace();
+        fatalIf(pos != text.size(), "JSON: trailing garbage at byte ",
+                pos);
+        return value;
+    }
+
+  private:
+    static constexpr int maxDepth = 64;
+
+    [[noreturn]] void
+    fail(const char *what)
+    {
+        fatal("JSON: ", what, " at byte ", pos);
+    }
+
+    void
+    skipSpace()
+    {
+        while (pos < text.size()
+               && (text[pos] == ' ' || text[pos] == '\t'
+                   || text[pos] == '\n' || text[pos] == '\r'))
+            ++pos;
+    }
+
+    char
+    peek()
+    {
+        if (pos >= text.size())
+            fail("unexpected end of input");
+        return text[pos];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail("unexpected character");
+        ++pos;
+    }
+
+    bool
+    consume(char c)
+    {
+        if (pos < text.size() && text[pos] == c) {
+            ++pos;
+            return true;
+        }
+        return false;
+    }
+
+    void
+    literal(std::string_view word)
+    {
+        if (text.substr(pos, word.size()) != word)
+            fail("invalid literal");
+        pos += word.size();
+    }
+
+    /** Append one \uXXXX escape (incl. surrogate pairs) as UTF-8. */
+    void
+    unicodeEscape(std::string &out)
+    {
+        const auto hex4 = [&]() -> unsigned {
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+                const char c = peek();
+                ++pos;
+                code <<= 4;
+                if (c >= '0' && c <= '9')
+                    code |= static_cast<unsigned>(c - '0');
+                else if (c >= 'a' && c <= 'f')
+                    code |= static_cast<unsigned>(c - 'a' + 10);
+                else if (c >= 'A' && c <= 'F')
+                    code |= static_cast<unsigned>(c - 'A' + 10);
+                else
+                    fail("bad \\u escape");
+            }
+            return code;
+        };
+        unsigned code = hex4();
+        if (code >= 0xd800 && code <= 0xdbff) {
+            // High surrogate: a \uXXXX low surrogate must follow.
+            if (!consume('\\') || !consume('u'))
+                fail("unpaired surrogate");
+            const unsigned low = hex4();
+            if (low < 0xdc00 || low > 0xdfff)
+                fail("unpaired surrogate");
+            code = 0x10000 + ((code - 0xd800) << 10) + (low - 0xdc00);
+        } else if (code >= 0xdc00 && code <= 0xdfff) {
+            fail("unpaired surrogate");
+        }
+        if (code < 0x80) {
+            out += static_cast<char>(code);
+        } else if (code < 0x800) {
+            out += static_cast<char>(0xc0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3f));
+        } else if (code < 0x10000) {
+            out += static_cast<char>(0xe0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (code & 0x3f));
+        } else {
+            out += static_cast<char>(0xf0 | (code >> 18));
+            out += static_cast<char>(0x80 | ((code >> 12) & 0x3f));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (code & 0x3f));
+        }
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos >= text.size())
+                fail("unterminated string");
+            const char c = text[pos++];
+            if (c == '"')
+                return out;
+            if (static_cast<unsigned char>(c) < 0x20)
+                fail("unescaped control character");
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            const char esc = peek();
+            ++pos;
+            switch (esc) {
+              case '"':
+                out += '"';
+                break;
+              case '\\':
+                out += '\\';
+                break;
+              case '/':
+                out += '/';
+                break;
+              case 'b':
+                out += '\b';
+                break;
+              case 'f':
+                out += '\f';
+                break;
+              case 'n':
+                out += '\n';
+                break;
+              case 'r':
+                out += '\r';
+                break;
+              case 't':
+                out += '\t';
+                break;
+              case 'u':
+                unicodeEscape(out);
+                break;
+              default:
+                fail("bad escape");
+            }
+        }
+    }
+
+    std::string
+    parseNumberToken()
+    {
+        const std::size_t start = pos;
+        consume('-');
+        if (!consume('0')) {
+            if (peek() < '1' || peek() > '9')
+                fail("bad number");
+            while (pos < text.size() && text[pos] >= '0'
+                   && text[pos] <= '9')
+                ++pos;
+        }
+        if (consume('.')) {
+            if (peek() < '0' || peek() > '9')
+                fail("bad number");
+            while (pos < text.size() && text[pos] >= '0'
+                   && text[pos] <= '9')
+                ++pos;
+        }
+        if (pos < text.size()
+            && (text[pos] == 'e' || text[pos] == 'E')) {
+            ++pos;
+            if (pos < text.size()
+                && (text[pos] == '+' || text[pos] == '-'))
+                ++pos;
+            if (peek() < '0' || peek() > '9')
+                fail("bad number");
+            while (pos < text.size() && text[pos] >= '0'
+                   && text[pos] <= '9')
+                ++pos;
+        }
+        return std::string(text.substr(start, pos - start));
+    }
+
+    JsonValue
+    parseValue()
+    {
+        fatalIf(depth >= maxDepth, "JSON: nesting deeper than ",
+                maxDepth, " levels");
+        skipSpace();
+        JsonValue value;
+        switch (peek()) {
+          case '{': {
+            ++depth;
+            ++pos;
+            value.kind_ = JsonValue::Kind::Object;
+            skipSpace();
+            if (!consume('}')) {
+                do {
+                    skipSpace();
+                    std::string name = parseString();
+                    skipSpace();
+                    expect(':');
+                    value.object_.emplace_back(std::move(name),
+                                               parseValue());
+                    skipSpace();
+                } while (consume(','));
+                expect('}');
+            }
+            --depth;
+            break;
+          }
+          case '[': {
+            ++depth;
+            ++pos;
+            value.kind_ = JsonValue::Kind::Array;
+            skipSpace();
+            if (!consume(']')) {
+                do {
+                    value.array_.push_back(parseValue());
+                    skipSpace();
+                } while (consume(','));
+                expect(']');
+            }
+            --depth;
+            break;
+          }
+          case '"':
+            value.kind_ = JsonValue::Kind::String;
+            value.scalar_ = parseString();
+            break;
+          case 't':
+            literal("true");
+            value.kind_ = JsonValue::Kind::Bool;
+            value.bool_ = true;
+            break;
+          case 'f':
+            literal("false");
+            value.kind_ = JsonValue::Kind::Bool;
+            break;
+          case 'n':
+            literal("null");
+            break;
+          default:
+            value.kind_ = JsonValue::Kind::Number;
+            value.scalar_ = parseNumberToken();
+            break;
+        }
+        return value;
+    }
+
+    std::string_view text;
+    std::size_t pos = 0;
+    int depth = 0;
+};
+
+JsonValue
+JsonValue::parse(std::string_view text)
+{
+    return JsonParser(text).document();
+}
+
+bool
+JsonValue::asBool() const
+{
+    fatalIf(kind_ != Kind::Bool, "JSON value is not a bool");
+    return bool_;
+}
+
+double
+JsonValue::asDouble() const
+{
+    fatalIf(kind_ != Kind::Number, "JSON value is not a number");
+    double out = 0.0;
+    const char *begin = scalar_.data();
+    const char *end = begin + scalar_.size();
+    const auto [ptr, ec] = std::from_chars(begin, end, out);
+    fatalIf(ec != std::errc() || ptr != end,
+            "JSON number '", scalar_, "' is out of double range");
+    return out;
+}
+
+std::uint64_t
+JsonValue::asU64() const
+{
+    fatalIf(kind_ != Kind::Number, "JSON value is not a number");
+    std::uint64_t out = 0;
+    const char *begin = scalar_.data();
+    const char *end = begin + scalar_.size();
+    const auto [ptr, ec] = std::from_chars(begin, end, out);
+    fatalIf(ec != std::errc() || ptr != end,
+            "JSON number '", scalar_,
+            "' is not a non-negative 64-bit integer");
+    return out;
+}
+
+const std::string &
+JsonValue::asString() const
+{
+    fatalIf(kind_ != Kind::String, "JSON value is not a string");
+    return scalar_;
+}
+
+std::size_t
+JsonValue::size() const
+{
+    if (kind_ == Kind::Array)
+        return array_.size();
+    if (kind_ == Kind::Object)
+        return object_.size();
+    return 0;
+}
+
+const JsonValue &
+JsonValue::at(std::size_t index) const
+{
+    fatalIf(kind_ != Kind::Array, "JSON value is not an array");
+    fatalIf(index >= array_.size(), "JSON array index ", index,
+            " out of range (size ", array_.size(), ")");
+    return array_[index];
+}
+
+const JsonValue *
+JsonValue::find(std::string_view name) const
+{
+    if (kind_ != Kind::Object)
+        return nullptr;
+    for (const auto &[key, value] : object_) {
+        if (key == name)
+            return &value;
+    }
+    return nullptr;
+}
+
+const JsonValue &
+JsonValue::at(std::string_view name) const
+{
+    const JsonValue *value = find(name);
+    fatalIf(value == nullptr, "JSON object has no member '",
+            std::string(name), "'");
+    return *value;
+}
+
+} // namespace dirsim

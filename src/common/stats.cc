@@ -25,6 +25,10 @@ CounterSet::has(const std::string &name) const
 void
 CounterSet::merge(const CounterSet &other)
 {
+    // Merging a set into itself is a no-op, not a doubling: the
+    // naive loop would add each counter to itself mid-iteration.
+    if (&other == this)
+        return;
     for (const auto &[name, value] : other.values)
         values[name] += value;
 }
@@ -32,6 +36,8 @@ CounterSet::merge(const CounterSet &other)
 double
 CounterSet::ratio(const std::string &numer, const std::string &denom) const
 {
+    if (!has(numer))
+        return 0.0;
     const auto d = get(denom);
     if (d == 0)
         return 0.0;

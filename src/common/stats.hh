@@ -32,10 +32,12 @@ class CounterSet
     /** True if the counter was ever created. */
     bool has(const std::string &name) const;
 
-    /** Merge all counters of @p other into this set. */
+    /** Merge all counters of @p other into this set. Merging a set
+     *  into itself is a no-op (the values are already here). */
     void merge(const CounterSet &other);
 
-    /** Ratio get(numer) / get(denom); 0 when the denominator is 0. */
+    /** Ratio get(numer) / get(denom); 0 when the numerator counter
+     *  does not exist or the denominator is 0. */
     double ratio(const std::string &numer, const std::string &denom) const;
 
     /** Reset every counter to zero (names are retained). */

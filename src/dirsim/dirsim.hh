@@ -27,6 +27,7 @@
 #include "common/bitops.hh"
 #include "common/env.hh"
 #include "common/histogram.hh"
+#include "common/json.hh"
 #include "common/logging.hh"
 #include "common/random.hh"
 #include "common/stats.hh"
@@ -40,6 +41,12 @@
 #include "directory/storage.hh"
 #include "directory/tang.hh"
 #include "directory/two_bit.hh"
+#include "obs/artifacts.hh"
+#include "obs/manifest.hh"
+#include "obs/metrics.hh"
+#include "obs/phase.hh"
+#include "obs/record.hh"
+#include "obs/sink.hh"
 #include "protocols/berkeley.hh"
 #include "protocols/dir0_b.hh"
 #include "protocols/dir1_nb.hh"

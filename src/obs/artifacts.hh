@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Observed experiment runs: execute a grid and persist its structured
+ * artifacts (manifest + per-cell records + metrics) to a ResultsSink,
+ * and load such artifacts back for reporting, diffing, and
+ * regression checks.
+ *
+ * Records are written after the grid completes, in grid
+ * (scheme-major) order, so two runs of the same experiment produce
+ * byte-comparable files apart from wall-clock fields. All
+ * deterministic metrics (event/op counters, histograms, derived
+ * costs) are guaranteed identical run-to-run; diffArtifacts()
+ * compares exactly those.
+ */
+
+#ifndef DIRSIM_OBS_ARTIFACTS_HH
+#define DIRSIM_OBS_ARTIFACTS_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/sink.hh"
+#include "sim/runner.hh"
+
+namespace dirsim
+{
+
+/**
+ * Run every scheme on every trace *file* (streaming, bounded memory —
+ * see ExperimentRunner::runFiles) and write the run's artifacts to
+ * @p sink: a manifest with file provenance (record counts, cache
+ * counts, whole-file FNV-1a checksums), one record per cell, and a
+ * MetricRegistry snapshot.
+ */
+GridResult runFilesWithArtifacts(
+    const ExperimentRunner &runner,
+    const std::vector<SchemeSpec> &schemes,
+    const std::vector<std::string> &tracePaths, const SimConfig &sim,
+    ResultsSink &sink);
+
+/** Name-based convenience for runFilesWithArtifacts(). */
+GridResult runFilesWithArtifacts(
+    const ExperimentRunner &runner,
+    const std::vector<std::string> &schemes,
+    const std::vector<std::string> &tracePaths, const SimConfig &sim,
+    ResultsSink &sink);
+
+/** In-memory variant: traces are recorded with source "memory" and
+ *  no path/checksum provenance. */
+GridResult runWithArtifacts(const ExperimentRunner &runner,
+                            const std::vector<SchemeSpec> &schemes,
+                            const std::vector<Trace> &traces,
+                            const SimConfig &sim, ResultsSink &sink);
+
+/** Name-based convenience for runWithArtifacts(). */
+GridResult runWithArtifacts(const ExperimentRunner &runner,
+                            const std::vector<std::string> &schemes,
+                            const std::vector<Trace> &traces,
+                            const SimConfig &sim, ResultsSink &sink);
+
+/** A results file, loaded. */
+struct RunArtifacts
+{
+    RunManifest manifest;
+    bool hasManifest = false;
+    std::vector<CellRecord> cells;
+    MetricRegistry metrics;
+    bool hasMetrics = false;
+};
+
+/**
+ * Parse a JSONL results stream: "manifest", "cell", and "metrics"
+ * lines in any order (unknown kinds are skipped so the schema can
+ * grow). The first manifest/metrics line wins; every cell line is
+ * kept.
+ *
+ * @throws UsageError on malformed JSON or records (message carries
+ *         the line number)
+ */
+RunArtifacts loadArtifacts(std::istream &in);
+
+/** loadArtifacts() from a file. @throws UsageError when unreadable */
+RunArtifacts loadArtifacts(const std::string &path);
+
+/**
+ * Build the unified metric view of a finished grid:
+ *   sim.<trace>.<scheme>.refs / .events.<event> / .ops.<op>  counters
+ *   runner.cell.wall_ms                                      timer
+ *   runner.cell.phase.<phase>_ns                             timers
+ *   runner.grid.{wall_seconds,refs_per_second,jobs,cells}    gauges
+ */
+MetricRegistry gridMetrics(const GridResult &grid);
+
+/** One deterministic-metric difference between two runs' cells. */
+struct MetricDelta
+{
+    std::string cell;   ///< "<scheme>/<trace>", or "" for run-level
+    std::string metric; ///< field name, e.g. "events.wm_blk_cln"
+    std::string a;      ///< value in the first run ("-" if absent)
+    std::string b;      ///< value in the second run ("-" if absent)
+};
+
+/**
+ * Cell-by-cell comparison of two runs over their deterministic
+ * metrics: cell presence, refs, cache counts, every event and op
+ * counter, the Figure 1 histogram, and the derived costs under both
+ * paper bus models. Wall-clock fields are ignored — two identical
+ * runs always diff clean.
+ */
+std::vector<MetricDelta> diffArtifacts(const RunArtifacts &a,
+                                       const RunArtifacts &b);
+
+} // namespace dirsim
+
+#endif // DIRSIM_OBS_ARTIFACTS_HH

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Cheap phase timers for the simulation pipeline.
+ *
+ * A run decomposes into four phases — Read (trace scanning/opening),
+ * Warmup (references inside the measurement warm-up window), Simulate
+ * (the measured simulation loop), Reduce (assembling the SimResult) —
+ * and PhaseBreakdown accumulates nanoseconds per phase. Timing is
+ * taken at phase *boundaries* only (a handful of clock reads per grid
+ * cell, never per record), so the overhead is unmeasurable next to
+ * the simulation itself; PhaseTimer additionally skips the clock
+ * entirely when constructed with a null target.
+ *
+ * This header is intentionally header-only and free of dependencies
+ * on the rest of src/obs: sim/simulator.hh embeds a PhaseBreakdown in
+ * SimResult without linking the dirsim_obs library.
+ */
+
+#ifndef DIRSIM_OBS_PHASE_HH
+#define DIRSIM_OBS_PHASE_HH
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+
+namespace dirsim
+{
+
+/** Pipeline phases of one (scheme, trace) cell. */
+enum class Phase : unsigned
+{
+    Read = 0, ///< trace-file scanning, opening, provenance work
+    Warmup,   ///< references inside SimConfig::warmupRefs
+    Simulate, ///< the measured simulation loop
+    Reduce,   ///< result assembly (snapshots, subtraction)
+};
+
+inline constexpr std::size_t numPhases = 4;
+
+/** Lower-case phase name ("read", "warmup", "simulate", "reduce"). */
+inline const char *
+toString(Phase phase)
+{
+    switch (phase) {
+      case Phase::Read:
+        return "read";
+      case Phase::Warmup:
+        return "warmup";
+      case Phase::Simulate:
+        return "simulate";
+      case Phase::Reduce:
+        return "reduce";
+    }
+    return "?";
+}
+
+/** Nanoseconds accumulated per phase. */
+struct PhaseBreakdown
+{
+    std::array<std::uint64_t, numPhases> ns{};
+
+    void
+    add(Phase phase, std::uint64_t delta)
+    {
+        ns[static_cast<std::size_t>(phase)] += delta;
+    }
+
+    std::uint64_t
+    get(Phase phase) const
+    {
+        return ns[static_cast<std::size_t>(phase)];
+    }
+
+    /** Sum over all phases. */
+    std::uint64_t
+    totalNs() const
+    {
+        std::uint64_t total = 0;
+        for (const std::uint64_t v : ns)
+            total += v;
+        return total;
+    }
+
+    /** Accumulate another breakdown (per-phase sum). */
+    void
+    merge(const PhaseBreakdown &other)
+    {
+        for (std::size_t p = 0; p < numPhases; ++p)
+            ns[p] += other.ns[p];
+    }
+
+    bool operator==(const PhaseBreakdown &) const = default;
+};
+
+/**
+ * Scoped RAII phase timer.
+ *
+ * With a null target the constructor and destructor do nothing — not
+ * even a clock read — so instrumented code paths cost nothing when
+ * observability is off.
+ */
+class PhaseTimer
+{
+  public:
+    /** Monotonic nanosecond clock used by all phase timing. */
+    static std::uint64_t
+    nowNs()
+    {
+        return static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now().time_since_epoch())
+                .count());
+    }
+
+    /** @param target_arg breakdown to charge; nullptr disables */
+    PhaseTimer(PhaseBreakdown *target_arg, Phase phase_arg)
+        : target(target_arg), phase(phase_arg)
+    {
+        if (target)
+            startNs = nowNs();
+    }
+
+    PhaseTimer(const PhaseTimer &) = delete;
+    PhaseTimer &operator=(const PhaseTimer &) = delete;
+
+    ~PhaseTimer() { stop(); }
+
+    /** Charge the elapsed time now (idempotent). */
+    void
+    stop()
+    {
+        if (!target)
+            return;
+        target->add(phase, nowNs() - startNs);
+        target = nullptr;
+    }
+
+  private:
+    PhaseBreakdown *target;
+    Phase phase;
+    std::uint64_t startNs = 0;
+};
+
+} // namespace dirsim
+
+#endif // DIRSIM_OBS_PHASE_HH

@@ -166,10 +166,12 @@ ExperimentRunner::runFiles(const std::vector<SchemeSpec> &schemes,
     // One validating scan per file, up front: sizes every cell's
     // coherence domain and rejects malformed inputs before any
     // simulation work is queued.
+    const std::uint64_t scan_start = PhaseTimer::nowNs();
     std::vector<TraceFileInfo> infos;
     infos.reserve(tracePaths.size());
     for (const auto &path : tracePaths)
         infos.push_back(scanTraceFile(path, sim.sharing));
+    const std::uint64_t scan_ns = PhaseTimer::nowNs() - scan_start;
 
     GridResult grid = runGridCells(
         schemes.size(), tracePaths.size(),
@@ -183,6 +185,7 @@ ExperimentRunner::runFiles(const std::vector<SchemeSpec> &schemes,
             timing.wallSeconds = secondsSince(start);
             return result;
         });
+    grid.setupPhases.add(Phase::Read, scan_ns);
     for (std::size_t s = 0; s < schemes.size(); ++s)
         grid.schemes[s].scheme = schemes[s].name();
     return grid;

@@ -98,6 +98,12 @@ struct GridResult
     double wallSeconds = 0.0;
     /** Worker threads actually used. */
     unsigned jobs = 1;
+    /**
+     * Grid-level work outside any cell: runFiles' up-front validating
+     * scans land here as Read time. Per-cell phase splits live in
+     * each SimResult::phases.
+     */
+    PhaseBreakdown setupPhases;
 
     /** Aggregate throughput: all simulated refs over the wall time. */
     double refsPerSecond() const;

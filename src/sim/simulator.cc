@@ -113,11 +113,17 @@ simulateRecords(Source &&source, const std::string &trace_name,
     std::uint64_t processed = 0;
 
     // Warm-up snapshot: whatever accumulated before the measurement
-    // window is subtracted from the results afterwards.
+    // window is subtracted from the results afterwards. Phase timing
+    // reads the clock only here and at the loop boundaries, so it
+    // costs nothing per record.
     EventCounts warmup_events;
     OpCounts warmup_ops;
     Histogram warmup_hist;
     bool warmup_taken = config.warmupRefs == 0;
+
+    PhaseBreakdown phases;
+    const std::uint64_t loop_start = PhaseTimer::nowNs();
+    std::uint64_t measure_start = loop_start;
 
     TraceRecord record;
     while (source.next(record)) {
@@ -126,6 +132,8 @@ simulateRecords(Source &&source, const std::string &trace_name,
             warmup_ops = protocol.ops();
             warmup_hist = protocol.cleanWriteHolders();
             warmup_taken = true;
+            measure_start = PhaseTimer::nowNs();
+            phases.add(Phase::Warmup, measure_start - loop_start);
         }
         ++processed;
         if (record.isInstr()) {
@@ -153,6 +161,8 @@ simulateRecords(Source &&source, const std::string &trace_name,
             "warm-up of ", config.warmupRefs,
             " references consumed the whole trace (",
             processed, " references)");
+    const std::uint64_t loop_end = PhaseTimer::nowNs();
+    phases.add(Phase::Simulate, loop_end - measure_start);
 
     SimResult result;
     result.scheme = protocol.name();
@@ -165,6 +175,8 @@ simulateRecords(Source &&source, const std::string &trace_name,
     result.cleanWriteHolders = protocol.cleanWriteHolders();
     result.cleanWriteHolders.subtract(warmup_hist);
     result.totalRefs = result.events.totalRefs();
+    phases.add(Phase::Reduce, PhaseTimer::nowNs() - loop_end);
+    result.phases = phases;
     return result;
 }
 
@@ -264,6 +276,9 @@ SimResult
 simulateTraceFile(const std::string &path, const SchemeSpec &scheme,
                   const SimConfig &config, unsigned caches_hint)
 {
+    // The sizing scan and the reader setup are the cell's Read phase
+    // (a hinted call skips the scan, so only the open is charged).
+    const std::uint64_t read_start = PhaseTimer::nowNs();
     const unsigned caches = caches_hint != 0
         ? caches_hint
         : scanTraceFile(path, config.sharing).caches;
@@ -272,7 +287,10 @@ simulateTraceFile(const std::string &path, const SchemeSpec &scheme,
     const auto protocol =
         makeProtocol(scheme, caches, cacheFactoryFor(config));
     const auto source = openTraceSource(path);
-    return simulateTrace(*source, *protocol, config);
+    const std::uint64_t read_ns = PhaseTimer::nowNs() - read_start;
+    SimResult result = simulateTrace(*source, *protocol, config);
+    result.phases.add(Phase::Read, read_ns);
+    return result;
 }
 
 SimResult

@@ -20,6 +20,7 @@
 #include "bus/cost_model.hh"
 #include "cache/finite_cache.hh"
 #include "common/histogram.hh"
+#include "obs/phase.hh"
 #include "protocols/events.hh"
 #include "protocols/protocol.hh"
 #include "protocols/registry.hh"
@@ -89,6 +90,13 @@ struct SimResult
     OpCounts ops;
     /** Figure 1 histogram: other holders on writes to clean blocks. */
     Histogram cleanWriteHolders;
+    /**
+     * Where this cell's wall time went (obs/phase.hh): trace
+     * reading/scanning, the warm-up window, the measured simulation
+     * window, and result assembly. Timed only at phase boundaries —
+     * a handful of clock reads per simulation, never per record.
+     */
+    PhaseBreakdown phases;
 
     /** Event frequencies as fractions of all references. */
     EventFreqs freqs() const { return EventFreqs::fromCounts(events); }

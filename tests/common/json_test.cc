@@ -1,0 +1,208 @@
+/** @file Unit tests for common/json.hh. */
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+
+namespace dirsim
+{
+namespace
+{
+
+std::string
+writeWith(const std::function<void(JsonWriter &)> &body)
+{
+    std::ostringstream os;
+    JsonWriter writer(os);
+    body(writer);
+    EXPECT_TRUE(writer.balanced());
+    return os.str();
+}
+
+TEST(JsonWriterTest, EmptyContainers)
+{
+    EXPECT_EQ(writeWith([](JsonWriter &w) {
+                  w.beginObject().endObject();
+              }),
+              "{}");
+    EXPECT_EQ(writeWith([](JsonWriter &w) {
+                  w.beginArray().endArray();
+              }),
+              "[]");
+}
+
+TEST(JsonWriterTest, ObjectWithMixedValues)
+{
+    const std::string text = writeWith([](JsonWriter &w) {
+        w.beginObject();
+        w.key("s").value("hi");
+        w.key("b").value(true);
+        w.key("n").null();
+        w.key("u").value(std::uint64_t{18446744073709551615ULL});
+        w.key("i").value(std::int64_t{-5});
+        w.endObject();
+    });
+    EXPECT_EQ(text,
+              "{\"s\":\"hi\",\"b\":true,\"n\":null,"
+              "\"u\":18446744073709551615,\"i\":-5}");
+}
+
+TEST(JsonWriterTest, NestedArrays)
+{
+    const std::string text = writeWith([](JsonWriter &w) {
+        w.beginArray();
+        w.value(std::uint64_t{1});
+        w.beginArray().value(std::uint64_t{2}).endArray();
+        w.beginObject().key("k").value(std::uint64_t{3}).endObject();
+        w.endArray();
+    });
+    EXPECT_EQ(text, "[1,[2],{\"k\":3}]");
+}
+
+TEST(JsonWriterTest, EscapesStrings)
+{
+    EXPECT_EQ(jsonEscape("a\"b\\c\n\t\x01"),
+              "a\\\"b\\\\c\\n\\t\\u0001");
+    const std::string text = writeWith([](JsonWriter &w) {
+        w.beginObject().key("quote\"key").value("line\nbreak")
+            .endObject();
+    });
+    EXPECT_EQ(text, "{\"quote\\\"key\":\"line\\nbreak\"}");
+}
+
+TEST(JsonWriterTest, DoublesRoundTrip)
+{
+    for (const double value :
+         {0.0, 1.0, -2.5, 0.1, 1e300, 4.9406564584124654e-324,
+          123456789.123456789}) {
+        std::ostringstream os;
+        JsonWriter writer(os);
+        writer.value(value);
+        EXPECT_EQ(JsonValue::parse(os.str()).asDouble(), value)
+            << os.str();
+    }
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesBecomeNull)
+{
+    std::ostringstream os;
+    JsonWriter writer(os);
+    writer.value(std::numeric_limits<double>::infinity());
+    EXPECT_EQ(os.str(), "null");
+}
+
+TEST(JsonWriterTest, MisuseIsALogicError)
+{
+    std::ostringstream os;
+    JsonWriter writer(os);
+    EXPECT_THROW(writer.key("k"), LogicError);
+    JsonWriter array_writer(os);
+    array_writer.beginArray();
+    EXPECT_THROW(array_writer.endObject(), LogicError);
+}
+
+TEST(JsonParseTest, Scalars)
+{
+    EXPECT_TRUE(JsonValue::parse("null").isNull());
+    EXPECT_TRUE(JsonValue::parse("true").asBool());
+    EXPECT_FALSE(JsonValue::parse("false").asBool());
+    EXPECT_EQ(JsonValue::parse("42").asU64(), 42u);
+    EXPECT_DOUBLE_EQ(JsonValue::parse("-2.5e1").asDouble(), -25.0);
+    EXPECT_EQ(JsonValue::parse("\"text\"").asString(), "text");
+}
+
+TEST(JsonParseTest, U64KeepsFullPrecision)
+{
+    // Above 2^53: a double-based parser would corrupt these.
+    const std::uint64_t huge = 18446744073709551615ULL;
+    EXPECT_EQ(JsonValue::parse("18446744073709551615").asU64(), huge);
+    EXPECT_EQ(JsonValue::parse("9007199254740993").asU64(),
+              9007199254740993ULL);
+}
+
+TEST(JsonParseTest, ObjectsKeepMemberOrder)
+{
+    const JsonValue value =
+        JsonValue::parse(R"({"z":1,"a":2,"m":3})");
+    ASSERT_TRUE(value.isObject());
+    ASSERT_EQ(value.size(), 3u);
+    EXPECT_EQ(value.members()[0].first, "z");
+    EXPECT_EQ(value.members()[1].first, "a");
+    EXPECT_EQ(value.members()[2].first, "m");
+    EXPECT_EQ(value.at("a").asU64(), 2u);
+    EXPECT_EQ(value.find("missing"), nullptr);
+    EXPECT_THROW(value.at("missing"), UsageError);
+}
+
+TEST(JsonParseTest, Arrays)
+{
+    const JsonValue value = JsonValue::parse("[1, [2, 3], \"x\"]");
+    ASSERT_TRUE(value.isArray());
+    ASSERT_EQ(value.size(), 3u);
+    EXPECT_EQ(value.at(std::size_t{0}).asU64(), 1u);
+    EXPECT_EQ(value.at(std::size_t{1}).at(std::size_t{1}).asU64(),
+              3u);
+    EXPECT_EQ(value.at(std::size_t{2}).asString(), "x");
+    EXPECT_THROW(value.at(std::size_t{3}), UsageError);
+}
+
+TEST(JsonParseTest, UnicodeEscapes)
+{
+    EXPECT_EQ(JsonValue::parse(R"("\u0041\u00e9")").asString(),
+              "A\xc3\xa9");
+    // Surrogate pair: U+1F600.
+    EXPECT_EQ(JsonValue::parse(R"("\ud83d\ude00")").asString(),
+              "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonParseTest, RejectsMalformedInput)
+{
+    for (const char *bad :
+         {"", "{", "[1,", "{\"a\"1}", "tru", "01", "1.", "+1",
+          "\"unterminated", "{\"a\":1,}", "[1 2]", "nul",
+          "\"bad\\q\"", "{\"a\":1}x", "\"\\ud83d\""}) {
+        EXPECT_THROW(JsonValue::parse(bad), UsageError) << bad;
+    }
+}
+
+TEST(JsonParseTest, RejectsTypeMismatches)
+{
+    EXPECT_THROW(JsonValue::parse("\"x\"").asU64(), UsageError);
+    EXPECT_THROW(JsonValue::parse("-1").asU64(), UsageError);
+    EXPECT_THROW(JsonValue::parse("1.5").asU64(), UsageError);
+    EXPECT_THROW(JsonValue::parse("1").asString(), UsageError);
+    EXPECT_THROW(JsonValue::parse("1").asBool(), UsageError);
+    EXPECT_THROW(JsonValue::parse("null").asDouble(), UsageError);
+}
+
+TEST(JsonParseTest, RejectsRunawayNesting)
+{
+    const std::string deep(100, '[');
+    EXPECT_THROW(JsonValue::parse(deep), UsageError);
+}
+
+TEST(JsonRoundTripTest, WriterOutputParsesBack)
+{
+    const std::string text = writeWith([](JsonWriter &w) {
+        w.beginObject();
+        w.key("name").value("pops");
+        w.key("refs").value(std::uint64_t{3200000});
+        w.key("events").beginArray();
+        w.value(std::uint64_t{1}).value(std::uint64_t{2});
+        w.endArray();
+        w.endObject();
+    });
+    const JsonValue value = JsonValue::parse(text);
+    EXPECT_EQ(value.at("name").asString(), "pops");
+    EXPECT_EQ(value.at("refs").asU64(), 3200000u);
+    EXPECT_EQ(value.at("events").size(), 2u);
+}
+
+} // namespace
+} // namespace dirsim

@@ -38,6 +38,44 @@ TEST(CounterSetTest, MergeSums)
     EXPECT_EQ(a.get("y"), 1u);
 }
 
+TEST(CounterSetTest, MergeIntoSelfIsNoOp)
+{
+    CounterSet counters;
+    counters.add("x", 2);
+    counters.add("y", 3);
+    counters.merge(counters);
+    EXPECT_EQ(counters.get("x"), 2u);
+    EXPECT_EQ(counters.get("y"), 3u);
+    EXPECT_EQ(counters.size(), 2u);
+}
+
+TEST(CounterSetTest, MergeIntoEmptyCopies)
+{
+    CounterSet a;
+    CounterSet b;
+    b.add("only", 9);
+    a.merge(b);
+    EXPECT_EQ(a.get("only"), 9u);
+    // And the source is untouched.
+    EXPECT_EQ(b.get("only"), 9u);
+}
+
+TEST(CounterSetTest, RatioWithMissingNumeratorIsZero)
+{
+    CounterSet counters;
+    counters.add("denom", 4);
+    EXPECT_DOUBLE_EQ(counters.ratio("missing", "denom"), 0.0);
+    // The lookup must not create the counter as a side effect.
+    EXPECT_FALSE(counters.has("missing"));
+    EXPECT_EQ(counters.size(), 1u);
+}
+
+TEST(CounterSetTest, RatioWithBothMissingIsZero)
+{
+    const CounterSet counters;
+    EXPECT_DOUBLE_EQ(counters.ratio("a", "b"), 0.0);
+}
+
 TEST(CounterSetTest, RatioHandlesZeroDenominator)
 {
     CounterSet counters;
@@ -66,6 +104,22 @@ TEST(CounterSetTest, IterationIsNameOrdered)
     for (const auto &[name, value] : counters)
         names.push_back(name);
     EXPECT_EQ(names, (std::vector<std::string>{"alpha", "mid", "zebra"}));
+}
+
+TEST(CounterSetTest, IterationStaysNameOrderedAfterMerge)
+{
+    CounterSet a;
+    a.add("m", 1);
+    a.add("z", 1);
+    CounterSet b;
+    b.add("a", 1);
+    b.add("q", 1);
+    a.merge(b);
+    std::vector<std::string> names;
+    for (const auto &[name, value] : a)
+        names.push_back(name);
+    EXPECT_EQ(names,
+              (std::vector<std::string>{"a", "m", "q", "z"}));
 }
 
 TEST(StatsHelpersTest, Percent)

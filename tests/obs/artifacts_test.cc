@@ -1,0 +1,225 @@
+/** @file Unit tests for obs/artifacts.hh. */
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "obs/artifacts.hh"
+#include "trace/writer.hh"
+#include "tracegen/generator.hh"
+
+namespace dirsim
+{
+namespace
+{
+
+std::vector<Trace>
+smallTraces()
+{
+    return {generateTrace("pops", 20'000, 3),
+            generateTrace("thor", 20'000, 4)};
+}
+
+const std::vector<std::string> kSchemes{"Dir0B", "WTI"};
+
+/** Run the small grid through a JSONL sink, return the text. */
+std::string
+runToJsonl()
+{
+    std::ostringstream os;
+    JsonlSink sink(os);
+    const ExperimentRunner runner;
+    runWithArtifacts(runner, kSchemes, smallTraces(), SimConfig{},
+                     sink);
+    return os.str();
+}
+
+TEST(RunWithArtifactsTest, ArtifactsRoundTripThroughJsonl)
+{
+    std::ostringstream os;
+    JsonlSink sink(os);
+    const ExperimentRunner runner;
+    const GridResult grid = runWithArtifacts(
+        runner, kSchemes, smallTraces(), SimConfig{}, sink);
+
+    std::istringstream in(os.str());
+    const RunArtifacts loaded = loadArtifacts(in);
+
+    ASSERT_TRUE(loaded.hasManifest);
+    EXPECT_EQ(loaded.manifest.schemes, kSchemes);
+    EXPECT_EQ(loaded.manifest.jobs, grid.jobs);
+    ASSERT_EQ(loaded.manifest.traces.size(), 2u);
+    EXPECT_EQ(loaded.manifest.traces[0].source, "memory");
+    EXPECT_FALSE(loaded.manifest.traces[0].hasChecksum);
+    EXPECT_EQ(loaded.manifest.traces[0].records,
+              smallTraces()[0].size());
+
+    // One record per cell, scheme-major, matching the live grid.
+    ASSERT_EQ(loaded.cells.size(), 4u);
+    std::size_t cell = 0;
+    for (std::size_t s = 0; s < grid.schemes.size(); ++s) {
+        for (const SimResult &live : grid.schemes[s].perTrace) {
+            const CellRecord &record = loaded.cells[cell++];
+            EXPECT_EQ(record.scheme, live.scheme);
+            EXPECT_EQ(record.trace, live.traceName);
+            EXPECT_EQ(record.totalRefs, live.totalRefs);
+            EXPECT_TRUE(record.events == live.events);
+            EXPECT_TRUE(record.ops == live.ops);
+        }
+    }
+
+    ASSERT_TRUE(loaded.hasMetrics);
+    EXPECT_EQ(loaded.metrics.counter("sim.pops.Dir0B.refs"),
+              loaded.cells[0].totalRefs);
+    EXPECT_EQ(loaded.metrics.timer("runner.cell.wall_ms").count, 4u);
+}
+
+TEST(RunFilesWithArtifactsTest, ManifestCarriesFileProvenance)
+{
+    const auto traces = smallTraces();
+    std::vector<std::string> paths;
+    for (const auto &trace : traces) {
+        const std::string path = testing::TempDir() + "/artifacts_"
+            + trace.name() + ".trace";
+        writeBinaryTraceFile(trace, path);
+        paths.push_back(path);
+    }
+
+    std::ostringstream os;
+    JsonlSink sink(os);
+    const ExperimentRunner runner;
+    const GridResult grid = runFilesWithArtifacts(
+        runner, kSchemes, paths, SimConfig{}, sink);
+    EXPECT_GT(grid.setupPhases.get(Phase::Read), 0u);
+
+    std::istringstream in(os.str());
+    const RunArtifacts loaded = loadArtifacts(in);
+    ASSERT_TRUE(loaded.hasManifest);
+    ASSERT_EQ(loaded.manifest.traces.size(), paths.size());
+    for (std::size_t t = 0; t < paths.size(); ++t) {
+        const TraceProvenance &prov = loaded.manifest.traces[t];
+        EXPECT_EQ(prov.source, "file");
+        EXPECT_EQ(prov.path, paths[t]);
+        EXPECT_EQ(prov.records, traces[t].size());
+        ASSERT_TRUE(prov.hasChecksum);
+        EXPECT_EQ(prov.checksum, fileChecksumFnv64(paths[t]));
+    }
+    // Cell records point back at their trace file.
+    ASSERT_EQ(loaded.cells.size(), 4u);
+    EXPECT_EQ(loaded.cells[0].tracePath, paths[0]);
+    EXPECT_EQ(loaded.cells[1].tracePath, paths[1]);
+
+    for (const auto &path : paths)
+        std::remove(path.c_str());
+}
+
+TEST(DiffArtifactsTest, IdenticalRunsDiffClean)
+{
+    const std::string text = runToJsonl();
+    std::istringstream in_a(text), in_b(text);
+    const RunArtifacts a = loadArtifacts(in_a);
+    const RunArtifacts b = loadArtifacts(in_b);
+    EXPECT_TRUE(diffArtifacts(a, b).empty());
+}
+
+TEST(DiffArtifactsTest, RepeatedRunsDiffClean)
+{
+    // Two *separate* executions of the same experiment: wall times
+    // differ, deterministic metrics must not.
+    std::istringstream in_a(runToJsonl()), in_b(runToJsonl());
+    const RunArtifacts a = loadArtifacts(in_a);
+    const RunArtifacts b = loadArtifacts(in_b);
+    EXPECT_TRUE(diffArtifacts(a, b).empty());
+}
+
+TEST(DiffArtifactsTest, DetectsCounterPerturbation)
+{
+    std::istringstream in_a(runToJsonl()), in_b(runToJsonl());
+    const RunArtifacts a = loadArtifacts(in_a);
+    RunArtifacts b = loadArtifacts(in_b);
+    b.cells[0].events.add(EventType::RdHit, 1);
+
+    const auto deltas = diffArtifacts(a, b);
+    ASSERT_FALSE(deltas.empty());
+    bool saw_event = false;
+    for (const auto &delta : deltas) {
+        EXPECT_EQ(delta.cell, "Dir0B/pops");
+        if (delta.metric == "events.rd_hit")
+            saw_event = true;
+    }
+    EXPECT_TRUE(saw_event);
+}
+
+TEST(DiffArtifactsTest, DetectsMissingCell)
+{
+    std::istringstream in_a(runToJsonl()), in_b(runToJsonl());
+    const RunArtifacts a = loadArtifacts(in_a);
+    RunArtifacts b = loadArtifacts(in_b);
+    b.cells.pop_back();
+
+    const auto deltas = diffArtifacts(a, b);
+    ASSERT_FALSE(deltas.empty());
+    EXPECT_EQ(deltas.back().cell, "WTI/thor");
+    EXPECT_EQ(deltas.back().metric, "present");
+}
+
+TEST(GridMetricsTest, NamesFollowTheDocumentedScheme)
+{
+    const ExperimentRunner runner;
+    const GridResult grid = runner.run(kSchemes, smallTraces());
+    const MetricRegistry metrics = gridMetrics(grid);
+
+    EXPECT_GT(metrics.counter("sim.pops.Dir0B.refs"), 0u);
+    EXPECT_GT(metrics.counter("sim.thor.WTI.refs"), 0u);
+    EXPECT_GT(metrics.counter("sim.pops.Dir0B.events.read"), 0u);
+    EXPECT_EQ(metrics.timer("runner.cell.wall_ms").count, 4u);
+    EXPECT_EQ(metrics.timer("runner.cell.phase.simulate_ns").count,
+              4u);
+    EXPECT_DOUBLE_EQ(metrics.gauge("runner.grid.cells"), 4.0);
+    EXPECT_DOUBLE_EQ(metrics.gauge("runner.grid.jobs"),
+                     static_cast<double>(grid.jobs));
+    EXPECT_GT(metrics.gauge("runner.grid.refs_per_second"), 0.0);
+}
+
+TEST(LoadArtifactsTest, MalformedLineReportsItsNumber)
+{
+    std::istringstream in("{\"kind\":\"future-thing\",\"x\":1}\n"
+                          "this is not json\n");
+    try {
+        loadArtifacts(in);
+        FAIL() << "expected UsageError";
+    } catch (const UsageError &error) {
+        EXPECT_NE(std::string(error.what()).find("2"),
+                  std::string::npos)
+            << error.what();
+    }
+}
+
+TEST(LoadArtifactsTest, UnknownKindsAreSkipped)
+{
+    std::string text = runToJsonl();
+    text.insert(0, "{\"kind\":\"future-thing\",\"x\":1}\n");
+    std::istringstream in(text);
+    const RunArtifacts loaded = loadArtifacts(in);
+    EXPECT_TRUE(loaded.hasManifest);
+    EXPECT_EQ(loaded.cells.size(), 4u);
+}
+
+TEST(LoadArtifactsTest, EmptyInputThrows)
+{
+    std::istringstream in("\n\n");
+    EXPECT_THROW(loadArtifacts(in), UsageError);
+}
+
+TEST(LoadArtifactsTest, MissingFileThrows)
+{
+    EXPECT_THROW(loadArtifacts("/nonexistent/results.jsonl"),
+                 UsageError);
+}
+
+} // namespace
+} // namespace dirsim

@@ -1,0 +1,192 @@
+/** @file Unit tests for obs/manifest.hh. */
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+#include "obs/manifest.hh"
+#include "trace/format.hh"
+
+namespace dirsim
+{
+namespace
+{
+
+RunManifest
+sampleManifest()
+{
+    SimConfig config;
+    config.blockBytes = 16;
+    config.warmupRefs = 1000;
+    config.sharing = SharingModel::ByProcessor;
+    FiniteCacheConfig cache;
+    cache.capacityBytes = 1 << 16;
+    cache.ways = 4;
+    cache.blockBytes = 16;
+    config.finiteCache = cache;
+
+    std::vector<SchemeSpec> schemes{parseScheme("Dir0B"),
+                                    parseScheme("Dir1NB")};
+    RunManifest manifest = RunManifest::capture(schemes, config);
+    manifest.stampStart();
+    manifest.stampFinish();
+    manifest.jobs = 4;
+
+    TraceProvenance trace;
+    trace.name = "pops";
+    trace.path = "/tmp/pops.trace";
+    trace.source = "file";
+    trace.records = 123456;
+    trace.caches = 64;
+    trace.checksum = 0xdeadbeefcafef00dULL;
+    trace.hasChecksum = true;
+    manifest.traces.push_back(trace);
+    TraceProvenance memory;
+    memory.name = "thor";
+    memory.source = "memory";
+    memory.records = 99;
+    memory.caches = 8;
+    manifest.traces.push_back(memory);
+    return manifest;
+}
+
+TEST(RunManifestTest, CaptureRecordsConfigAndSchemes)
+{
+    const RunManifest manifest = sampleManifest();
+    EXPECT_EQ(manifest.blockBytes, 16u);
+    EXPECT_EQ(manifest.sharing, "processor");
+    EXPECT_EQ(manifest.warmupRefs, 1000u);
+    EXPECT_TRUE(manifest.hasFiniteCache);
+    EXPECT_EQ(manifest.schemes,
+              (std::vector<std::string>{"Dir0B", "Dir1NB"}));
+    // ISO-8601 UTC stamps, e.g. "2026-08-06T12:00:00Z".
+    ASSERT_EQ(manifest.startedAt.size(), 20u);
+    EXPECT_EQ(manifest.startedAt.back(), 'Z');
+    EXPECT_EQ(manifest.startedAt[10], 'T');
+}
+
+TEST(RunManifestTest, ToSimConfigRoundTrips)
+{
+    const SimConfig config = sampleManifest().toSimConfig();
+    EXPECT_EQ(config.blockBytes, 16u);
+    EXPECT_EQ(config.sharing, SharingModel::ByProcessor);
+    EXPECT_EQ(config.warmupRefs, 1000u);
+    ASSERT_TRUE(config.finiteCache.has_value());
+    EXPECT_EQ(config.finiteCache->capacityBytes, 1u << 16);
+    EXPECT_EQ(config.finiteCache->ways, 4u);
+    EXPECT_EQ(config.finiteCache->blockBytes, 16u);
+}
+
+TEST(RunManifestTest, JsonRoundTripIsLossless)
+{
+    const RunManifest manifest = sampleManifest();
+    std::ostringstream os;
+    JsonWriter writer(os);
+    manifest.writeJson(writer);
+
+    const RunManifest loaded =
+        RunManifest::fromJson(JsonValue::parse(os.str()));
+    EXPECT_EQ(loaded.startedAt, manifest.startedAt);
+    EXPECT_EQ(loaded.finishedAt, manifest.finishedAt);
+    EXPECT_EQ(loaded.host, manifest.host);
+    EXPECT_EQ(loaded.jobs, 4u);
+    EXPECT_EQ(loaded.blockBytes, 16u);
+    EXPECT_EQ(loaded.sharing, "processor");
+    EXPECT_TRUE(loaded.hasFiniteCache);
+    EXPECT_EQ(loaded.finiteWays, 4u);
+    EXPECT_EQ(loaded.schemes, manifest.schemes);
+    ASSERT_EQ(loaded.traces.size(), 2u);
+    EXPECT_EQ(loaded.traces[0].name, "pops");
+    EXPECT_EQ(loaded.traces[0].path, "/tmp/pops.trace");
+    EXPECT_TRUE(loaded.traces[0].hasChecksum);
+    // The full 64-bit checksum survives (hex string, not a double).
+    EXPECT_EQ(loaded.traces[0].checksum, 0xdeadbeefcafef00dULL);
+    EXPECT_EQ(loaded.traces[1].source, "memory");
+    EXPECT_FALSE(loaded.traces[1].hasChecksum);
+    EXPECT_EQ(loaded.env, manifest.env);
+}
+
+TEST(RunManifestTest, RejectsNewerSchema)
+{
+    const RunManifest manifest = sampleManifest();
+    std::ostringstream os;
+    JsonWriter writer(os);
+    manifest.writeJson(writer);
+    std::string text = os.str();
+    const std::string needle = "\"schema_version\":1";
+    const auto at = text.find(needle);
+    ASSERT_NE(at, std::string::npos);
+    text.replace(at, needle.size(), "\"schema_version\":999");
+    EXPECT_THROW(RunManifest::fromJson(JsonValue::parse(text)),
+                 UsageError);
+}
+
+TEST(FileChecksumTest, MatchesIncrementalFnv64)
+{
+    const std::string path =
+        testing::TempDir() + "/manifest_checksum.bin";
+    const std::string payload = "dirsim checksum payload\n";
+    {
+        std::ofstream out(path, std::ios::binary);
+        out << payload;
+    }
+    traceformat::Fnv64 fnv;
+    fnv.update(payload.data(), payload.size());
+    EXPECT_EQ(fileChecksumFnv64(path), fnv.value());
+    std::remove(path.c_str());
+}
+
+TEST(FileChecksumTest, ChangesWhenContentChanges)
+{
+    const std::string path =
+        testing::TempDir() + "/manifest_checksum2.bin";
+    {
+        std::ofstream out(path, std::ios::binary);
+        out << "version one";
+    }
+    const std::uint64_t first = fileChecksumFnv64(path);
+    {
+        std::ofstream out(path, std::ios::binary);
+        out << "version two";
+    }
+    EXPECT_NE(fileChecksumFnv64(path), first);
+    std::remove(path.c_str());
+}
+
+TEST(FileChecksumTest, MissingFileThrows)
+{
+    EXPECT_THROW(fileChecksumFnv64("/nonexistent/path/x.trace"),
+                 UsageError);
+}
+
+TEST(DirsimEnvironmentTest, FiltersAndSortsPrefix)
+{
+    ::setenv("DIRSIM_ZZ_TEST", "2", 1);
+    ::setenv("DIRSIM_AA_TEST", "1", 1);
+    ::setenv("NOT_DIRSIM_VAR", "x", 1);
+    const auto vars = dirsimEnvironment();
+    ::unsetenv("DIRSIM_ZZ_TEST");
+    ::unsetenv("DIRSIM_AA_TEST");
+    ::unsetenv("NOT_DIRSIM_VAR");
+
+    std::size_t aa = vars.size(), zz = vars.size();
+    for (std::size_t i = 0; i < vars.size(); ++i) {
+        EXPECT_EQ(vars[i].first.rfind("DIRSIM_", 0), 0u)
+            << vars[i].first;
+        if (vars[i].first == "DIRSIM_AA_TEST")
+            aa = i;
+        if (vars[i].first == "DIRSIM_ZZ_TEST")
+            zz = i;
+    }
+    ASSERT_LT(aa, vars.size());
+    ASSERT_LT(zz, vars.size());
+    EXPECT_LT(aa, zz); // sorted by name
+    EXPECT_EQ(vars[aa].second, "1");
+}
+
+} // namespace
+} // namespace dirsim

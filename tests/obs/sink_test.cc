@@ -1,0 +1,154 @@
+/** @file Unit tests for obs/sink.hh. */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+#include "obs/sink.hh"
+#include "sim/simulator.hh"
+#include "tracegen/generator.hh"
+
+namespace dirsim
+{
+namespace
+{
+
+CellRecord
+sampleRecord()
+{
+    static const CellRecord record = [] {
+        const Trace trace = generateTrace("pero", 20'000, 5);
+        const SimResult result = simulateTrace(trace, "WTI");
+        CellTiming timing;
+        timing.wallSeconds = 0.5;
+        return CellRecord::fromCell(result, timing);
+    }();
+    return record;
+}
+
+RunManifest
+sampleManifest()
+{
+    RunManifest manifest =
+        RunManifest::capture({parseScheme("WTI")}, SimConfig{});
+    manifest.stampStart();
+    manifest.stampFinish();
+    return manifest;
+}
+
+std::vector<std::string>
+lines(const std::string &text)
+{
+    std::vector<std::string> out;
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line))
+        out.push_back(line);
+    return out;
+}
+
+TEST(CsvFieldTest, QuotesOnlyWhenNeeded)
+{
+    EXPECT_EQ(csvField("plain"), "plain");
+    EXPECT_EQ(csvField(""), "");
+    EXPECT_EQ(csvField("a,b"), "\"a,b\"");
+    EXPECT_EQ(csvField("say \"hi\""), "\"say \"\"hi\"\"\"");
+    EXPECT_EQ(csvField("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(JsonlSinkTest, WritesOneDocumentPerLine)
+{
+    std::ostringstream os;
+    JsonlSink sink(os);
+    sink.writeManifest(sampleManifest());
+    sink.writeCell(sampleRecord());
+    sink.writeCell(sampleRecord());
+    MetricRegistry metrics;
+    metrics.add("sim.refs", 1);
+    sink.writeMetrics(metrics);
+    sink.finish();
+
+    const auto all = lines(os.str());
+    ASSERT_EQ(all.size(), 4u);
+    EXPECT_EQ(JsonValue::parse(all[0]).at("kind").asString(),
+              "manifest");
+    EXPECT_EQ(JsonValue::parse(all[1]).at("kind").asString(), "cell");
+    EXPECT_EQ(JsonValue::parse(all[2]).at("kind").asString(), "cell");
+    const JsonValue metrics_line = JsonValue::parse(all[3]);
+    EXPECT_EQ(metrics_line.at("kind").asString(), "metrics");
+    EXPECT_EQ(metrics_line.at("metrics")
+                  .at("sim.refs")
+                  .at("value")
+                  .asU64(),
+              1u);
+}
+
+TEST(JsonlSinkTest, FinishTwiceThrows)
+{
+    std::ostringstream os;
+    JsonlSink sink(os);
+    sink.finish();
+    EXPECT_THROW(sink.finish(), UsageError);
+    EXPECT_THROW(sink.writeCell(sampleRecord()), UsageError);
+}
+
+TEST(JsonlSinkTest, UnwritablePathThrows)
+{
+    EXPECT_THROW(JsonlSink("/nonexistent/dir/out.jsonl"),
+                 UsageError);
+}
+
+TEST(JsonlSinkTest, FileSinkWrites)
+{
+    const std::string path = testing::TempDir() + "/sink_test.jsonl";
+    {
+        JsonlSink sink(path);
+        sink.writeManifest(sampleManifest());
+        sink.finish();
+    }
+    std::ifstream in(path);
+    std::string line;
+    ASSERT_TRUE(std::getline(in, line));
+    EXPECT_EQ(JsonValue::parse(line).at("kind").asString(),
+              "manifest");
+    std::remove(path.c_str());
+}
+
+TEST(CsvSinkTest, ManifestAsCommentsThenHeaderThenRows)
+{
+    std::ostringstream os;
+    CsvSink sink(os);
+    sink.writeManifest(sampleManifest());
+    sink.writeCell(sampleRecord());
+    sink.writeCell(sampleRecord());
+    sink.finish();
+
+    const auto all = lines(os.str());
+    std::size_t header_at = all.size();
+    for (std::size_t i = 0; i < all.size(); ++i) {
+        if (all[i].rfind("scheme,", 0) == 0) {
+            header_at = i;
+            break;
+        }
+        EXPECT_EQ(all[i].front(), '#') << all[i];
+    }
+    ASSERT_LT(header_at, all.size());
+    // Exactly one header row, then one line per cell.
+    EXPECT_EQ(all.size(), header_at + 3);
+    EXPECT_EQ(all[header_at + 1].rfind("WTI,", 0), 0u);
+}
+
+TEST(CsvSinkTest, FinishTwiceThrows)
+{
+    std::ostringstream os;
+    CsvSink sink(os);
+    sink.finish();
+    EXPECT_THROW(sink.finish(), UsageError);
+}
+
+} // namespace
+} // namespace dirsim
