@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 #include <iostream>
+#include <memory>
 
 namespace dirsim::bench
 {
@@ -11,8 +12,23 @@ namespace
 
 /** --jsonl destination; empty = no artifacts. */
 std::string jsonl_path;
+/** --chrome destination; empty = no timeline export. */
+std::string chrome_path;
 /** Only the first grid of the process is recorded. */
 bool artifacts_written = false;
+
+/**
+ * Bench mains have no shared top-level catch, so configuration
+ * errors (bad DIRSIM_* values, an unwritable --chrome path) must be
+ * turned into a clean `error:` exit here rather than escaping as an
+ * uncaught exception.
+ */
+[[noreturn]] void
+usageExit(const SimulationError &error)
+{
+    std::cerr << "error: " << error.what() << '\n';
+    std::exit(1);
+}
 
 } // namespace
 
@@ -25,14 +41,19 @@ initArtifacts(int argc, char **argv)
             if (arg == "--jsonl") {
                 fatalIf(i + 1 >= argc, "--jsonl requires a path");
                 jsonl_path = argv[++i];
+            } else if (arg == "--chrome") {
+                fatalIf(i + 1 >= argc, "--chrome requires a path");
+                chrome_path = argv[++i];
             } else {
                 fatal("unknown argument '", arg,
-                      "' (supported: --jsonl <path>)");
+                      "' (supported: --jsonl <path>, "
+                      "--chrome <path>)");
             }
         }
     } catch (const SimulationError &error) {
         std::cerr << "error: " << error.what() << '\n';
-        std::cerr << "usage: " << argv[0] << " [--jsonl <path>]\n";
+        std::cerr << "usage: " << argv[0]
+                  << " [--jsonl <path>] [--chrome <path>]\n";
         std::exit(1);
     }
 }
@@ -47,7 +68,12 @@ banner(const std::string &artifact, const std::string &caption)
     std::cout << "\"An Evaluation of Directory Schemes for Cache "
                  "Coherence\"\n";
     std::cout << caption << '\n';
-    const SuiteParams params = SuiteParams::fromEnvironment();
+    SuiteParams params;
+    try {
+        params = SuiteParams::fromEnvironment();
+    } catch (const SimulationError &error) {
+        usageExit(error);
+    }
     std::cout << "suite: pops/thor/pero, "
               << TextTable::grouped(params.refsPerTrace)
               << " refs each (DIRSIM_SUITE_REFS overrides), seed "
@@ -67,17 +93,53 @@ namespace
 
 /** Run a grid on the parallel runner and report its throughput. */
 std::vector<SchemeResults>
-timedGrid(const std::vector<std::string> &schemes)
+timedGridOrThrow(const std::vector<std::string> &schemes)
 {
-    const ExperimentRunner runner;
+    RunnerConfig config = RunnerConfig::fromEnvironment();
+
+    // Opt-in observers: a live stderr HUD (DIRSIM_PROGRESS=1) and
+    // the coherence event tracer (DIRSIM_TRACE_SAMPLE=<period>).
+    ProgressHud hud;
+    if (ProgressHud::enabledFromEnvironment())
+        config.onCellComplete = hud.callback();
+    const TracerConfig tracer_config = TracerConfig::fromEnvironment();
+    std::unique_ptr<EventTracer> tracer;
+    if (tracer_config.enabled()) {
+        tracer = std::make_unique<EventTracer>(tracer_config);
+        config.makeCellTraceSink =
+            [&t = *tracer](const std::string &scheme,
+                           const std::string &trace) {
+                return t.session(scheme, trace);
+            };
+    }
+
+    const ExperimentRunner runner(std::move(config));
     GridResult grid;
     if (!jsonl_path.empty() && !artifacts_written) {
         artifacts_written = true;
+        ExtraMetricsFn extra;
+        if (tracer)
+            extra = [&tracer](MetricRegistry &metrics) {
+                tracer->exportMetrics(metrics);
+            };
         JsonlSink sink(jsonl_path);
-        grid = runWithArtifacts(runner, schemes, suite(), {}, sink);
+        grid = runWithArtifacts(runner, schemes, suite(), {}, sink,
+                                extra);
+        hud.finish();
         inform("artifacts: wrote ", jsonl_path);
     } else {
         grid = runner.run(schemes, suite());
+        hud.finish();
+    }
+    if (tracer)
+        inform("tracer: sampled ", tracer->emittedEvents(),
+               " events (period ", tracer_config.samplePeriod,
+               ", ring ", tracer_config.ringCapacity, ", dropped ",
+               tracer->droppedEvents(), ")");
+    if (!chrome_path.empty()) {
+        writeChromeTraceFile(chrome_path, grid, tracer.get());
+        inform("chrome trace: wrote ", chrome_path);
+        chrome_path.clear(); // first grid only, like --jsonl
     }
     inform("grid: ", schemes.size(), " schemes x ", suite().size(),
            " traces on ", grid.jobs, " jobs in ",
@@ -86,6 +148,16 @@ timedGrid(const std::vector<std::string> &schemes)
                static_cast<std::uint64_t>(grid.refsPerSecond())),
            " refs/s)");
     return std::move(grid.schemes);
+}
+
+std::vector<SchemeResults>
+timedGrid(const std::vector<std::string> &schemes)
+{
+    try {
+        return timedGridOrThrow(schemes);
+    } catch (const UsageError &error) {
+        usageExit(error);
+    }
 }
 
 } // namespace

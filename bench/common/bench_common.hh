@@ -24,7 +24,14 @@ namespace dirsim::bench
  *   --jsonl <path>   record the first experiment grid this process
  *                    runs as structured artifacts (manifest + cell
  *                    records + metrics, obs/sink.hh) at <path>
+ *   --chrome <path>  export the first grid as a Chrome trace_event
+ *                    timeline (obs/chrome_trace.hh) at <path>
  * Unknown arguments are a usage error. Call first thing in main().
+ *
+ * The grids also honor DIRSIM_PROGRESS=1 (live stderr HUD,
+ * obs/progress.hh) and DIRSIM_TRACE_SAMPLE=<period> (coherence event
+ * tracer, obs/tracer.hh; its distributions land in the --jsonl
+ * metrics and its sampled events in the --chrome timeline).
  */
 void initArtifacts(int argc, char **argv);
 

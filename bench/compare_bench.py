@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Compare two dirsim benchmark artifact files (BENCH_*.json).
+
+Each input is a JSONL run-artifacts file as written by the repro
+benches / perf_simulator via `--jsonl` (or DIRSIM_BENCH_JSON): one
+record per line, with a `{"kind": "metrics", ...}` record carrying
+the run's MetricRegistry. This script diffs the throughput metrics of
+a baseline file against a candidate file and exits non-zero when the
+candidate regresses by more than the threshold, so CI can gate on it:
+
+    bench/compare_bench.py BENCH_3.json BENCH_4.json --threshold 0.10
+
+Exit codes: 0 = within threshold, 1 = regression, 2 = usage/IO error.
+
+Only throughput (higher-is-better gauges, currently
+`runner.grid.refs_per_second`) gates the exit code; wall-clock timers
+are printed for context but never fail the run, because absolute wall
+times on shared CI hosts are too noisy to gate on. Files holding
+several grids (a bench that runs more than one experiment) are
+compared grid-by-grid in file order.
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail_usage(message):
+    """IO/parse problems exit 2, distinct from a regression's 1."""
+    print(message, file=sys.stderr)
+    sys.exit(2)
+
+# Higher-is-better gauges that gate the exit code.
+THROUGHPUT_GAUGES = ("runner.grid.refs_per_second",)
+# Context-only metrics, printed when present in both files.
+CONTEXT_GAUGES = ("runner.grid.wall_seconds", "runner.grid.jobs")
+
+
+def load_metrics_records(path):
+    """Return the list of metrics objects in file order."""
+    records = []
+    try:
+        with open(path, encoding="utf-8") as handle:
+            for number, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError as error:
+                    fail_usage(f"error: {path}:{number}: not JSON: {error}")
+                if record.get("kind") == "metrics":
+                    records.append(record.get("metrics", {}))
+    except OSError as error:
+        fail_usage(f"error: cannot read {path}: {error}")
+    if not records:
+        fail_usage(f"error: {path}: no metrics record found")
+    return records
+
+
+def gauge(metrics, name):
+    entry = metrics.get(name)
+    if not isinstance(entry, dict) or entry.get("kind") != "gauge":
+        return None
+    return float(entry["value"])
+
+
+def compare(baseline, candidate, threshold):
+    """Print one grid's comparison; return the regressed gauge names."""
+    regressions = []
+    for name in THROUGHPUT_GAUGES:
+        base = gauge(baseline, name)
+        cand = gauge(candidate, name)
+        if base is None or cand is None:
+            print(f"  {name}: missing from "
+                  f"{'baseline' if base is None else 'candidate'}, skipped")
+            continue
+        if base <= 0:
+            print(f"  {name}: baseline is {base}, skipped")
+            continue
+        delta = (cand - base) / base
+        verdict = "ok"
+        if delta < -threshold:
+            verdict = "REGRESSION"
+            regressions.append(name)
+        print(f"  {name}: {base:,.0f} -> {cand:,.0f} "
+              f"({delta:+.1%})  {verdict}")
+    for name in CONTEXT_GAUGES:
+        base = gauge(baseline, name)
+        cand = gauge(candidate, name)
+        if base is None or cand is None:
+            continue
+        print(f"  {name}: {base:g} -> {cand:g}  (context only)")
+    return regressions
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Diff two BENCH_*.json artifact files and fail on "
+                    "throughput regressions.")
+    parser.add_argument("baseline", help="baseline artifacts (JSONL)")
+    parser.add_argument("candidate", help="candidate artifacts (JSONL)")
+    parser.add_argument(
+        "--threshold", type=float, default=0.10, metavar="FRACTION",
+        help="allowed fractional throughput drop (default: 0.10)")
+    args = parser.parse_args()
+    if not 0.0 <= args.threshold < 1.0:
+        parser.error("--threshold must be in [0, 1)")
+
+    base_grids = load_metrics_records(args.baseline)
+    cand_grids = load_metrics_records(args.candidate)
+    if len(base_grids) != len(cand_grids):
+        fail_usage(
+            f"error: grid count mismatch: {args.baseline} has "
+            f"{len(base_grids)}, {args.candidate} has {len(cand_grids)}")
+
+    regressions = []
+    for index, (base, cand) in enumerate(zip(base_grids, cand_grids)):
+        print(f"grid {index}:")
+        regressions += compare(base, cand, args.threshold)
+
+    if regressions:
+        print(f"FAIL: {len(regressions)} metric(s) regressed by more "
+              f"than {args.threshold:.0%}")
+        return 1
+    print(f"OK: no throughput regression beyond {args.threshold:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,7 +8,7 @@
  *
  * After the microbenchmarks, one timed paper grid is recorded as
  * structured artifacts (manifest + per-cell throughput metrics,
- * obs/sink.hh) to BENCH_3.json — the repo's perf trajectory file.
+ * obs/sink.hh) to BENCH_4.json — the repo's perf trajectory file.
  * DIRSIM_BENCH_JSON overrides the destination; set it to an empty
  * string to skip the grid entirely.
  */
@@ -129,7 +129,7 @@ main(int argc, char **argv)
 
     const char *override_path = std::getenv("DIRSIM_BENCH_JSON");
     const std::string out =
-        override_path ? override_path : "BENCH_3.json";
+        override_path ? override_path : "BENCH_4.json";
     if (out.empty())
         return 0;
     try {

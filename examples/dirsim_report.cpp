@@ -56,6 +56,57 @@ printManifest(const RunManifest &manifest)
     std::cout << '\n';
 }
 
+/** One tracer distribution as a value/count/fraction table. */
+void
+renderOneDistribution(const MetricRegistry &metrics,
+                      const std::string &name, const char *title)
+{
+    const std::string prefix = "trace.dist." + name;
+    if (!metrics.has(prefix + ".samples"))
+        return;
+    const std::uint64_t samples = metrics.counter(prefix + ".samples");
+    if (samples == 0)
+        return;
+    std::cout << '\n' << title << " (" << TextTable::grouped(samples)
+              << " samples)\n";
+    TextTable table({"value", "count", "fraction"});
+    const auto row = [&](const std::string &label,
+                         std::uint64_t count) {
+        table.addRow({label, TextTable::grouped(count),
+                      TextTable::fixed(static_cast<double>(count)
+                                           / static_cast<double>(
+                                               samples),
+                                       4)});
+    };
+    for (std::size_t v = 0; v < traceDistBuckets; ++v) {
+        const std::string key = prefix + "." + std::to_string(v);
+        if (metrics.has(key))
+            row(std::to_string(v), metrics.counter(key));
+    }
+    if (metrics.has(prefix + ".overflow"))
+        row(">=" + std::to_string(traceDistBuckets),
+            metrics.counter(prefix + ".overflow"));
+    table.print(std::cout);
+}
+
+/** The tracer's trace.dist.* sections, when the run carried them. */
+void
+renderTraceDistributions(const RunArtifacts &artifacts)
+{
+    if (!artifacts.hasMetrics)
+        return;
+    renderOneDistribution(
+        artifacts.metrics, "inval_on_clean_write",
+        "Figure 1 (tracer): caches invalidated on a write to a "
+        "clean block");
+    renderOneDistribution(artifacts.metrics, "sharer_set_size",
+                          "Tracer: sharer-set size at clean-block "
+                          "writes (writer included)");
+    renderOneDistribution(artifacts.metrics, "write_run_length",
+                          "Tracer: write-run length (consecutive "
+                          "writes by one cache before a handoff)");
+}
+
 int
 render(const std::string &path)
 {
@@ -109,6 +160,12 @@ render(const std::string &path)
              ms(cell.phases.get(Phase::Reduce))});
     }
     timing.print(std::cout);
+
+    // Runs traced with DIRSIM_TRACE_SAMPLE carry exact protocol
+    // distributions in their metrics record (obs/tracer.hh); the
+    // invalidation distribution is the paper's Figure 1 re-rendered
+    // from the tracer instead of the per-cell histograms.
+    renderTraceDistributions(artifacts);
     return 0;
 }
 

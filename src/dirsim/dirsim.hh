@@ -42,11 +42,15 @@
 #include "directory/tang.hh"
 #include "directory/two_bit.hh"
 #include "obs/artifacts.hh"
+#include "obs/chrome_trace.hh"
+#include "obs/histogram.hh"
 #include "obs/manifest.hh"
 #include "obs/metrics.hh"
 #include "obs/phase.hh"
+#include "obs/progress.hh"
 #include "obs/record.hh"
 #include "obs/sink.hh"
+#include "obs/tracer.hh"
 #include "protocols/berkeley.hh"
 #include "protocols/dir0_b.hh"
 #include "protocols/dir1_nb.hh"

@@ -18,7 +18,7 @@ namespace
 void
 emitArtifacts(RunManifest manifest, const GridResult &grid,
               const std::vector<std::string> &tracePaths,
-              ResultsSink &sink)
+              ResultsSink &sink, const ExtraMetricsFn &extra_metrics)
 {
     manifest.jobs = grid.jobs;
     sink.writeManifest(manifest);
@@ -33,7 +33,10 @@ emitArtifacts(RunManifest manifest, const GridResult &grid,
                                       : std::string()));
         }
     }
-    sink.writeMetrics(gridMetrics(grid));
+    MetricRegistry metrics = gridMetrics(grid);
+    if (extra_metrics)
+        extra_metrics(metrics);
+    sink.writeMetrics(metrics);
     sink.finish();
 }
 
@@ -43,7 +46,8 @@ GridResult
 runFilesWithArtifacts(const ExperimentRunner &runner,
                       const std::vector<SchemeSpec> &schemes,
                       const std::vector<std::string> &tracePaths,
-                      const SimConfig &sim, ResultsSink &sink)
+                      const SimConfig &sim, ResultsSink &sink,
+                      const ExtraMetricsFn &extraMetrics)
 {
     RunManifest manifest = RunManifest::capture(schemes, sim);
     manifest.stampStart();
@@ -66,7 +70,8 @@ runFilesWithArtifacts(const ExperimentRunner &runner,
         trace.hasChecksum = true;
         manifest.traces.push_back(std::move(trace));
     }
-    emitArtifacts(std::move(manifest), grid, tracePaths, sink);
+    emitArtifacts(std::move(manifest), grid, tracePaths, sink,
+                  extraMetrics);
     return grid;
 }
 
@@ -74,21 +79,23 @@ GridResult
 runFilesWithArtifacts(const ExperimentRunner &runner,
                       const std::vector<std::string> &schemes,
                       const std::vector<std::string> &tracePaths,
-                      const SimConfig &sim, ResultsSink &sink)
+                      const SimConfig &sim, ResultsSink &sink,
+                      const ExtraMetricsFn &extraMetrics)
 {
     std::vector<SchemeSpec> specs;
     specs.reserve(schemes.size());
     for (const std::string &name : schemes)
         specs.push_back(parseScheme(name));
     return runFilesWithArtifacts(runner, specs, tracePaths, sim,
-                                 sink);
+                                 sink, extraMetrics);
 }
 
 GridResult
 runWithArtifacts(const ExperimentRunner &runner,
                  const std::vector<SchemeSpec> &schemes,
                  const std::vector<Trace> &traces,
-                 const SimConfig &sim, ResultsSink &sink)
+                 const SimConfig &sim, ResultsSink &sink,
+                 const ExtraMetricsFn &extraMetrics)
 {
     RunManifest manifest = RunManifest::capture(schemes, sim);
     manifest.stampStart();
@@ -104,7 +111,7 @@ runWithArtifacts(const ExperimentRunner &runner,
         provenance.caches = cachesNeeded(trace, sim.sharing);
         manifest.traces.push_back(std::move(provenance));
     }
-    emitArtifacts(std::move(manifest), grid, {}, sink);
+    emitArtifacts(std::move(manifest), grid, {}, sink, extraMetrics);
     return grid;
 }
 
@@ -112,13 +119,15 @@ GridResult
 runWithArtifacts(const ExperimentRunner &runner,
                  const std::vector<std::string> &schemes,
                  const std::vector<Trace> &traces,
-                 const SimConfig &sim, ResultsSink &sink)
+                 const SimConfig &sim, ResultsSink &sink,
+                 const ExtraMetricsFn &extraMetrics)
 {
     std::vector<SchemeSpec> specs;
     specs.reserve(schemes.size());
     for (const std::string &name : schemes)
         specs.push_back(parseScheme(name));
-    return runWithArtifacts(runner, specs, traces, sim, sink);
+    return runWithArtifacts(runner, specs, traces, sim, sink,
+                            extraMetrics);
 }
 
 RunArtifacts
@@ -182,8 +191,12 @@ gridMetrics(const GridResult &grid)
             const SimResult &result = grid.schemes[s].perTrace[t];
             const CellTiming &cell =
                 grid.cells[s * num_traces + t];
-            const std::string prefix =
-                "sim." + result.traceName + "." + result.scheme;
+            // Trace and scheme names come from user input (file
+            // stems may contain '.'), so each is escaped into a
+            // single dotted-name segment.
+            const std::string prefix = "sim."
+                + MetricRegistry::escapeSegment(result.traceName)
+                + "." + MetricRegistry::escapeSegment(result.scheme);
             metrics.add(prefix + ".refs", result.totalRefs);
             for (std::size_t e = 0; e < numEventTypes; ++e) {
                 const auto event = static_cast<EventType>(e);

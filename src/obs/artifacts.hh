@@ -16,6 +16,7 @@
 #ifndef DIRSIM_OBS_ARTIFACTS_HH
 #define DIRSIM_OBS_ARTIFACTS_HH
 
+#include <functional>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -25,6 +26,14 @@
 
 namespace dirsim
 {
+
+/**
+ * Hook to contribute extra metrics (e.g. an EventTracer's trace.dist
+ * histograms) to the run's metrics record. Invoked once, after the
+ * grid completes and its own gridMetrics() are in the registry,
+ * right before the registry is written to the sink.
+ */
+using ExtraMetricsFn = std::function<void(MetricRegistry &)>;
 
 /**
  * Run every scheme on every trace *file* (streaming, bounded memory —
@@ -37,27 +46,29 @@ GridResult runFilesWithArtifacts(
     const ExperimentRunner &runner,
     const std::vector<SchemeSpec> &schemes,
     const std::vector<std::string> &tracePaths, const SimConfig &sim,
-    ResultsSink &sink);
+    ResultsSink &sink, const ExtraMetricsFn &extraMetrics = {});
 
 /** Name-based convenience for runFilesWithArtifacts(). */
 GridResult runFilesWithArtifacts(
     const ExperimentRunner &runner,
     const std::vector<std::string> &schemes,
     const std::vector<std::string> &tracePaths, const SimConfig &sim,
-    ResultsSink &sink);
+    ResultsSink &sink, const ExtraMetricsFn &extraMetrics = {});
 
 /** In-memory variant: traces are recorded with source "memory" and
  *  no path/checksum provenance. */
 GridResult runWithArtifacts(const ExperimentRunner &runner,
                             const std::vector<SchemeSpec> &schemes,
                             const std::vector<Trace> &traces,
-                            const SimConfig &sim, ResultsSink &sink);
+                            const SimConfig &sim, ResultsSink &sink,
+                            const ExtraMetricsFn &extraMetrics = {});
 
 /** Name-based convenience for runWithArtifacts(). */
 GridResult runWithArtifacts(const ExperimentRunner &runner,
                             const std::vector<std::string> &schemes,
                             const std::vector<Trace> &traces,
-                            const SimConfig &sim, ResultsSink &sink);
+                            const SimConfig &sim, ResultsSink &sink,
+                            const ExtraMetricsFn &extraMetrics = {});
 
 /** A results file, loaded. */
 struct RunArtifacts

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Chrome trace_event JSON export of a finished grid.
+ *
+ * writeChromeTrace() lays a GridResult out as a Chrome
+ * trace_event-format document ({"traceEvents": [...]}) loadable in
+ * chrome://tracing or Perfetto: one timeline lane per worker thread,
+ * one complete ("X") slice per grid cell, nested slices for the
+ * cell's phase breakdown (read/warmup/simulate/reduce, from the PR 3
+ * phase timers), and — when an EventTracer ran alongside — instant
+ * ("i") events for the sampled protocol transitions.
+ *
+ * Timestamps are microseconds relative to the grid start, taken from
+ * the same PhaseTimer::nowNs() clock the cells and tracer sessions
+ * stamp, so cells and protocol events line up on one axis. Phase
+ * slices are laid out cumulatively inside their cell (phases do not
+ * record their own start times), which matches reality because the
+ * phases of a cell run back-to-back.
+ */
+
+#ifndef DIRSIM_OBS_CHROME_TRACE_HH
+#define DIRSIM_OBS_CHROME_TRACE_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "sim/runner.hh"
+
+namespace dirsim
+{
+
+class EventTracer;
+
+/**
+ * Write @p grid (and, optionally, @p tracer's sampled timelines) as
+ * a Chrome trace_event JSON document.
+ */
+void writeChromeTrace(std::ostream &os, const GridResult &grid,
+                      const EventTracer *tracer = nullptr);
+
+/** writeChromeTrace() to a file. @throws UsageError when unwritable */
+void writeChromeTraceFile(const std::string &path,
+                          const GridResult &grid,
+                          const EventTracer *tracer = nullptr);
+
+} // namespace dirsim
+
+#endif // DIRSIM_OBS_CHROME_TRACE_HH

@@ -1,0 +1,95 @@
+#include "obs/histogram.hh"
+
+#include "common/json.hh"
+#include "common/logging.hh"
+
+namespace dirsim
+{
+
+void
+FixedHistogram::add(std::uint64_t value, std::uint64_t count)
+{
+    if (value < counts.size())
+        counts[static_cast<std::size_t>(value)] += count;
+    else
+        overflowCount += count;
+    total += count;
+}
+
+std::uint64_t
+FixedHistogram::count(std::uint64_t value) const
+{
+    return value < counts.size()
+        ? counts[static_cast<std::size_t>(value)]
+        : 0;
+}
+
+double
+FixedHistogram::fraction(std::uint64_t value) const
+{
+    if (total == 0)
+        return 0.0;
+    return static_cast<double>(count(value))
+        / static_cast<double>(total);
+}
+
+std::uint64_t
+FixedHistogram::maxNonZero() const
+{
+    std::uint64_t max = 0;
+    for (std::size_t v = 0; v < counts.size(); ++v) {
+        if (counts[v] != 0)
+            max = v;
+    }
+    return max;
+}
+
+void
+FixedHistogram::merge(const FixedHistogram &other)
+{
+    fatalIf(counts.size() != other.counts.size(),
+            "FixedHistogram::merge of mismatched shapes: ",
+            counts.size(), " buckets vs ", other.counts.size());
+    for (std::size_t v = 0; v < counts.size(); ++v)
+        counts[v] += other.counts[v];
+    overflowCount += other.overflowCount;
+    total += other.total;
+}
+
+void
+FixedHistogram::writeJson(JsonWriter &writer) const
+{
+    writer.beginObject();
+    writer.key("buckets").beginArray();
+    for (const std::uint64_t count : counts)
+        writer.value(count);
+    writer.endArray();
+    writer.key("overflow").value(overflowCount);
+    writer.key("samples").value(total);
+    writer.endObject();
+}
+
+FixedHistogram
+FixedHistogram::fromJson(const JsonValue &json)
+{
+    fatalIf(!json.isObject(), "histogram JSON is not an object");
+    const JsonValue &buckets = json.at("buckets");
+    fatalIf(!buckets.isArray(),
+            "histogram 'buckets' is not an array");
+    FixedHistogram histogram(buckets.size());
+    std::uint64_t sum = 0;
+    for (std::size_t v = 0; v < buckets.size(); ++v) {
+        const std::uint64_t count = buckets.at(v).asU64();
+        histogram.counts[v] = count;
+        sum += count;
+    }
+    histogram.overflowCount = json.at("overflow").asU64();
+    histogram.total = json.at("samples").asU64();
+    fatalIf(sum + histogram.overflowCount != histogram.total,
+            "histogram samples total ", histogram.total,
+            " does not match its buckets (",
+            sum + histogram.overflowCount, ")");
+    return histogram;
+}
+
+} // namespace dirsim

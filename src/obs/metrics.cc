@@ -67,6 +67,22 @@ MetricRegistry::checkName(const std::string &name)
             "' has an empty segment");
 }
 
+std::string
+MetricRegistry::escapeSegment(std::string_view text)
+{
+    if (text.empty())
+        return "_";
+    std::string segment(text);
+    for (char &c : segment) {
+        const bool ok = (c >= 'a' && c <= 'z')
+            || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+            || c == '_' || c == '-';
+        if (!ok)
+            c = '_';
+    }
+    return segment;
+}
+
 Metric &
 MetricRegistry::entry(const std::string &name, MetricKind kind)
 {

@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <string_view>
 
 #include "common/histogram.hh"
 #include "common/stats.hh"
@@ -151,6 +152,16 @@ class MetricRegistry
 
     /** @throws UsageError unless @p name is a valid metric name */
     static void checkName(const std::string &name);
+
+    /**
+     * Make an externally-sourced string (a trace file stem, a scheme
+     * label) safe to embed as ONE dotted-name segment: every
+     * character outside [A-Za-z0-9_-] — including '.' — becomes '_',
+     * and an empty input becomes "_". Without this, a trace named
+     * "app.bin" would split into two segments and collide with
+     * genuinely nested names.
+     */
+    static std::string escapeSegment(std::string_view text);
 
   private:
     Metric &entry(const std::string &name, MetricKind kind);

@@ -1,0 +1,108 @@
+#include "obs/progress.hh"
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+
+#include "common/env.hh"
+
+namespace dirsim
+{
+
+namespace
+{
+
+/** "1.85 Mrefs/s"-style human throughput. */
+std::string
+formatRate(double refs_per_second)
+{
+    char buffer[32];
+    if (refs_per_second >= 1e6)
+        std::snprintf(buffer, sizeof buffer, "%.2f Mrefs/s",
+                      refs_per_second / 1e6);
+    else if (refs_per_second >= 1e3)
+        std::snprintf(buffer, sizeof buffer, "%.1f krefs/s",
+                      refs_per_second / 1e3);
+    else
+        std::snprintf(buffer, sizeof buffer, "%.0f refs/s",
+                      refs_per_second);
+    return buffer;
+}
+
+/** "2m06s" / "12.3s" human duration. */
+std::string
+formatEta(double seconds)
+{
+    char buffer[32];
+    if (seconds >= 60.0)
+        std::snprintf(buffer, sizeof buffer, "%um%02us",
+                      static_cast<unsigned>(seconds) / 60,
+                      static_cast<unsigned>(seconds) % 60);
+    else
+        std::snprintf(buffer, sizeof buffer, "%.1fs", seconds);
+    return buffer;
+}
+
+} // namespace
+
+bool
+ProgressHud::enabledFromEnvironment()
+{
+    return envUnsigned("DIRSIM_PROGRESS", 0) != 0;
+}
+
+std::string
+ProgressHud::renderLine(const GridProgress &progress)
+{
+    std::ostringstream line;
+    line << '[' << progress.completedCells << '/'
+         << progress.totalCells << "] " << progress.cell.scheme << '/'
+         << progress.cell.traceName;
+    const double rate = progress.refsPerSecond();
+    if (rate > 0.0)
+        line << "  " << formatRate(rate);
+    if (progress.plannedRefs > 0) {
+        const double done =
+            static_cast<double>(progress.completedRefs)
+            / static_cast<double>(progress.plannedRefs);
+        char percent[16];
+        std::snprintf(percent, sizeof percent, "  %3.0f%%",
+                      100.0 * done);
+        line << percent;
+        const double eta = progress.etaSeconds();
+        if (eta > 0.0)
+            line << "  ETA " << formatEta(eta);
+    }
+    return line.str();
+}
+
+ProgressCallback
+ProgressHud::callback()
+{
+    return [this](const GridProgress &progress) { draw(progress); };
+}
+
+void
+ProgressHud::draw(const GridProgress &progress)
+{
+    std::string line = renderLine(progress);
+    const std::size_t width = line.size();
+    if (width < drawnWidth)
+        line.append(drawnWidth - width, ' '); // blank the longer tail
+    else
+        drawnWidth = width;
+    std::cerr << '\r' << line << std::flush;
+    drawn = true;
+}
+
+void
+ProgressHud::finish()
+{
+    if (!drawn)
+        return;
+    std::cerr << '\n' << std::flush;
+    drawn = false;
+    drawnWidth = 0;
+}
+
+} // namespace dirsim

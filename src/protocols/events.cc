@@ -167,6 +167,30 @@ OpCounts::subtract(const OpCounts &other)
                   "busTransactions");
 }
 
+EventType
+mostSpecificNewEvent(const EventCounts &before,
+                     const EventCounts &after)
+{
+    // Most specific first: the sub-events a protocol handler records,
+    // then the hit/miss classes, then the raw reference kinds.
+    static constexpr EventType specificity[] = {
+        EventType::RmBlkDrty,  EventType::RmBlkCln,
+        EventType::WmBlkDrty,  EventType::WmBlkCln,
+        EventType::WhBlkCln,   EventType::WhBlkDrty,
+        EventType::WhDistrib,  EventType::WhLocal,
+        EventType::RmFirstRef, EventType::WmFirstRef,
+        EventType::RdHit,      EventType::RdMiss,
+        EventType::WrtHit,     EventType::WrtMiss,
+        EventType::Read,       EventType::Write,
+        EventType::Instr,
+    };
+    for (const EventType event : specificity) {
+        if (after.count(event) > before.count(event))
+            return event;
+    }
+    panic("mostSpecificNewEvent: no event count advanced");
+}
+
 void
 OpCounts::merge(const OpCounts &other)
 {

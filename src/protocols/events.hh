@@ -20,6 +20,9 @@
 #include <string>
 #include <vector>
 
+#include "cache/cache_if.hh"
+#include "common/types.hh"
+
 namespace dirsim
 {
 
@@ -194,6 +197,77 @@ struct OpCounts
     /** Exact per-operation equality. */
     bool operator==(const OpCounts &) const = default;
 };
+
+/**
+ * One traced protocol state transition.
+ *
+ * Captured by CoherenceProtocol around a sampled data reference and
+ * handed to the attached ProtocolTraceSink: the reference identity,
+ * the most specific Table 4 event it classified as, the issuing
+ * cache's block state before and after, the size of the rest of the
+ * sharer set before and after, and the bus operations the reference
+ * issued (an OpCounts delta, so per-event costs follow from the
+ * ordinary cost models).
+ *
+ * tsNs is left zero by the protocol layer; timestamping is the
+ * sink's job (obs/tracer.hh stamps PhaseTimer::nowNs()).
+ */
+struct ProtocolTraceEvent
+{
+    std::uint64_t ref = 0; ///< reference ordinal within the run
+    BlockNum block = 0;
+    CacheId cache = 0;
+    EventType type = EventType::Read;
+    bool firstRef = false;
+    CacheBlockState stateBefore = stateNotPresent;
+    CacheBlockState stateAfter = stateNotPresent;
+    std::uint32_t othersBefore = 0; ///< other holders before
+    std::uint32_t othersAfter = 0;  ///< other holders after
+    OpCounts ops;                   ///< operations this reference issued
+    std::uint64_t tsNs = 0;         ///< sink-stamped wall clock (ns)
+};
+
+/**
+ * Where a protocol reports its per-reference activity.
+ *
+ * The interface lives here (not in src/obs) so the protocol layer
+ * never depends on the observability library; obs/tracer.hh provides
+ * the production implementation. Three channels with different
+ * volumes:
+ *
+ *  - dataRef() / cleanWriteSample() fire on *every* data reference /
+ *    clean-write while a sink is attached, so distribution histograms
+ *    built from them are exact regardless of sampling.
+ *  - emit() fires only for references selected by samplePeriod()
+ *    (1 = every reference, N = every Nth, 0 = never) and carries the
+ *    full before/after transition detail.
+ */
+class ProtocolTraceSink
+{
+  public:
+    virtual ~ProtocolTraceSink() = default;
+
+    /** Timeline sampling period (0 disables emit() entirely). */
+    virtual unsigned samplePeriod() const { return 0; }
+
+    /** A sampled reference's full transition record. */
+    virtual void emit(const ProtocolTraceEvent &event) = 0;
+
+    /** Figure 1 sample: other holders on a write to a clean block. */
+    virtual void cleanWriteSample(unsigned num_others) = 0;
+
+    /** Every data reference (feeds write-run-length tracking). */
+    virtual void dataRef(BlockNum block, CacheId cache,
+                         bool is_write) = 0;
+};
+
+/**
+ * The most specific event @p after counts that @p before did not:
+ * used to label a traced reference with its Table 4 classification
+ * (sub-events like WmBlkCln win over Write/WrtMiss).
+ */
+EventType mostSpecificNewEvent(const EventCounts &before,
+                               const EventCounts &after);
 
 } // namespace dirsim
 

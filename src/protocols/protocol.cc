@@ -51,7 +51,90 @@ CoherenceProtocol::onEviction(CacheId, BlockNum, CacheBlockState)
 }
 
 void
+CoherenceProtocol::attachTracer(ProtocolTraceSink *sink)
+{
+    traceSink = sink;
+    tracePeriod = sink != nullptr ? sink->samplePeriod() : 0;
+    traceCountdown = tracePeriod;
+}
+
+void
 CoherenceProtocol::read(CacheId cache, BlockNum block, bool first_ref)
+{
+#ifndef DIRSIM_NO_TRACER
+    if (traceSink != nullptr) {
+        tracedRef(cache, block, first_ref, false);
+        return;
+    }
+#endif
+    processRead(cache, block, first_ref);
+}
+
+void
+CoherenceProtocol::write(CacheId cache, BlockNum block, bool first_ref)
+{
+#ifndef DIRSIM_NO_TRACER
+    if (traceSink != nullptr) {
+        tracedRef(cache, block, first_ref, true);
+        return;
+    }
+#endif
+    processWrite(cache, block, first_ref);
+}
+
+#ifndef DIRSIM_NO_TRACER
+
+void
+CoherenceProtocol::tracedRef(CacheId cache, BlockNum block,
+                             bool first_ref, bool is_write)
+{
+    panicIfNot(cache < caches.size(), "cache id out of range");
+    traceSink->dataRef(block, cache, is_write);
+
+    bool sampled = false;
+    if (tracePeriod != 0 && --traceCountdown == 0) {
+        traceCountdown = tracePeriod;
+        sampled = true;
+    }
+    if (!sampled) {
+        if (is_write)
+            processWrite(cache, block, first_ref);
+        else
+            processRead(cache, block, first_ref);
+        return;
+    }
+
+    // Capture the transition around the reference. The snapshots are
+    // only taken on sampled references, so the cost scales with the
+    // sampling rate, not the trace length.
+    ProtocolTraceEvent event;
+    event.block = block;
+    event.cache = cache;
+    event.firstRef = first_ref;
+    event.stateBefore = caches[cache]->lookup(block);
+    event.othersBefore = classifyOthers(cache, block).numOthers;
+    const EventCounts events_before = eventCounts;
+    const OpCounts ops_before = opCounts;
+
+    if (is_write)
+        processWrite(cache, block, first_ref);
+    else
+        processRead(cache, block, first_ref);
+
+    event.stateAfter = caches[cache]->lookup(block);
+    event.othersAfter = classifyOthers(cache, block).numOthers;
+    event.type = mostSpecificNewEvent(events_before, eventCounts);
+    event.ops = opCounts;
+    event.ops.subtract(ops_before);
+    event.ref = eventCounts.totalRefs();
+    traceSink->emit(event);
+}
+
+#endif // DIRSIM_NO_TRACER
+
+void
+CoherenceProtocol::processRead(CacheId cache, BlockNum block,
+                               bool first_ref)
 {
     panicIfNot(cache < caches.size(), "cache id out of range");
     eventCounts.add(EventType::Read);
@@ -78,7 +161,8 @@ CoherenceProtocol::read(CacheId cache, BlockNum block, bool first_ref)
 }
 
 void
-CoherenceProtocol::write(CacheId cache, BlockNum block, bool first_ref)
+CoherenceProtocol::processWrite(CacheId cache, BlockNum block,
+                                bool first_ref)
 {
     panicIfNot(cache < caches.size(), "cache id out of range");
     eventCounts.add(EventType::Write);

@@ -75,6 +75,22 @@ class CoherenceProtocol
     /** Count an instruction fetch (never causes coherence traffic). */
     void instruction() { eventCounts.add(EventType::Instr); }
 
+    /**
+     * Attach a per-reference trace sink (nullptr detaches).
+     *
+     * While attached, every data reference additionally reports to
+     * the sink (ProtocolTraceSink in protocols/events.hh): dataRef()
+     * and cleanWriteSample() always, emit() at the sink's sampling
+     * period. Tracing never changes protocol state, event counts, or
+     * operation tallies — a traced run's SimResult is bit-identical
+     * to an untraced one (asserted by test). Compiled out entirely
+     * (and ignored) when DIRSIM_NO_TRACER is defined.
+     */
+    void attachTracer(ProtocolTraceSink *sink);
+
+    /** The currently attached trace sink (nullptr when none). */
+    ProtocolTraceSink *tracer() const { return traceSink; }
+
     EventCounts &events() { return eventCounts; }
     const EventCounts &events() const { return eventCounts; }
     const OpCounts &ops() const { return opCounts; }
@@ -171,6 +187,10 @@ class CoherenceProtocol
     void sampleCleanWrite(unsigned num_others)
     {
         cleanWriteHist.add(num_others);
+#ifndef DIRSIM_NO_TRACER
+        if (traceSink != nullptr)
+            traceSink->cleanWriteSample(num_others);
+#endif
     }
 
     EventCounts eventCounts;
@@ -181,11 +201,32 @@ class CoherenceProtocol
     void handleEviction(CacheId cache, BlockNum block,
                         CacheBlockState state);
 
+    /**
+     * The pre-tracer read()/write() bodies, verbatim: the public
+     * entry points dispatch straight here when no sink is attached,
+     * so the untraced hot path is unchanged.
+     */
+    void processRead(CacheId cache, BlockNum block, bool first_ref);
+    void processWrite(CacheId cache, BlockNum block, bool first_ref);
+
+#ifndef DIRSIM_NO_TRACER
+    /** The traced slow path: report, sample, capture, delegate. */
+    void tracedRef(CacheId cache, BlockNum block, bool first_ref,
+                   bool is_write);
+#endif
+
     std::vector<std::unique_ptr<CacheModel>> caches;
     /** block -> exact holder set, kept in sync by the helpers. */
     std::unordered_map<BlockNum, SharerSet> holderMap;
     Histogram cleanWriteHist;
     bool finiteMode = false;
+
+    /** Attached trace sink; nullptr (the default) costs one branch. */
+    ProtocolTraceSink *traceSink = nullptr;
+    /** Cached sink->samplePeriod(); 0 = no timeline events. */
+    unsigned tracePeriod = 0;
+    /** References until the next emit() (counts down from period). */
+    unsigned traceCountdown = 0;
 };
 
 } // namespace dirsim

@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <mutex>
+#include <thread>
 
 #include "common/env.hh"
 #include "common/logging.hh"
@@ -21,15 +22,49 @@ secondsSince(Clock::time_point start)
     return std::chrono::duration<double>(Clock::now() - start).count();
 }
 
+/** Opaque identity of the calling thread for timeline lanes. */
+std::uint64_t
+currentThreadTag()
+{
+    return static_cast<std::uint64_t>(
+        std::hash<std::thread::id>{}(std::this_thread::get_id()));
+}
+
+/**
+ * Attach a per-cell trace sink, when configured. The returned owner
+ * must live until the cell's simulation call returns; destroying it
+ * merges the session's data into its tracer.
+ */
+std::unique_ptr<ProtocolTraceSink>
+attachCellSink(const RunnerConfig::CellSinkFactory &make_sink,
+               const std::string &scheme, const std::string &trace,
+               SimConfig &sim)
+{
+    if (!make_sink)
+        return nullptr;
+    std::unique_ptr<ProtocolTraceSink> sink =
+        make_sink(scheme, trace);
+    if (sink)
+        sim.traceSink = sink.get();
+    return sink;
+}
+
 /** Simulate one cell and record its timing. */
 SimResult
 runCell(const SchemeSpec &scheme, const Trace &trace,
-        const SimConfig &sim, CellTiming &timing)
+        const SimConfig &sim,
+        const RunnerConfig::CellSinkFactory &make_sink,
+        CellTiming &timing)
 {
+    timing.startNs = PhaseTimer::nowNs();
+    timing.threadTag = currentThreadTag();
     const auto start = Clock::now();
-    SimResult result = simulateTrace(trace, scheme, sim);
     timing.scheme = scheme.name();
     timing.traceName = trace.name();
+    SimConfig cell_sim = sim;
+    const auto sink = attachCellSink(make_sink, timing.scheme,
+                                     timing.traceName, cell_sim);
+    SimResult result = simulateTrace(trace, scheme, cell_sim);
     timing.refs = trace.size();
     timing.wallSeconds = secondsSince(start);
     return result;
@@ -82,6 +117,7 @@ ExperimentRunner::resolvedJobs() const
 GridResult
 ExperimentRunner::runGridCells(
     std::size_t num_schemes, std::size_t num_traces,
+    std::uint64_t planned_refs,
     const std::function<SimResult(std::size_t, std::size_t,
                                   CellTiming &)> &cell) const
 {
@@ -93,15 +129,19 @@ ExperimentRunner::runGridCells(
         grid.schemes[s].perTrace.resize(num_traces);
 
     const auto start = Clock::now();
+    grid.startNs = PhaseTimer::nowNs();
 
     std::mutex progress_mutex;
     std::size_t completed = 0;
+    std::uint64_t completed_refs = 0;
     const auto finishCell = [&](std::size_t index) {
         if (!config.onCellComplete)
             return;
         std::lock_guard<std::mutex> lock(progress_mutex);
-        GridProgress progress{++completed, num_cells,
-                              grid.cells[index]};
+        completed_refs += grid.cells[index].refs;
+        GridProgress progress{++completed,         num_cells,
+                              grid.cells[index],   secondsSince(start),
+                              completed_refs,      planned_refs};
         config.onCellComplete(progress);
     };
 
@@ -145,10 +185,14 @@ ExperimentRunner::run(const std::vector<SchemeSpec> &schemes,
     fatalIf(schemes.empty(), "experiment grid with no schemes");
     fatalIf(traces.empty(), "experiment grid with no traces");
 
+    std::uint64_t trace_refs = 0;
+    for (const Trace &trace : traces)
+        trace_refs += trace.size();
     GridResult grid = runGridCells(
-        schemes.size(), traces.size(),
+        schemes.size(), traces.size(), trace_refs * schemes.size(),
         [&](std::size_t s, std::size_t t, CellTiming &timing) {
-            return runCell(schemes[s], traces[t], sim, timing);
+            return runCell(schemes[s], traces[t], sim,
+                           config.makeCellTraceSink, timing);
         });
     for (std::size_t s = 0; s < schemes.size(); ++s)
         grid.schemes[s].scheme = schemes[s].name();
@@ -173,14 +217,25 @@ ExperimentRunner::runFiles(const std::vector<SchemeSpec> &schemes,
         infos.push_back(scanTraceFile(path, sim.sharing));
     const std::uint64_t scan_ns = PhaseTimer::nowNs() - scan_start;
 
+    std::uint64_t trace_refs = 0;
+    for (const TraceFileInfo &info : infos)
+        trace_refs += info.records;
     GridResult grid = runGridCells(
         schemes.size(), tracePaths.size(),
+        trace_refs * schemes.size(),
         [&](std::size_t s, std::size_t t, CellTiming &timing) {
+            timing.startNs = PhaseTimer::nowNs();
+            timing.threadTag = currentThreadTag();
             const auto start = Clock::now();
-            SimResult result = simulateTraceFile(
-                tracePaths[t], schemes[s], sim, infos[t].caches);
             timing.scheme = schemes[s].name();
             timing.traceName = infos[t].name;
+            SimConfig cell_sim = sim;
+            const auto sink = attachCellSink(
+                config.makeCellTraceSink, timing.scheme,
+                timing.traceName, cell_sim);
+            SimResult result = simulateTraceFile(
+                tracePaths[t], schemes[s], cell_sim,
+                infos[t].caches);
             timing.refs = infos[t].records;
             timing.wallSeconds = secondsSince(start);
             return result;

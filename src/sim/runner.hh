@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -37,6 +38,13 @@ struct CellTiming
     /** References the cell simulated (trace records incl. fetches). */
     std::uint64_t refs = 0;
     double wallSeconds = 0.0;
+    /**
+     * Cell start on the PhaseTimer::nowNs() clock and an opaque tag
+     * of the worker thread that ran it — enough to lay the grid out
+     * on a per-worker timeline (obs/chrome_trace.hh).
+     */
+    std::uint64_t startNs = 0;
+    std::uint64_t threadTag = 0;
 
     /** Simulation throughput; 0 when the cell ran too fast to time. */
     double refsPerSecond() const
@@ -55,6 +63,31 @@ struct GridProgress
     std::size_t totalCells = 0;
     /** The cell that just finished. */
     const CellTiming &cell;
+    /** Wall time since the grid started. */
+    double elapsedSeconds = 0.0;
+    /** References simulated by the cells finished so far. */
+    std::uint64_t completedRefs = 0;
+    /** References the whole grid will simulate (known up front). */
+    std::uint64_t plannedRefs = 0;
+
+    /** Aggregate throughput so far; 0 until measurable. */
+    double refsPerSecond() const
+    {
+        return elapsedSeconds > 0.0
+            ? static_cast<double>(completedRefs) / elapsedSeconds
+            : 0.0;
+    }
+
+    /** Remaining-work estimate from the throughput so far; 0 when
+     *  unknown or done. */
+    double etaSeconds() const
+    {
+        const double rate = refsPerSecond();
+        if (rate <= 0.0 || plannedRefs <= completedRefs)
+            return 0.0;
+        return static_cast<double>(plannedRefs - completedRefs)
+            / rate;
+    }
 };
 
 /**
@@ -78,6 +111,20 @@ struct RunnerConfig
     ProgressCallback onCellComplete;
 
     /**
+     * Builds one per-cell trace sink (obs/tracer.hh sessions), keyed
+     * by (scheme, trace). Called once per cell on the worker thread
+     * that runs it; the sink is attached via SimConfig::traceSink
+     * for that cell only and destroyed (merging its data) when the
+     * cell finishes. Returning nullptr leaves the cell untraced.
+     */
+    using CellSinkFactory =
+        std::function<std::unique_ptr<ProtocolTraceSink>(
+            const std::string &scheme, const std::string &trace)>;
+
+    /** Optional per-cell tracer-session factory (empty = no tracing). */
+    CellSinkFactory makeCellTraceSink;
+
+    /**
      * The DIRSIM_JOBS environment override when set and non-zero,
      * otherwise the hardware thread count.
      */
@@ -96,6 +143,8 @@ struct GridResult
     std::vector<CellTiming> cells;
     /** End-to-end wall time of the grid. */
     double wallSeconds = 0.0;
+    /** Grid start on the PhaseTimer::nowNs() clock (timeline zero). */
+    std::uint64_t startNs = 0;
     /** Worker threads actually used. */
     unsigned jobs = 1;
     /**
@@ -173,9 +222,12 @@ class ExperimentRunner
     unsigned resolvedJobs() const;
 
   private:
-    /** Shared grid scaffolding: cells(s, t) fills one SimResult. */
+    /** Shared grid scaffolding: cells(s, t) fills one SimResult.
+     *  @param planned_refs total references the grid will simulate,
+     *         reported through GridProgress */
     GridResult runGridCells(
         std::size_t num_schemes, std::size_t num_traces,
+        std::uint64_t planned_refs,
         const std::function<SimResult(std::size_t, std::size_t,
                                       CellTiming &)> &cell) const;
 

@@ -107,6 +107,9 @@ simulateRecords(Source &&source, const std::string &trace_name,
             "FiniteCache factory or use a scheme-building "
             "simulateTrace overload");
 
+    if (config.traceSink != nullptr)
+        protocol.attachTracer(config.traceSink);
+
     CacheMapper mapper(config.sharing, protocol.numCaches());
     std::unordered_set<BlockNum> seen_blocks;
     std::uint64_t data_refs = 0;

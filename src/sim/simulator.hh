@@ -70,6 +70,17 @@ struct SimConfig
     std::optional<FiniteCacheConfig> finiteCache;
 
     /**
+     * When set, the protocol reports every data reference to this
+     * sink (CoherenceProtocol::attachTracer): distribution callbacks
+     * always, full transition events at the sink's sampling period.
+     * Observation only — results are bit-identical with or without a
+     * sink. Not serialized into manifests; the caller owns the
+     * sink's lifetime (it must outlive the simulation call). Ignored
+     * in DIRSIM_NO_TRACER builds.
+     */
+    ProtocolTraceSink *traceSink = nullptr;
+
+    /**
      * Apply the DIRSIM_BLOCK_BYTES / DIRSIM_WARMUP_REFS /
      * DIRSIM_SHARING ("process" or "processor") environment
      * overrides, if set — the SimConfig counterpart of

@@ -185,6 +185,42 @@ TEST(GridMetricsTest, NamesFollowTheDocumentedScheme)
     EXPECT_GT(metrics.gauge("runner.grid.refs_per_second"), 0.0);
 }
 
+TEST(GridMetricsTest, DottedTraceNamesAreEscapedIntoOneSegment)
+{
+    // Regression: a trace named like a file ("app.bin") used to
+    // split the "sim.<trace>.<scheme>" namespace at its '.' and
+    // collide with genuinely nested names.
+    Trace trace = generateTrace("pops", 15'000, 3);
+    trace.setName("app.bin");
+    RunnerConfig sequential;
+    sequential.jobs = 1;
+    const ExperimentRunner runner(sequential);
+    const GridResult grid =
+        runner.run(kSchemes, std::vector<Trace>{trace});
+    const MetricRegistry metrics = gridMetrics(grid);
+
+    EXPECT_GT(metrics.counter("sim.app_bin.Dir0B.refs"), 0u);
+    EXPECT_FALSE(metrics.has("sim.app.bin.Dir0B.refs"));
+}
+
+TEST(RunWithArtifactsTest, ExtraMetricsLandInTheMetricsRecord)
+{
+    std::ostringstream os;
+    JsonlSink sink(os);
+    const ExperimentRunner runner;
+    runWithArtifacts(runner, kSchemes, smallTraces(), SimConfig{},
+                     sink, [](MetricRegistry &metrics) {
+                         metrics.add("trace.dist.test.samples", 41);
+                     });
+    std::istringstream in(os.str());
+    const RunArtifacts artifacts = loadArtifacts(in);
+    ASSERT_TRUE(artifacts.hasMetrics);
+    EXPECT_EQ(artifacts.metrics.counter("trace.dist.test.samples"),
+              41u);
+    // The grid's own metrics are still there alongside.
+    EXPECT_GT(artifacts.metrics.counter("sim.pops.Dir0B.refs"), 0u);
+}
+
 TEST(LoadArtifactsTest, MalformedLineReportsItsNumber)
 {
     std::istringstream in("{\"kind\":\"future-thing\",\"x\":1}\n"

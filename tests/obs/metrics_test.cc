@@ -170,5 +170,36 @@ TEST(MetricRegistryTest, JsonRoundTrip)
               (TimerStats{2, 16, 7, 9}));
 }
 
+TEST(MetricRegistryTest, EscapeSegmentNeutralizesSeparators)
+{
+    // A '.' inside a segment would split the dotted hierarchy and
+    // collide with genuinely nested names; escaping folds it (and
+    // every other illegal character) to '_'.
+    EXPECT_EQ(MetricRegistry::escapeSegment("app.bin"), "app_bin");
+    EXPECT_EQ(MetricRegistry::escapeSegment("Dir1NB"), "Dir1NB");
+    EXPECT_EQ(MetricRegistry::escapeSegment("ok-name_1"),
+              "ok-name_1");
+    EXPECT_EQ(MetricRegistry::escapeSegment("a b/c"), "a_b_c");
+    EXPECT_EQ(MetricRegistry::escapeSegment(""), "_");
+
+    // The escaped form always passes name validation as a segment.
+    MetricRegistry metrics;
+    metrics.add("sim." + MetricRegistry::escapeSegment("x.y/z")
+                + ".refs");
+    EXPECT_TRUE(metrics.has("sim.x_y_z.refs"));
+}
+
+TEST(MetricRegistryTest, EscapedSegmentsCannotCollideAcrossDots)
+{
+    // Regression: trace "a.b" + scheme "c" must not produce the same
+    // name as trace "a" + scheme "b.c" (both would be "sim.a.b.c").
+    const auto name = [](const std::string &trace,
+                         const std::string &scheme) {
+        return "sim." + MetricRegistry::escapeSegment(trace) + "."
+            + MetricRegistry::escapeSegment(scheme);
+    };
+    EXPECT_NE(name("a.b", "c"), name("a", "b.c"));
+}
+
 } // namespace
 } // namespace dirsim

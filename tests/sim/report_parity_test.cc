@@ -11,6 +11,8 @@
 #include <cstdio>
 #include <sstream>
 
+#include <unistd.h>
+
 #include <gtest/gtest.h>
 
 #include "bus/bus_model.hh"
@@ -43,8 +45,12 @@ state()
         params.seed = 13;
         std::vector<std::string> paths;
         for (const Trace &trace : standardSuite(params)) {
+            // Each discovered test is its own process re-running
+            // this fixture, so the scratch files must be unique per
+            // process or parallel ctest invocations race on them.
             const std::string path = testing::TempDir() + "/parity_"
-                + trace.name() + ".trace";
+                + std::to_string(::getpid()) + "_" + trace.name()
+                + ".trace";
             writeBinaryTraceFile(trace, path);
             paths.push_back(path);
         }

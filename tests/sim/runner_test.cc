@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <mutex>
 #include <cstdlib>
 #include <vector>
 
@@ -132,6 +133,63 @@ TEST(RunnerTest, ProgressCallbackFiresOncePerCell)
             std::vector<std::string>{"Dir0B", "WTI"}, traces);
     EXPECT_EQ(calls.load(), 2 * traces.size());
     EXPECT_EQ(max_completed.load(), 2 * traces.size());
+}
+
+TEST(RunnerTest, ProgressCarriesThroughputTelemetry)
+{
+    const auto traces = smallSuite();
+    std::uint64_t trace_refs = 0;
+    for (const Trace &trace : traces)
+        trace_refs += trace.size();
+    const std::uint64_t planned = 2 * trace_refs;
+
+    std::mutex mutex;
+    std::uint64_t last_completed_refs = 0;
+    std::size_t calls = 0;
+    bool final_seen = false;
+    RunnerConfig config;
+    config.jobs = 2;
+    config.onCellComplete = [&](const GridProgress &progress) {
+        std::lock_guard<std::mutex> lock(mutex);
+        ++calls;
+        EXPECT_EQ(progress.plannedRefs, planned);
+        // completedRefs accumulates monotonically (calls are
+        // serialized) and always includes the finished cell.
+        EXPECT_GT(progress.completedRefs, last_completed_refs);
+        EXPECT_GE(progress.completedRefs, progress.cell.refs);
+        EXPECT_LE(progress.completedRefs, planned);
+        last_completed_refs = progress.completedRefs;
+        EXPECT_GE(progress.elapsedSeconds, 0.0);
+        if (progress.elapsedSeconds > 0.0)
+            EXPECT_GT(progress.refsPerSecond(), 0.0);
+        if (progress.completedCells == progress.totalCells) {
+            final_seen = true;
+            // Everything planned was simulated; nothing remains.
+            EXPECT_EQ(progress.completedRefs, planned);
+            EXPECT_DOUBLE_EQ(progress.etaSeconds(), 0.0);
+        } else if (progress.refsPerSecond() > 0.0) {
+            EXPECT_GT(progress.etaSeconds(), 0.0);
+        }
+    };
+    ExperimentRunner(config).run(
+        std::vector<std::string>{"Dir0B", "WTI"}, traces);
+    EXPECT_EQ(calls, 2 * traces.size());
+    EXPECT_TRUE(final_seen);
+}
+
+TEST(RunnerTest, CellTimingsCarryTimelineCoordinates)
+{
+    const auto traces = smallSuite();
+    RunnerConfig config;
+    config.jobs = 1;
+    const GridResult grid = ExperimentRunner(config).run(
+        std::vector<std::string>{"Dir0B"}, traces);
+    EXPECT_GT(grid.startNs, 0u);
+    for (const CellTiming &cell : grid.cells) {
+        EXPECT_GE(cell.startNs, grid.startNs);
+        // Sequential run: every cell on the calling thread's lane.
+        EXPECT_EQ(cell.threadTag, grid.cells[0].threadTag);
+    }
 }
 
 TEST(RunnerTest, CellErrorsPropagateFromWorkers)

@@ -12,6 +12,8 @@
 #include <string>
 #include <vector>
 
+#include <unistd.h>
+
 #include "common/logging.hh"
 #include "sim/runner.hh"
 #include "sim/suite.hh"
@@ -52,8 +54,11 @@ writeSuiteFiles(const std::vector<Trace> &traces)
 {
     std::vector<std::string> paths;
     for (const auto &trace : traces) {
-        const std::string path =
-            testing::TempDir() + "/streaming_" + trace.name()
+        // Each discovered test is its own process; suffix the pid so
+        // parallel ctest invocations don't race on shared scratch
+        // files.
+        const std::string path = testing::TempDir() + "/streaming_"
+            + std::to_string(::getpid()) + "_" + trace.name()
             + ".trace";
         writeBinaryTraceFile(trace, path);
         paths.push_back(path);
@@ -80,8 +85,8 @@ TEST(StreamingSimTest, FileStreamingIsBitIdenticalToInMemory)
 TEST(StreamingSimTest, TextContainerStreamsIdenticallyToo)
 {
     const auto traces = smallSuite();
-    const std::string path =
-        testing::TempDir() + "/streaming_text.txt";
+    const std::string path = testing::TempDir() + "/streaming_text_"
+        + std::to_string(::getpid()) + ".txt";
     writeTextTraceFile(traces[0], path);
     expectIdentical(simulateTraceFile(path, "Dir1NB"),
                     simulateTrace(traces[0], "Dir1NB"));
@@ -161,7 +166,8 @@ TEST(StreamingSimTest, MissingOrCorruptFilesFailCleanly)
 {
     EXPECT_THROW(simulateTraceFile("/nonexistent/x.trace", "Dir0B"),
                  UsageError);
-    const std::string path = testing::TempDir() + "/streaming_bad.txt";
+    const std::string path = testing::TempDir() + "/streaming_bad_"
+        + std::to_string(::getpid()) + ".txt";
     writeTextTraceFile(smallSuite()[0], path);
     // Corrupt the file: append a bogus record line.
     {
