@@ -1,14 +1,18 @@
 /**
  * @file
  * google-benchmark microbenchmarks: trace-generation and simulation
- * throughput (references per second) for every scheme, plus the
- * parallel experiment runner at several job counts (BM_RunGrid/1 is
- * the sequential baseline; the default-jobs run should approach a
- * jobs-fold speedup on an idle multi-core host).
+ * throughput (references per second) for every scheme, the trace
+ * decode pass (BM_Decode), decoded-vs-legacy single-cell simulation
+ * (BM_Simulate vs BM_SimulateDecoded), plus the parallel experiment
+ * runner at several job counts (BM_RunGrid/1 is the sequential
+ * baseline; the default-jobs run should approach a jobs-fold speedup
+ * on an idle multi-core host). BM_RunGrid uses the decode-once dense
+ * pipeline (the production default); BM_RunGridLegacy pins the
+ * sparse engine for before/after comparison.
  *
  * After the microbenchmarks, one timed paper grid is recorded as
  * structured artifacts (manifest + per-cell throughput metrics,
- * obs/sink.hh) to BENCH_4.json — the repo's perf trajectory file.
+ * obs/sink.hh) to BENCH_5.json — the repo's perf trajectory file.
  * DIRSIM_BENCH_JSON overrides the destination; set it to an empty
  * string to skip the grid entirely.
  */
@@ -67,6 +71,40 @@ BENCHMARK_CAPTURE(BM_Simulate, dirnnb, "DirNNB");
 BENCHMARK_CAPTURE(BM_Simulate, berkeley, "Berkeley");
 BENCHMARK_CAPTURE(BM_Simulate, dir2b, "Dir2B");
 
+void
+BM_Decode(benchmark::State &state)
+{
+    const Trace &trace = benchTrace();
+    for (auto _ : state) {
+        const DecodedTrace decoded = decodeTrace(
+            trace, defaultBlockBytes, SharingModel::ByProcess);
+        benchmark::DoNotOptimize(decoded.numRecords());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(trace.size()));
+}
+BENCHMARK(BM_Decode);
+
+void
+BM_SimulateDecoded(benchmark::State &state, const char *scheme)
+{
+    const Trace &trace = benchTrace();
+    const DecodedTrace decoded = decodeTrace(
+        trace, defaultBlockBytes, SharingModel::ByProcess);
+    for (auto _ : state) {
+        const SimResult result = simulateTrace(decoded, scheme);
+        benchmark::DoNotOptimize(result.totalRefs);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(trace.size()));
+}
+BENCHMARK_CAPTURE(BM_SimulateDecoded, dir1nb, "Dir1NB");
+BENCHMARK_CAPTURE(BM_SimulateDecoded, dir0b, "Dir0B");
+BENCHMARK_CAPTURE(BM_SimulateDecoded, dragon, "Dragon");
+BENCHMARK_CAPTURE(BM_SimulateDecoded, dirnnb, "DirNNB");
+
 const std::vector<Trace> &
 gridSuite()
 {
@@ -80,11 +118,12 @@ gridSuite()
 }
 
 void
-BM_RunGrid(benchmark::State &state)
+runGridBench(benchmark::State &state, bool decode)
 {
     // Arg 0 = default concurrency (DIRSIM_JOBS / hardware threads).
     RunnerConfig config;
     config.jobs = static_cast<unsigned>(state.range(0));
+    config.decode = decode;
     const ExperimentRunner runner(config);
     std::uint64_t grid_refs = 0;
     for (auto _ : state) {
@@ -97,8 +136,26 @@ BM_RunGrid(benchmark::State &state)
         static_cast<std::int64_t>(state.iterations()) *
         static_cast<std::int64_t>(grid_refs));
 }
+
+/** The production pipeline: decode-once streams + dense arenas. */
+void
+BM_RunGrid(benchmark::State &state)
+{
+    runGridBench(state, true);
+}
 BENCHMARK(BM_RunGrid)
     ->Arg(1)->Arg(2)->Arg(4)->Arg(0)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+/** The pre-decode sparse engine, kept for before/after comparison. */
+void
+BM_RunGridLegacy(benchmark::State &state)
+{
+    runGridBench(state, false);
+}
+BENCHMARK(BM_RunGridLegacy)
+    ->Arg(1)->Arg(0)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
@@ -129,7 +186,7 @@ main(int argc, char **argv)
 
     const char *override_path = std::getenv("DIRSIM_BENCH_JSON");
     const std::string out =
-        override_path ? override_path : "BENCH_4.json";
+        override_path ? override_path : "BENCH_5.json";
     if (out.empty())
         return 0;
     try {

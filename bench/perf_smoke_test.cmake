@@ -1,0 +1,27 @@
+# Perf-smoke regression gate: run the perf_simulator paper grid once
+# (a never-matching --benchmark_filter skips the microbenchmarks) and
+# compare the measured runner.grid.refs_per_second against the
+# committed baseline via bench/compare_bench.py. The threshold is
+# deliberately generous — the gate exists to catch hot-path
+# regressions (an accidental sparse fallback, a per-reference
+# allocation), not scheduler noise on a loaded host.
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E env
+        DIRSIM_BENCH_JSON=${WORKDIR}/perf_smoke.jsonl
+        ${BENCH} --benchmark_filter=^$
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "perf_simulator failed (${rc})")
+endif()
+
+execute_process(
+    COMMAND ${PYTHON} ${COMPARE}
+        ${BASELINE} ${WORKDIR}/perf_smoke.jsonl --threshold 0.5
+    RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+message(STATUS "${out}${err}")
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+        "grid throughput regressed vs the committed baseline "
+        "(rc=${rc}); rerun on an idle host, then investigate the "
+        "decode/dense hot path before updating BENCH_5.json")
+endif()

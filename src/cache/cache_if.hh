@@ -78,6 +78,19 @@ class CacheModel
     virtual void touch(BlockNum block) { (void)block; }
 
     /**
+     * Announce that every future block key lies in
+     * [0, @p block_count), inviting the cache to switch to dense
+     * (array-indexed) storage. The cache must be empty. Optional:
+     * the default keeps whatever storage the cache already uses, so
+     * sparse implementations stay correct — dense keys are ordinary
+     * block numbers to them.
+     */
+    virtual void reserveBlocks(std::uint64_t block_count)
+    {
+        (void)block_count;
+    }
+
+    /**
      * Register the hook invoked when replacement evicts a block.
      * No-op for caches that never evict.
      */

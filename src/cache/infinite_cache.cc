@@ -8,6 +8,8 @@ namespace dirsim
 CacheBlockState
 InfiniteCache::lookup(BlockNum block) const
 {
+    if (denseMode)
+        return block < dense.size() ? dense[block] : stateNotPresent;
     const auto it = blocks.find(block);
     return it == blocks.end() ? stateNotPresent : it->second;
 }
@@ -17,6 +19,17 @@ InfiniteCache::set(BlockNum block, CacheBlockState state)
 {
     panicIfNot(state != stateNotPresent,
                "InfiniteCache::set with the reserved not-present state");
+    if (denseMode) {
+        panicIfNot(block < dense.size(),
+                   "InfiniteCache::set: block ", block,
+                   " outside the reserved dense arena of ",
+                   dense.size(), " blocks");
+        CacheBlockState &slot = dense[block];
+        const bool inserted = slot == stateNotPresent;
+        slot = state;
+        denseResident += inserted ? 1 : 0;
+        return inserted;
+    }
     const auto [it, inserted] = blocks.insert_or_assign(block, state);
     (void)it;
     return inserted;
@@ -25,6 +38,14 @@ InfiniteCache::set(BlockNum block, CacheBlockState state)
 CacheBlockState
 InfiniteCache::invalidate(BlockNum block)
 {
+    if (denseMode) {
+        if (block >= dense.size())
+            return stateNotPresent;
+        const CacheBlockState old = dense[block];
+        dense[block] = stateNotPresent;
+        denseResident -= old != stateNotPresent ? 1 : 0;
+        return old;
+    }
     const auto it = blocks.find(block);
     if (it == blocks.end())
         return stateNotPresent;
@@ -33,12 +54,45 @@ InfiniteCache::invalidate(BlockNum block)
     return old;
 }
 
+std::size_t
+InfiniteCache::residentBlocks() const
+{
+    return denseMode ? denseResident : blocks.size();
+}
+
+void
+InfiniteCache::clear()
+{
+    if (denseMode) {
+        std::fill(dense.begin(), dense.end(), stateNotPresent);
+        denseResident = 0;
+        return;
+    }
+    blocks.clear();
+}
+
 void
 InfiniteCache::forEach(
     const std::function<void(BlockNum, CacheBlockState)> &fn) const
 {
+    if (denseMode) {
+        for (BlockNum block = 0; block < dense.size(); ++block) {
+            if (dense[block] != stateNotPresent)
+                fn(block, dense[block]);
+        }
+        return;
+    }
     for (const auto &[block, state] : blocks)
         fn(block, state);
+}
+
+void
+InfiniteCache::reserveBlocks(std::uint64_t block_count)
+{
+    panicIfNot(blocks.empty() && denseResident == 0,
+               "InfiniteCache::reserveBlocks on a non-empty cache");
+    dense.assign(block_count, stateNotPresent);
+    denseMode = true;
 }
 
 } // namespace dirsim

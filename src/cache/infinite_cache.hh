@@ -9,13 +9,22 @@
 #define DIRSIM_CACHE_INFINITE_CACHE_HH
 
 #include <unordered_map>
+#include <vector>
 
 #include "cache/cache_if.hh"
 
 namespace dirsim
 {
 
-/** Unbounded block-state store; see CacheModel for semantics. */
+/**
+ * Unbounded block-state store; see CacheModel for semantics.
+ *
+ * Two storage backends share one interface: the default sparse hash
+ * map keyed by arbitrary block numbers, and — after reserveBlocks() —
+ * a flat state array indexed directly by densified block indices
+ * (sim/decoded.hh), which turns every lookup into a single load on
+ * the simulation hot path.
+ */
 class InfiniteCache : public CacheModel
 {
   public:
@@ -24,14 +33,22 @@ class InfiniteCache : public CacheModel
     CacheBlockState lookup(BlockNum block) const override;
     bool set(BlockNum block, CacheBlockState state) override;
     CacheBlockState invalidate(BlockNum block) override;
-    std::size_t residentBlocks() const override { return blocks.size(); }
-    void clear() override { blocks.clear(); }
+    std::size_t residentBlocks() const override;
+    void clear() override;
     void forEach(
         const std::function<void(BlockNum, CacheBlockState)> &fn)
         const override;
+    void reserveBlocks(std::uint64_t block_count) override;
+
+    /** True once reserveBlocks() switched to the flat array. */
+    bool denseStorage() const { return denseMode; }
 
   private:
     std::unordered_map<BlockNum, CacheBlockState> blocks;
+    /** Dense backend: state per block index, 0 = not resident. */
+    std::vector<CacheBlockState> dense;
+    std::size_t denseResident = 0;
+    bool denseMode = false;
 };
 
 } // namespace dirsim

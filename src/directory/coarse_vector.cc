@@ -105,6 +105,13 @@ CoarseVectorDirectory::CoarseVectorDirectory(unsigned num_caches_arg)
 CoarseVectorDirectory::Entry &
 CoarseVectorDirectory::entry(BlockNum block)
 {
+    if (denseMode) {
+        panicIfNot(block < dense.size(),
+                   "CoarseVectorDirectory: block ", block,
+                   " outside the dense arena of ", dense.size(),
+                   " blocks");
+        return dense[block];
+    }
     const auto it = entries.find(block);
     if (it != entries.end())
         return it->second;
@@ -114,8 +121,20 @@ CoarseVectorDirectory::entry(BlockNum block)
 const CoarseVectorDirectory::Entry *
 CoarseVectorDirectory::find(BlockNum block) const
 {
+    if (denseMode)
+        return block < dense.size() ? &dense[block] : nullptr;
     const auto it = entries.find(block);
     return it == entries.end() ? nullptr : &it->second;
+}
+
+void
+CoarseVectorDirectory::reserveDense(std::uint64_t block_count)
+{
+    panicIfNot(entries.empty() && !denseMode,
+               "CoarseVectorDirectory::reserveDense on a touched "
+               "directory");
+    dense.assign(block_count, Entry(caches));
+    denseMode = true;
 }
 
 } // namespace dirsim

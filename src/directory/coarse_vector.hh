@@ -74,6 +74,10 @@ class CoarseVector
 /**
  * A directory whose entries keep a dirty bit plus a CoarseVector, for
  * the Section 6 limited-broadcast evaluation.
+ *
+ * reserveDense() pre-materializes one entry per densified block index
+ * (see FullMapDirectory::reserveDense), turning entry access into an
+ * array load for decode-once simulation streams.
  */
 class CoarseVectorDirectory
 {
@@ -91,9 +95,17 @@ class CoarseVectorDirectory
     const Entry *find(BlockNum block) const;
     unsigned numCaches() const { return caches; }
 
+    /** Switch to dense entry storage; see FullMapDirectory. */
+    void reserveDense(std::uint64_t block_count);
+
+    /** True once reserveDense() switched to the arena. */
+    bool denseStorage() const { return denseMode; }
+
   private:
     unsigned caches;
     std::unordered_map<BlockNum, Entry> entries;
+    std::vector<Entry> dense;
+    bool denseMode = false;
 };
 
 } // namespace dirsim

@@ -14,6 +14,13 @@ FullMapDirectory::FullMapDirectory(unsigned num_caches_arg)
 FullMapEntry &
 FullMapDirectory::entry(BlockNum block)
 {
+    if (denseMode) {
+        panicIfNot(block < dense.size(),
+                   "FullMapDirectory: block ", block,
+                   " outside the dense arena of ", dense.size(),
+                   " blocks");
+        return dense[block];
+    }
     const auto it = entries.find(block);
     if (it != entries.end())
         return it->second;
@@ -23,6 +30,8 @@ FullMapDirectory::entry(BlockNum block)
 const FullMapEntry *
 FullMapDirectory::find(BlockNum block) const
 {
+    if (denseMode)
+        return block < dense.size() ? &dense[block] : nullptr;
     const auto it = entries.find(block);
     return it == entries.end() ? nullptr : &it->second;
 }
@@ -30,12 +39,23 @@ FullMapDirectory::find(BlockNum block) const
 void
 FullMapDirectory::compact()
 {
+    if (denseMode)
+        return; // the arena is the memory bound
     for (auto it = entries.begin(); it != entries.end();) {
         if (!it->second.dirty && it->second.sharers.empty())
             it = entries.erase(it);
         else
             ++it;
     }
+}
+
+void
+FullMapDirectory::reserveDense(std::uint64_t block_count)
+{
+    panicIfNot(entries.empty() && !denseMode,
+               "FullMapDirectory::reserveDense on a touched directory");
+    dense.assign(block_count, FullMapEntry(caches));
+    denseMode = true;
 }
 
 } // namespace dirsim

@@ -9,6 +9,7 @@
 #define DIRSIM_DIRECTORY_FULL_MAP_HH
 
 #include <unordered_map>
+#include <vector>
 
 #include "directory/sharer_set.hh"
 
@@ -39,6 +40,11 @@ struct FullMapEntry
  * "block not cached anywhere", so untouched memory costs nothing at
  * simulation time (the storage calculators in directory/storage.hh
  * account for the real per-block hardware cost).
+ *
+ * reserveDense() switches to a dense arena indexed directly by block
+ * number, for decode-once simulation streams whose block keys are
+ * densified indices in [0, block_count) (sim/decoded.hh): entry
+ * access then costs one array load instead of a hash probe.
  */
 class FullMapDirectory
 {
@@ -55,14 +61,29 @@ class FullMapDirectory
     unsigned numCaches() const { return caches; }
 
     /** Number of blocks with directory state materialized. */
-    std::size_t trackedBlocks() const { return entries.size(); }
+    std::size_t trackedBlocks() const
+    {
+        return denseMode ? dense.size() : entries.size();
+    }
 
     /** Drop empty (uncached, clean) entries to bound memory. */
     void compact();
 
+    /**
+     * Switch to dense storage: pre-materialize one clean/uncached
+     * entry per block in [0, @p block_count). Must be called before
+     * any entry is touched.
+     */
+    void reserveDense(std::uint64_t block_count);
+
+    /** True once reserveDense() switched to the arena. */
+    bool denseStorage() const { return denseMode; }
+
   private:
     unsigned caches;
     std::unordered_map<BlockNum, FullMapEntry> entries;
+    std::vector<FullMapEntry> dense;
+    bool denseMode = false;
 };
 
 } // namespace dirsim

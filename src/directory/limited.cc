@@ -73,6 +73,13 @@ LimitedDirectory::LimitedDirectory(unsigned num_pointers_arg,
 LimitedEntry &
 LimitedDirectory::entry(BlockNum block)
 {
+    if (denseMode) {
+        panicIfNot(block < dense.size(),
+                   "LimitedDirectory: block ", block,
+                   " outside the dense arena of ", dense.size(),
+                   " blocks");
+        return dense[block];
+    }
     const auto it = entries.find(block);
     if (it != entries.end())
         return it->second;
@@ -84,8 +91,20 @@ LimitedDirectory::entry(BlockNum block)
 const LimitedEntry *
 LimitedDirectory::find(BlockNum block) const
 {
+    if (denseMode)
+        return block < dense.size() ? &dense[block] : nullptr;
     const auto it = entries.find(block);
     return it == entries.end() ? nullptr : &it->second;
+}
+
+void
+LimitedDirectory::reserveDense(std::uint64_t block_count)
+{
+    panicIfNot(entries.empty() && !denseMode,
+               "LimitedDirectory::reserveDense on a touched directory");
+    dense.assign(block_count,
+                 LimitedEntry(numPointers, allowBroadcast));
+    denseMode = true;
 }
 
 } // namespace dirsim

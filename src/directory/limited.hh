@@ -94,7 +94,13 @@ class LimitedEntry
     std::vector<CacheId> pointers; // FIFO, oldest first
 };
 
-/** Sparse map of LimitedEntry by block, mirroring FullMapDirectory. */
+/**
+ * Sparse map of LimitedEntry by block, mirroring FullMapDirectory.
+ *
+ * reserveDense() pre-materializes one entry per densified block index
+ * (see FullMapDirectory::reserveDense), turning entry access into an
+ * array load for decode-once simulation streams.
+ */
 class LimitedDirectory
 {
   public:
@@ -106,15 +112,26 @@ class LimitedDirectory
 
     LimitedEntry &entry(BlockNum block);
     const LimitedEntry *find(BlockNum block) const;
-    std::size_t trackedBlocks() const { return entries.size(); }
+    std::size_t trackedBlocks() const
+    {
+        return denseMode ? dense.size() : entries.size();
+    }
 
     unsigned pointerBudget() const { return numPointers; }
     bool broadcastAllowed() const { return allowBroadcast; }
+
+    /** Switch to dense entry storage; see FullMapDirectory. */
+    void reserveDense(std::uint64_t block_count);
+
+    /** True once reserveDense() switched to the arena. */
+    bool denseStorage() const { return denseMode; }
 
   private:
     unsigned numPointers;
     bool allowBroadcast;
     std::unordered_map<BlockNum, LimitedEntry> entries;
+    std::vector<LimitedEntry> dense;
+    bool denseMode = false;
 };
 
 } // namespace dirsim

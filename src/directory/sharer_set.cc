@@ -70,6 +70,22 @@ SharerSet::first() const
     panic("SharerSet::first on an empty set");
 }
 
+CacheId
+SharerSet::lastExcluding(CacheId excluded) const
+{
+    for (std::size_t w = words.size(); w-- > 0;) {
+        std::uint64_t word = words[w];
+        if (excluded / 64 == w)
+            word &= ~(std::uint64_t{1} << (excluded % 64));
+        if (word != 0) {
+            return static_cast<CacheId>(
+                w * 64 + 63
+                - static_cast<unsigned>(std::countl_zero(word)));
+        }
+    }
+    return invalidCacheId;
+}
+
 void
 SharerSet::clear()
 {

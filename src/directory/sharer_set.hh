@@ -51,6 +51,15 @@ class SharerSet
     /** Lowest-numbered member; panics when empty. */
     CacheId first() const;
 
+    /**
+     * Highest-numbered member other than @p excluded, or
+     * invalidCacheId when no such member exists. This is the member a
+     * full ascending visit would report last, which is what the
+     * engine's dense classifyOthers fast path needs to match the
+     * sparse survey bit-for-bit.
+     */
+    CacheId lastExcluding(CacheId excluded) const;
+
     /** Remove every member. */
     void clear();
 

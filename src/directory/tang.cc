@@ -15,6 +15,14 @@ void
 TangDirectory::recordFill(CacheId cache, BlockNum block)
 {
     panicIfNot(cache < dupTags.size(), "cache id out of range");
+    if (denseMode) {
+        panicIfNot(block < denseTags[cache].size(),
+                   "TangDirectory: block ", block,
+                   " outside the dense arena of ",
+                   denseTags[cache].size(), " blocks");
+        denseTags[cache][block] = tagClean;
+        return;
+    }
     dupTags[cache][block] = false;
 }
 
@@ -22,6 +30,13 @@ void
 TangDirectory::recordDirty(CacheId cache, BlockNum block)
 {
     panicIfNot(cache < dupTags.size(), "cache id out of range");
+    if (denseMode) {
+        panicIfNot(block < denseTags[cache].size()
+                       && denseTags[cache][block] != tagAbsent,
+                   "recordDirty for a block the cache does not hold");
+        denseTags[cache][block] = tagDirty;
+        return;
+    }
     const auto it = dupTags[cache].find(block);
     panicIfNot(it != dupTags[cache].end(),
                "recordDirty for a block the cache does not hold");
@@ -32,6 +47,13 @@ void
 TangDirectory::recordClean(CacheId cache, BlockNum block)
 {
     panicIfNot(cache < dupTags.size(), "cache id out of range");
+    if (denseMode) {
+        panicIfNot(block < denseTags[cache].size()
+                       && denseTags[cache][block] != tagAbsent,
+                   "recordClean for a block the cache does not hold");
+        denseTags[cache][block] = tagClean;
+        return;
+    }
     const auto it = dupTags[cache].find(block);
     panicIfNot(it != dupTags[cache].end(),
                "recordClean for a block the cache does not hold");
@@ -42,6 +64,11 @@ void
 TangDirectory::recordInvalidate(CacheId cache, BlockNum block)
 {
     panicIfNot(cache < dupTags.size(), "cache id out of range");
+    if (denseMode) {
+        if (block < denseTags[cache].size())
+            denseTags[cache][block] = tagAbsent;
+        return;
+    }
     dupTags[cache].erase(block);
 }
 
@@ -50,6 +77,23 @@ TangDirectory::search(BlockNum block) const
 {
     SearchResult result;
     result.holders = SharerSet(numCaches());
+    if (denseMode) {
+        for (CacheId cache = 0; cache < denseTags.size(); ++cache) {
+            const std::uint8_t slot =
+                block < denseTags[cache].size()
+                    ? denseTags[cache][block]
+                    : tagAbsent;
+            if (slot == tagAbsent)
+                continue;
+            result.holders.add(cache);
+            if (slot == tagDirty) {
+                panicIfNot(result.dirtyOwner == invalidCacheId,
+                           "two caches hold block ", block, " dirty");
+                result.dirtyOwner = cache;
+            }
+        }
+        return result;
+    }
     for (CacheId cache = 0; cache < dupTags.size(); ++cache) {
         const auto it = dupTags[cache].find(block);
         if (it == dupTags[cache].end())
@@ -62,6 +106,19 @@ TangDirectory::search(BlockNum block) const
         }
     }
     return result;
+}
+
+void
+TangDirectory::reserveDense(std::uint64_t block_count)
+{
+    for (const auto &tags : dupTags)
+        panicIfNot(tags.empty(),
+                   "TangDirectory::reserveDense on a touched directory");
+    panicIfNot(!denseMode,
+               "TangDirectory::reserveDense called twice");
+    denseTags.assign(dupTags.size(),
+                     std::vector<std::uint8_t>(block_count, tagAbsent));
+    denseMode = true;
 }
 
 } // namespace dirsim

@@ -11,6 +11,7 @@
 #ifndef DIRSIM_DIRECTORY_TANG_HH
 #define DIRSIM_DIRECTORY_TANG_HH
 
+#include <cstdint>
 #include <unordered_map>
 #include <vector>
 
@@ -19,7 +20,14 @@
 namespace dirsim
 {
 
-/** Duplicate-tag central directory. */
+/**
+ * Duplicate-tag central directory.
+ *
+ * reserveDense() switches each duplicate tag store from a hash map to
+ * a flat per-block presence/dirty array (for densified block indices,
+ * sim/decoded.hh), so a search touches one byte per cache instead of
+ * performing one hash probe per cache.
+ */
 class TangDirectory
 {
   public:
@@ -66,9 +74,21 @@ class TangDirectory
         return static_cast<unsigned>(dupTags.size());
     }
 
+    /** Switch to dense per-cache tag arrays; must precede records. */
+    void reserveDense(std::uint64_t block_count);
+
+    /** True once reserveDense() switched to the arrays. */
+    bool denseStorage() const { return denseMode; }
+
   private:
+    /** Dense tag-slot encoding: absent / present-clean / present-dirty. */
+    enum : std::uint8_t { tagAbsent = 0, tagClean = 1, tagDirty = 2 };
+
     /** Per-cache duplicate tags: block -> dirty flag. */
     std::vector<std::unordered_map<BlockNum, bool>> dupTags;
+    /** Dense backend: per-cache tag slot per block index. */
+    std::vector<std::vector<std::uint8_t>> denseTags;
+    bool denseMode = false;
 };
 
 } // namespace dirsim

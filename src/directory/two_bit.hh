@@ -9,6 +9,7 @@
 #define DIRSIM_DIRECTORY_TWO_BIT_HH
 
 #include <unordered_map>
+#include <vector>
 
 #include "common/types.hh"
 
@@ -57,10 +58,25 @@ class TwoBitDirectory
     /** Record invalidation of all copies. */
     void makeUncached(BlockNum block);
 
-    std::size_t trackedBlocks() const { return states.size(); }
+    std::size_t trackedBlocks() const
+    {
+        return denseMode ? dense.size() : states.size();
+    }
+
+    /**
+     * Switch to a flat state array indexed by block in
+     * [0, @p block_count) (see FullMapDirectory::reserveDense); every
+     * state() probe becomes one load. Must precede any state change.
+     */
+    void reserveDense(std::uint64_t block_count);
+
+    /** True once reserveDense() switched to the arena. */
+    bool denseStorage() const { return denseMode; }
 
   private:
     std::unordered_map<BlockNum, TwoBitState> states;
+    std::vector<TwoBitState> dense;
+    bool denseMode = false;
 };
 
 } // namespace dirsim

@@ -64,6 +64,7 @@
 #include "protocols/registry.hh"
 #include "protocols/wti.hh"
 #include "protocols/yen_fu.hh"
+#include "sim/decoded.hh"
 #include "sim/experiment.hh"
 #include "sim/report.hh"
 #include "sim/runner.hh"

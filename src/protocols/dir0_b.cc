@@ -149,4 +149,10 @@ Dir0B::checkInvariants(BlockNum block) const
     }
 }
 
+void
+Dir0B::onReserveBlocks(std::uint32_t block_count)
+{
+    dir.reserveDense(block_count);
+}
+
 } // namespace dirsim

@@ -40,6 +40,7 @@ class Dir0B : public CoherenceProtocol
   protected:
     void onEviction(CacheId cache, BlockNum block,
                     CacheBlockState state) override;
+    void onReserveBlocks(std::uint32_t block_count) override;
 
   public:
     /** The two-bit directory (exposed for tests). */

@@ -116,4 +116,10 @@ Dir1NB::checkInvariants(BlockNum block) const
     }
 }
 
+void
+Dir1NB::onReserveBlocks(std::uint32_t block_count)
+{
+    dir.reserveDense(block_count);
+}
+
 } // namespace dirsim

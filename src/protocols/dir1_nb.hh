@@ -41,6 +41,7 @@ class Dir1NB : public CoherenceProtocol
   protected:
     void onEviction(CacheId cache, BlockNum block,
                     CacheBlockState state) override;
+    void onReserveBlocks(std::uint32_t block_count) override;
 
   public:
     /** The single-pointer directory (exposed for tests). */

@@ -137,4 +137,10 @@ DirCV::checkInvariants(BlockNum block) const
     }
 }
 
+void
+DirCV::onReserveBlocks(std::uint32_t block_count)
+{
+    dir.reserveDense(block_count);
+}
+
 } // namespace dirsim

@@ -47,6 +47,7 @@ class DirCV : public CoherenceProtocol
                          const Others &others, bool first) override;
     void onEviction(CacheId cache, BlockNum block,
                     CacheBlockState state) override;
+    void onReserveBlocks(std::uint32_t block_count) override;
 
   private:
     /**

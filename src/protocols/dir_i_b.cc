@@ -151,4 +151,10 @@ DirIB::checkInvariants(BlockNum block) const
                    sharers.count(), " sharers");
 }
 
+void
+DirIB::onReserveBlocks(std::uint32_t block_count)
+{
+    dir.reserveDense(block_count);
+}
+
 } // namespace dirsim

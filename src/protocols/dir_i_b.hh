@@ -44,6 +44,7 @@ class DirIB : public CoherenceProtocol
   protected:
     void onEviction(CacheId cache, BlockNum block,
                     CacheBlockState state) override;
+    void onReserveBlocks(std::uint32_t block_count) override;
 
   public:
     /** The limited-pointer directory (exposed for tests). */

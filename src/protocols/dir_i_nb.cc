@@ -151,4 +151,10 @@ DirINB::checkInvariants(BlockNum block) const
                    name(), ": stale pointer for block ", block);
 }
 
+void
+DirINB::onReserveBlocks(std::uint32_t block_count)
+{
+    dir.reserveDense(block_count);
+}
+
 } // namespace dirsim

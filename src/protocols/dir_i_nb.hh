@@ -46,6 +46,7 @@ class DirINB : public CoherenceProtocol
   protected:
     void onEviction(CacheId cache, BlockNum block,
                     CacheBlockState state) override;
+    void onReserveBlocks(std::uint32_t block_count) override;
 
   public:
     /** The limited-pointer directory (exposed for tests). */

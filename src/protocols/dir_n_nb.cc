@@ -133,4 +133,10 @@ DirNNB::checkInvariants(BlockNum block) const
     }
 }
 
+void
+DirNNB::onReserveBlocks(std::uint32_t block_count)
+{
+    dir.reserveDense(block_count);
+}
+
 } // namespace dirsim

@@ -40,6 +40,7 @@ class DirNNB : public CoherenceProtocol
   protected:
     void onEviction(CacheId cache, BlockNum block,
                     CacheBlockState state) override;
+    void onReserveBlocks(std::uint32_t block_count) override;
 
   public:
     /** The full-map directory (exposed for tests). */

@@ -28,13 +28,46 @@ CoherenceProtocol::CoherenceProtocol(unsigned num_caches_arg,
 }
 
 void
+CoherenceProtocol::reserveBlocks(std::uint32_t block_count,
+                                 const BlockNum *block_labels)
+{
+    panicIfNot(!finiteMode,
+               name(), ": reserveBlocks needs infinite caches; finite "
+               "caches index their sets by real block numbers");
+    panicIfNot(!denseMode, name(), ": reserveBlocks called twice");
+    panicIfNot(holderMap.empty(),
+               name(), ": reserveBlocks on a protocol that already "
+               "processed references");
+    denseHolders.assign(block_count, SharerSet(numCaches()));
+    denseDirtyOwner.assign(block_count, invalidCacheId);
+    blockLabels = block_labels;
+    denseMode = true;
+    for (const auto &cache : caches)
+        cache->reserveBlocks(block_count);
+    onReserveBlocks(block_count);
+}
+
+void
+CoherenceProtocol::onReserveBlocks(std::uint32_t)
+{
+}
+
+void
 CoherenceProtocol::handleEviction(CacheId cache, BlockNum block,
                                   CacheBlockState state)
 {
     // The cache already dropped the line; mirror that in the oracle.
-    const auto it = holderMap.find(block);
-    if (it != holderMap.end())
-        it->second.remove(cache);
+    if (denseMode) {
+        if (block < denseHolders.size()) {
+            denseHolders[block].remove(cache);
+            if (denseDirtyOwner[block] == cache)
+                denseDirtyOwner[block] = invalidCacheId;
+        }
+    } else {
+        const auto it = holderMap.find(block);
+        if (it != holderMap.end())
+            it->second.remove(cache);
+    }
     // A modified victim must be written back to memory. This is
     // replacement (capacity/conflict) traffic, accounted in its own
     // operation counter so the coherence costs stay separable.
@@ -89,7 +122,13 @@ CoherenceProtocol::tracedRef(CacheId cache, BlockNum block,
                              bool first_ref, bool is_write)
 {
     panicIfNot(cache < caches.size(), "cache id out of range");
-    traceSink->dataRef(block, cache, is_write);
+    // Dense runs key blocks by densified index; label sink events
+    // with the original block numbers so traces stay meaningful.
+    const BlockNum label =
+        blockLabels != nullptr && block < denseHolders.size()
+            ? blockLabels[block]
+            : block;
+    traceSink->dataRef(label, cache, is_write);
 
     bool sampled = false;
     if (tracePeriod != 0 && --traceCountdown == 0) {
@@ -108,7 +147,7 @@ CoherenceProtocol::tracedRef(CacheId cache, BlockNum block,
     // only taken on sampled references, so the cost scales with the
     // sampling rate, not the trace length.
     ProtocolTraceEvent event;
-    event.block = block;
+    event.block = label;
     event.cache = cache;
     event.firstRef = first_ref;
     event.stateBefore = caches[cache]->lookup(block);
@@ -200,6 +239,11 @@ CoherenceProtocol::cacheState(CacheId cache, BlockNum block) const
 SharerSet
 CoherenceProtocol::holders(BlockNum block) const
 {
+    if (denseMode) {
+        if (block < denseHolders.size())
+            return denseHolders[block];
+        return SharerSet(numCaches());
+    }
     const auto it = holderMap.find(block);
     if (it == holderMap.end())
         return SharerSet(numCaches());
@@ -210,6 +254,13 @@ std::vector<BlockNum>
 CoherenceProtocol::residentBlocks() const
 {
     std::vector<BlockNum> blocks;
+    if (denseMode) {
+        for (BlockNum block = 0; block < denseHolders.size(); ++block) {
+            if (!denseHolders[block].empty())
+                blocks.push_back(block);
+        }
+        return blocks;
+    }
     blocks.reserve(holderMap.size());
     for (const auto &[block, sharers] : holderMap) {
         if (!sharers.empty())
@@ -245,11 +296,35 @@ CoherenceProtocol::checkInvariants(BlockNum block) const
     panicIfNot(dirty_count <= 1,
                name(), ": block ", block, " is dirty in ", dirty_count,
                " caches");
+
+    // The dense dirty-owner shadow must agree with the cache states
+    // it summarizes.
+    if (denseMode && block < denseDirtyOwner.size()) {
+        const CacheId owner = denseDirtyOwner[block];
+        if (dirty_count == 0) {
+            panicIfNot(owner == invalidCacheId,
+                       name(), ": stale dirty owner ", owner,
+                       " for clean block ", block);
+        } else {
+            panicIfNot(owner != invalidCacheId
+                           && sharers.contains(owner)
+                           && isDirtyState(caches[owner]->lookup(block)),
+                       name(), ": dirty owner out of sync for block ",
+                       block);
+        }
+    }
 }
 
 void
 CoherenceProtocol::checkAllInvariants() const
 {
+    if (denseMode) {
+        // The arena covers every block the trace can touch, so check
+        // all of it: absent blocks assert that no cache holds them.
+        for (BlockNum block = 0; block < denseHolders.size(); ++block)
+            checkInvariants(block);
+        return;
+    }
     for (const auto &[block, sharers] : holderMap)
         checkInvariants(block);
 }
@@ -258,6 +333,28 @@ CoherenceProtocol::Others
 CoherenceProtocol::classifyOthers(CacheId cache, BlockNum block) const
 {
     Others others;
+    if (denseMode) {
+        if (block >= denseHolders.size())
+            return others;
+        // The holder oracle answers directly: popcount for the count,
+        // a reverse bit scan for a representative holder (the same
+        // cache the legacy per-cache survey ends on), and the tracked
+        // dirty owner instead of a state probe per holder.
+        const SharerSet &sharers = denseHolders[block];
+        unsigned num_others = sharers.count();
+        if (sharers.contains(cache))
+            --num_others;
+        if (num_others == 0)
+            return others;
+        others.numOthers = num_others;
+        others.anyHolder = sharers.lastExcluding(cache);
+        const CacheId owner = denseDirtyOwner[block];
+        if (owner != invalidCacheId && owner != cache) {
+            others.anyDirty = true;
+            others.dirtyOwner = owner;
+        }
+        return others;
+    }
     const auto it = holderMap.find(block);
     if (it == holderMap.end())
         return others;
@@ -283,6 +380,18 @@ CoherenceProtocol::install(CacheId cache, BlockNum block,
     // eviction whose hook edits the holder oracle, so the oracle
     // entry for the new block is added afterwards.
     caches[cache]->set(block, state);
+    if (denseMode) {
+        panicIfNot(block < denseHolders.size(),
+                   name(), ": block ", block,
+                   " outside the dense arena of ", denseHolders.size(),
+                   " blocks");
+        denseHolders[block].add(cache);
+        if (isDirtyState(state))
+            denseDirtyOwner[block] = cache;
+        else if (denseDirtyOwner[block] == cache)
+            denseDirtyOwner[block] = invalidCacheId;
+        return;
+    }
     const auto it = holderMap.find(block);
     if (it == holderMap.end()) {
         SharerSet sharers(numCaches());
@@ -301,12 +410,26 @@ CoherenceProtocol::setState(CacheId cache, BlockNum block,
                name(), ": setState for a block cache ", cache,
                " does not hold");
     caches[cache]->set(block, state);
+    if (denseMode) {
+        if (isDirtyState(state))
+            denseDirtyOwner[block] = cache;
+        else if (denseDirtyOwner[block] == cache)
+            denseDirtyOwner[block] = invalidCacheId;
+    }
 }
 
 void
 CoherenceProtocol::invalidateIn(CacheId cache, BlockNum block)
 {
     caches[cache]->invalidate(block);
+    if (denseMode) {
+        if (block < denseHolders.size()) {
+            denseHolders[block].remove(cache);
+            if (denseDirtyOwner[block] == cache)
+                denseDirtyOwner[block] = invalidCacheId;
+        }
+        return;
+    }
     const auto it = holderMap.find(block);
     if (it != holderMap.end())
         it->second.remove(cache);

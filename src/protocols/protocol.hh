@@ -16,6 +16,7 @@
 #ifndef DIRSIM_PROTOCOLS_PROTOCOL_HH
 #define DIRSIM_PROTOCOLS_PROTOCOL_HH
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -109,6 +110,31 @@ class CoherenceProtocol
     /** True when the caches can evict (finite-cache simulation). */
     bool finiteCaches() const { return finiteMode; }
 
+    /**
+     * Switch the engine to dense block arenas: every future block key
+     * is a densified index in [0, @p block_count) (sim/decoded.hh),
+     * so the holder oracle becomes a flat vector of SharerSets, each
+     * InfiniteCache a flat state array, and each scheme's directory a
+     * pre-materialized entry arena (via onReserveBlocks()). The
+     * per-reference hot path is then hash-free: every probe is an
+     * array load.
+     *
+     * Must be called on a fresh protocol (before any reference) and
+     * only for infinite caches — a FiniteCache's set indexing depends
+     * on real block numbers, so dense indices would change replacement
+     * behavior (panics on both misuses).
+     *
+     * @param block_labels optional original block number per dense
+     *        index (must outlive the protocol); used only to label
+     *        trace-sink events with real block numbers. nullptr
+     *        labels events with the dense indices themselves.
+     */
+    void reserveBlocks(std::uint32_t block_count,
+                       const BlockNum *block_labels = nullptr);
+
+    /** True once reserveBlocks() switched to dense arenas. */
+    bool denseBlocks() const { return denseMode; }
+
     /** Protocol state of @p block in @p cache (stateNotPresent if out). */
     CacheBlockState cacheState(CacheId cache, BlockNum block) const;
 
@@ -183,6 +209,14 @@ class CoherenceProtocol
     virtual void onEviction(CacheId cache, BlockNum block,
                             CacheBlockState state);
 
+    /**
+     * Scheme hook of reserveBlocks(): pre-size the scheme's directory
+     * for @p block_count densified block indices (typically one
+     * reserveDense() call). The base class has already sized the
+     * holder oracle and the caches.
+     */
+    virtual void onReserveBlocks(std::uint32_t block_count);
+
     /** Record a Figure 1 sample. */
     void sampleCleanWrite(unsigned num_others)
     {
@@ -218,8 +252,19 @@ class CoherenceProtocol
     std::vector<std::unique_ptr<CacheModel>> caches;
     /** block -> exact holder set, kept in sync by the helpers. */
     std::unordered_map<BlockNum, SharerSet> holderMap;
+    /** Dense holder oracle, indexed by block (reserveBlocks()). */
+    std::vector<SharerSet> denseHolders;
+    /**
+     * Dense mode only: the cache holding each block dirty (or
+     * invalidCacheId), maintained by install/setState/invalidateIn so
+     * classifyOthers() needs no per-cache state survey.
+     */
+    std::vector<CacheId> denseDirtyOwner;
+    /** Original block number per dense index (may be nullptr). */
+    const BlockNum *blockLabels = nullptr;
     Histogram cleanWriteHist;
     bool finiteMode = false;
+    bool denseMode = false;
 
     /** Attached trace sink; nullptr (the default) costs one branch. */
     ProtocolTraceSink *traceSink = nullptr;

@@ -179,4 +179,10 @@ YenFu::checkInvariants(BlockNum block) const
     });
 }
 
+void
+YenFu::onReserveBlocks(std::uint32_t block_count)
+{
+    dir.reserveDense(block_count);
+}
+
 } // namespace dirsim

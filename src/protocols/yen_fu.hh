@@ -57,6 +57,7 @@ class YenFu : public CoherenceProtocol
                          const Others &others, bool first) override;
     void onEviction(CacheId cache, BlockNum block,
                     CacheBlockState state) override;
+    void onReserveBlocks(std::uint32_t block_count) override;
 
   private:
     /** Directed invalidations to every copy but @p keeper's. */

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Decode-once reference streams.
+ *
+ * A grid run feeds the same trace to many schemes. The raw trace is
+ * the wrong representation to replay: every cell re-hashes addresses
+ * into block numbers, re-discovers first references, and re-maps pids
+ * onto caches — identical work per cell. DecodedTrace performs that
+ * work exactly once: a single pass over a Trace or TraceSource emits
+ * a compact structure-of-arrays record stream (op kind + first-ref
+ * flag, densified block index, dense cache id) plus the exact block,
+ * cache, and reference counts a simulation needs.
+ *
+ * The densified block index is the key enabler: with blocks numbered
+ * 0..blockCount-1 in order of first appearance, the engine's sparse
+ * per-block hash maps become flat arrays
+ * (CoherenceProtocol::reserveBlocks), so the per-reference hot path
+ * performs no hashing at all. denseToBlock[] retains the original
+ * block numbers for trace-sink labeling and for finite-cache runs
+ * (whose set indexing needs real addresses).
+ *
+ * simulateTrace(DecodedTrace, ...) is bit-identical to the raw-trace
+ * overloads by construction: it executes the same statement sequence
+ * with precomputed operands (golden-tested in tests/sim/decoded_*).
+ */
+
+#ifndef DIRSIM_SIM_DECODED_HH
+#define DIRSIM_SIM_DECODED_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hh"
+#include "trace/source.hh"
+#include "trace/trace.hh"
+
+namespace dirsim
+{
+
+/** DecodedTrace::ops encoding: low bits = kind, bit 4 = first ref. */
+constexpr std::uint8_t decodedOpInstr = 0;
+constexpr std::uint8_t decodedOpRead = 1;
+constexpr std::uint8_t decodedOpWrite = 2;
+constexpr std::uint8_t decodedOpKindMask = 0x03;
+constexpr std::uint8_t decodedOpFirstRef = 0x10;
+
+/**
+ * A trace decoded into simulation operands (see the file comment).
+ *
+ * The three record arrays are index-aligned with the source record
+ * order; instruction rows carry zeros in blocks[]/caches[] so the
+ * arrays never need separate cursors. The struct is immutable after
+ * decoding and safe to share read-only across concurrent simulations
+ * (the runner decodes each trace once per grid).
+ */
+struct DecodedTrace
+{
+    std::string name; ///< workload name (trace/file header)
+
+    /** decodedOp* kind plus the decodedOpFirstRef flag. */
+    std::vector<std::uint8_t> ops;
+    /** Densified block index (first-appearance order over data refs). */
+    std::vector<std::uint32_t> blocks;
+    /** Dense cache id (first-appearance order over data refs). */
+    std::vector<CacheId> caches;
+    /** Dense block index -> original block number. */
+    std::vector<BlockNum> denseToBlock;
+
+    /** The geometry the stream was decoded under. */
+    unsigned blockBytes = 0;
+    SharingModel sharing = SharingModel::ByProcess;
+
+    /**
+     * Caches a simulation of this trace must build: distinct pids
+     * over all records (ByProcess) or observed CPUs, falling back to
+     * the header CPU count (ByProcessor) — exactly scanTraceFile()'s
+     * sizing rule.
+     */
+    unsigned cachesNeeded = 0;
+    /**
+     * Distinct pids/CPUs over data records only — the cache ids the
+     * stream actually uses (<= cachesNeeded; instruction-only
+     * processes consume no cache).
+     */
+    unsigned cachesUsed = 0;
+    /** Data references in the stream (reads + writes). */
+    std::uint64_t dataRefs = 0;
+
+    /** Total records (instructions included). */
+    std::uint64_t numRecords() const { return ops.size(); }
+
+    /** Distinct blocks the data references touch. */
+    std::uint32_t blockCount() const
+    {
+        return static_cast<std::uint32_t>(denseToBlock.size());
+    }
+
+    /** Heap bytes held by the record arrays (for diagnostics). */
+    std::uint64_t memoryBytes() const;
+};
+
+/**
+ * The DIRSIM_DECODE toggle: true (the default) lets the runner and
+ * simulateTraceFile() use the decode-once pipeline; DIRSIM_DECODE=0
+ * forces the legacy sparse/streaming path (bounded memory, and the
+ * reference implementation the equality tests compare against).
+ */
+bool decodeEnabled();
+
+/**
+ * Decode an in-memory trace under @p block_bytes / @p sharing.
+ * The trace may be empty (simulating the result then fails exactly
+ * like simulating the empty trace itself).
+ */
+DecodedTrace decodeTrace(const Trace &trace, unsigned block_bytes,
+                         SharingModel sharing);
+
+/** Streaming variant: decode @p source to exhaustion. */
+DecodedTrace decodeTrace(TraceSource &source, unsigned block_bytes,
+                         SharingModel sharing);
+
+/**
+ * Decode a trace file in a single streaming read — this both sizes
+ * the coherence domain and captures the records, so callers that
+ * previously scanned and then re-read the file (simulateTraceFile,
+ * ExperimentRunner::runFiles) touch the file exactly once.
+ */
+DecodedTrace decodeTraceFile(const std::string &path,
+                             unsigned block_bytes,
+                             SharingModel sharing);
+
+/**
+ * Run a decoded stream through @p protocol.
+ *
+ * With infinite caches the engine is switched to dense block arenas
+ * (CoherenceProtocol::reserveBlocks) and fed densified indices — the
+ * hash-free hot path. Finite-cache protocols are fed the original
+ * block numbers through the sparse engine, because replacement
+ * depends on real addresses; they still gain the decode (no address
+ * hashing, no first-ref set, no pid mapping per reference).
+ *
+ * The SimResult is bit-identical to the raw-trace overloads for the
+ * same records and config. config.blockBytes and config.sharing must
+ * equal the decode-time values (fatal otherwise: the densification
+ * would not match).
+ *
+ * @throws UsageError as simulateTrace(Trace, ...) does for
+ *         finite-cache misconfiguration
+ */
+SimResult simulateTrace(const DecodedTrace &decoded,
+                        CoherenceProtocol &protocol,
+                        const SimConfig &config = {});
+
+/**
+ * Build the scheme sized from the decoded stream (honoring
+ * SimConfig::finiteCache), then simulate — the decoded counterpart
+ * of simulateTrace(Trace, SchemeSpec, ...).
+ */
+SimResult simulateTrace(const DecodedTrace &decoded,
+                        const SchemeSpec &scheme,
+                        const SimConfig &config = {});
+
+/** Name-based convenience for the spec overload. */
+SimResult simulateTrace(const DecodedTrace &decoded,
+                        const std::string &scheme,
+                        const SimConfig &config = {});
+
+} // namespace dirsim
+
+#endif // DIRSIM_SIM_DECODED_HH

@@ -125,12 +125,24 @@ struct RunnerConfig
     CellSinkFactory makeCellTraceSink;
 
     /**
+     * Decode each trace once up front (sim/decoded.hh) and share the
+     * immutable decoded stream read-only across all scheme cells, so
+     * every cell runs the hash-free dense path instead of re-paying
+     * the per-reference decode work. Results are bit-identical either
+     * way (asserted by test); disable (or set DIRSIM_DECODE=0) to
+     * force the legacy sparse/streaming engine — e.g. to keep
+     * runFiles() strictly bounded-memory.
+     */
+    bool decode = true;
+
+    /**
      * The DIRSIM_JOBS environment override when set and non-zero,
      * otherwise the hardware thread count.
      */
     static unsigned defaultJobs();
 
-    /** A config with jobs = the DIRSIM_JOBS override (or 0). */
+    /** A config with jobs = the DIRSIM_JOBS override (or 0) and
+     *  decode = the DIRSIM_DECODE override (or on). */
     static RunnerConfig fromEnvironment();
 };
 
@@ -194,16 +206,19 @@ class ExperimentRunner
                    const SimConfig &sim = {}) const;
 
     /**
-     * Run every scheme on every trace *file*, streaming each cell
-     * from disk in bounded memory instead of materializing the
-     * traces (sim/simulator.hh, simulateTraceFile()).
+     * Run every scheme on every trace *file*.
      *
-     * Each path is scanned once up front (scanTraceFile()) to size
-     * the coherence domain and validate the file; every cell then
-     * re-opens its file and streams it, so peak memory is one
-     * record's parser state per worker plus the simulation's own
-     * tables — independent of trace length. Results are bit-identical
-     * to loading the files and calling run().
+     * With decoding on (the default), each file is read exactly once:
+     * the up-front decode pass both sizes the coherence domain and
+     * captures the compact record stream every cell then replays from
+     * memory. With RunnerConfig::decode off, the legacy
+     * bounded-memory pipeline runs: each path is scanned once up
+     * front (scanTraceFile()) to size the coherence domain and
+     * validate the file, then every cell re-opens its file and
+     * streams it, so peak memory is one record's parser state per
+     * worker plus the simulation's own tables — independent of trace
+     * length. Results are bit-identical either way, and to loading
+     * the files and calling run().
      *
      * @param schemes scheme specs (see protocols/registry.hh)
      * @param tracePaths trace files (".txt" = text, else binary)

@@ -7,6 +7,7 @@
 #include "common/env.hh"
 #include "common/logging.hh"
 #include "protocols/registry.hh"
+#include "sim/decoded.hh"
 #include "trace/reader.hh"
 
 namespace dirsim
@@ -203,7 +204,8 @@ class TraceCursor
     std::size_t index = 0;
 };
 
-/** The SimConfig::finiteCache cache factory (empty = infinite). */
+} // namespace
+
 CacheFactory
 cacheFactoryFor(const SimConfig &config)
 {
@@ -221,8 +223,6 @@ cacheFactoryFor(const SimConfig &config)
     }
     return factory;
 }
-
-} // namespace
 
 SimResult
 simulateTrace(const Trace &trace, CoherenceProtocol &protocol,
@@ -279,8 +279,31 @@ SimResult
 simulateTraceFile(const std::string &path, const SchemeSpec &scheme,
                   const SimConfig &config, unsigned caches_hint)
 {
-    // The sizing scan and the reader setup are the cell's Read phase
-    // (a hinted call skips the scan, so only the open is charged).
+    // Decode pipeline (the default): one streaming read both sizes
+    // the coherence domain and captures the records, so the file is
+    // touched exactly once with or without a hint. The whole decode
+    // is the cell's Read phase.
+    if (decodeEnabled()) {
+        const std::uint64_t read_start = PhaseTimer::nowNs();
+        const DecodedTrace decoded =
+            decodeTraceFile(path, config.blockBytes, config.sharing);
+        const unsigned caches = caches_hint != 0
+            ? caches_hint
+            : decoded.cachesNeeded;
+        fatalIf(caches == 0, "trace file '", path,
+                "' has no references");
+        const auto protocol =
+            makeProtocol(scheme, caches, cacheFactoryFor(config));
+        const std::uint64_t read_ns = PhaseTimer::nowNs() - read_start;
+        SimResult result = simulateTrace(decoded, *protocol, config);
+        result.phases.add(Phase::Read, read_ns);
+        return result;
+    }
+
+    // Legacy streaming path (DIRSIM_DECODE=0): bounded memory, at
+    // the price of an extra sizing scan when no hint is given. The
+    // sizing scan and the reader setup are the cell's Read phase (a
+    // hinted call skips the scan, so only the open is charged).
     const std::uint64_t read_start = PhaseTimer::nowNs();
     const unsigned caches = caches_hint != 0
         ? caches_hint

@@ -173,6 +173,12 @@ SimResult simulateTrace(const Trace &trace, const std::string &scheme,
 /** Caches @p trace needs under @p sharing (distinct pids or CPUs). */
 unsigned cachesNeeded(const Trace &trace, SharingModel sharing);
 
+/**
+ * The cache factory SimConfig::finiteCache implies: empty (infinite
+ * caches) when unset, a validated FiniteCache factory when set.
+ */
+CacheFactory cacheFactoryFor(const SimConfig &config);
+
 /** What one streaming pass over a trace file learns. */
 struct TraceFileInfo
 {
@@ -192,11 +198,16 @@ TraceFileInfo scanTraceFile(const std::string &path,
                             SharingModel sharing);
 
 /**
- * Simulate a trace file end to end in bounded memory: one streaming
- * scan to size the coherence domain (skipped when @p caches_hint is
+ * Simulate a trace file end to end.
+ *
+ * By default the file is decoded in a single streaming read
+ * (sim/decoded.hh) — sizing the coherence domain and capturing the
+ * records at once — and simulated through the dense hash-free path.
+ * With DIRSIM_DECODE=0 the legacy bounded-memory pipeline runs
+ * instead: one streaming sizing scan (skipped when @p caches_hint is
  * non-zero, e.g. from an earlier scanTraceFile()), then a streaming
- * simulation pass. Results are bit-identical to loading the file and
- * running the in-memory overload.
+ * simulation pass. Results are bit-identical either way, and to
+ * loading the file and running the in-memory overload.
  */
 SimResult simulateTraceFile(const std::string &path,
                             const SchemeSpec &scheme,

@@ -89,5 +89,43 @@ TEST(InfiniteCacheTest, ForEachVisitsAll)
     EXPECT_EQ(dirty, 1u);
 }
 
+TEST(InfiniteCacheTest, DenseBackendMirrorsSparseSemantics)
+{
+    InfiniteCache cache;
+    cache.reserveBlocks(64);
+    EXPECT_TRUE(cache.denseStorage());
+    EXPECT_EQ(cache.residentBlocks(), 0u);
+
+    EXPECT_TRUE(cache.set(10, 1));
+    EXPECT_FALSE(cache.set(10, 2)); // update, not a new install
+    EXPECT_EQ(cache.lookup(10), 2);
+    EXPECT_TRUE(cache.contains(10));
+    EXPECT_EQ(cache.lookup(11), stateNotPresent);
+    EXPECT_EQ(cache.residentBlocks(), 1u);
+
+    EXPECT_EQ(cache.invalidate(10), 2);
+    EXPECT_EQ(cache.invalidate(10), stateNotPresent);
+    EXPECT_EQ(cache.residentBlocks(), 0u);
+
+    cache.set(5, 1);
+    cache.set(63, 2);
+    std::set<BlockNum> seen;
+    cache.forEach([&](BlockNum block, CacheBlockState) {
+        seen.insert(block);
+    });
+    EXPECT_EQ(seen, (std::set<BlockNum>{5, 63}));
+
+    cache.clear();
+    EXPECT_EQ(cache.residentBlocks(), 0u);
+    EXPECT_TRUE(cache.denseStorage()); // clear keeps the arena
+}
+
+TEST(InfiniteCacheTest, DenseReservationRejectsLiveState)
+{
+    InfiniteCache cache;
+    cache.set(1, 1);
+    EXPECT_THROW(cache.reserveBlocks(8), LogicError);
+}
+
 } // namespace
 } // namespace dirsim

@@ -1,0 +1,30 @@
+# End-to-end decode-once identity check: the DecodedTrace pipeline
+# (dense block arenas, hash-free hot path) must be a pure
+# optimization. Run the same small repro grid with DIRSIM_DECODE=0
+# (legacy sparse/streaming engine) and DIRSIM_DECODE=1 (decode-once
+# default), then require `dirsim_report --diff` to exit 0 — it
+# compares every deterministic per-cell metric (events, ops, the
+# Figure 1 histogram, derived costs) and ignores wall-clock fields.
+function(run)
+    execute_process(COMMAND ${ARGV} RESULT_VARIABLE rc OUTPUT_QUIET)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR "command failed (${rc}): ${ARGV}")
+    endif()
+endfunction()
+
+set(legacy "${WORKDIR}/decoded_identity_legacy.jsonl")
+set(decoded "${WORKDIR}/decoded_identity_decoded.jsonl")
+
+run(${CMAKE_COMMAND} -E env DIRSIM_SUITE_REFS=20000
+    DIRSIM_DECODE=0
+    ${BENCH} --jsonl ${legacy})
+run(${CMAKE_COMMAND} -E env DIRSIM_SUITE_REFS=20000
+    DIRSIM_DECODE=1
+    ${BENCH} --jsonl ${decoded})
+
+execute_process(COMMAND ${REPORT} --diff ${legacy} ${decoded}
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+        "decoded run diverged from the legacy engine (rc=${rc}):\n${out}")
+endif()

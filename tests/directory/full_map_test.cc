@@ -64,6 +64,35 @@ TEST(FullMapTest, CompactDropsIdleEntries)
     EXPECT_NE(dir.find(3), nullptr);
 }
 
+TEST(FullMapTest, DenseArenaMirrorsSparseSemantics)
+{
+    FullMapDirectory dir(4);
+    dir.reserveDense(8);
+    EXPECT_TRUE(dir.denseStorage());
+
+    dir.entry(3).sharers.add(1);
+    const FullMapEntry *found = dir.find(3);
+    ASSERT_NE(found, nullptr);
+    EXPECT_TRUE(found->sharers.contains(1));
+
+    EXPECT_EQ(dir.find(8), nullptr); // outside the arena
+    EXPECT_THROW(dir.entry(8), LogicError);
+
+    dir.compact(); // no-op: the arena is the memory bound
+    EXPECT_TRUE(dir.find(3)->sharers.contains(1));
+}
+
+TEST(FullMapTest, DenseReservationRejectsTouchedDirectory)
+{
+    FullMapDirectory dir(4);
+    dir.entry(1);
+    EXPECT_THROW(dir.reserveDense(8), LogicError);
+
+    FullMapDirectory fresh(4);
+    fresh.reserveDense(4);
+    EXPECT_THROW(fresh.reserveDense(4), LogicError);
+}
+
 TEST(FullMapTest, RejectsZeroCaches)
 {
     EXPECT_THROW(FullMapDirectory(0), UsageError);

@@ -110,6 +110,29 @@ TEST(SharerSetTest, ForEachAscending)
     EXPECT_EQ(order, (std::vector<CacheId>{5, 33, 70}));
 }
 
+TEST(SharerSetTest, LastExcludingReturnsHighestOther)
+{
+    SharerSet set(200);
+    set.add(3);
+    set.add(64);
+    set.add(150);
+    // The excluded cache need not be a member.
+    EXPECT_EQ(set.lastExcluding(2), 150u);
+    // When it is, the next-highest member wins — across words.
+    EXPECT_EQ(set.lastExcluding(150), 64u);
+    set.remove(64);
+    EXPECT_EQ(set.lastExcluding(150), 3u);
+}
+
+TEST(SharerSetTest, LastExcludingWithNoOtherMemberIsInvalid)
+{
+    SharerSet set(8);
+    set.add(5);
+    EXPECT_EQ(set.lastExcluding(5), invalidCacheId);
+    const SharerSet empty(8);
+    EXPECT_EQ(empty.lastExcluding(0), invalidCacheId);
+}
+
 TEST(SharerSetTest, ClearEmpties)
 {
     SharerSet set(10);

@@ -185,6 +185,45 @@ TEST(ProtocolBaseTest, BaseInvariantDetectsOracleDesync)
     EXPECT_NO_THROW(protocol.checkAllInvariants());
 }
 
+TEST(ProtocolBaseTest, DenseModeMatchesSparseClassification)
+{
+    MiniProtocol sparse(4);
+    MiniProtocol dense(4);
+    dense.reserveBlocks(16);
+    EXPECT_TRUE(dense.denseBlocks());
+    EXPECT_FALSE(sparse.denseBlocks());
+
+    for (MiniProtocol *protocol : {&sparse, &dense}) {
+        protocol->read(1, 10, true);
+        protocol->read(2, 10, false);
+        protocol->write(1, 10, false); // 1 dirty, 2 invalidated
+    }
+    const auto a = sparse.classifyOthers(0, 10);
+    const auto b = dense.classifyOthers(0, 10);
+    EXPECT_EQ(b.numOthers, a.numOthers);
+    EXPECT_EQ(b.anyHolder, a.anyHolder);
+    EXPECT_EQ(b.anyDirty, a.anyDirty);
+    EXPECT_EQ(b.dirtyOwner, a.dirtyOwner);
+    EXPECT_EQ(dense.holders(10).toVector(),
+              sparse.holders(10).toVector());
+    EXPECT_EQ(dense.residentBlocks(), sparse.residentBlocks());
+    EXPECT_NO_THROW(dense.checkAllInvariants());
+}
+
+TEST(ProtocolBaseTest, DenseReservationGuards)
+{
+    MiniProtocol touched(2);
+    touched.read(0, 1, true);
+    EXPECT_THROW(touched.reserveBlocks(4), LogicError);
+
+    MiniProtocol fresh(2);
+    fresh.reserveBlocks(4);
+    EXPECT_THROW(fresh.reserveBlocks(4), LogicError);
+    // Blocks outside the reserved arena are rejected at install time.
+    EXPECT_THROW(fresh.install(0, 99, MiniProtocol::stClean),
+                 LogicError);
+}
+
 TEST(ProtocolBaseTest, EventAccountingOnHitAndMiss)
 {
     MiniProtocol protocol(2);

@@ -1,0 +1,294 @@
+/**
+ * @file
+ * Decode-once equality suite: the DecodedTrace pipeline (dense block
+ * arenas, hash-free hot path) must produce bit-identical SimResults
+ * to the legacy sparse engine — across every paper scheme and suite
+ * trace, sequential and parallel grids, traced and untraced runs,
+ * and infinite and finite caches.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+#include "obs/tracer.hh"
+#include "sim/decoded.hh"
+#include "sim/runner.hh"
+#include "sim/suite.hh"
+#include "trace/writer.hh"
+
+namespace dirsim
+{
+namespace
+{
+
+std::vector<Trace>
+smallSuite()
+{
+    SuiteParams params;
+    params.refsPerTrace = 30'000;
+    params.seed = 11;
+    return standardSuite(params);
+}
+
+/** Every field a simulation produces, compared exactly. */
+void
+expectIdentical(const SimResult &a, const SimResult &b)
+{
+    EXPECT_EQ(a.scheme, b.scheme);
+    EXPECT_EQ(a.traceName, b.traceName);
+    EXPECT_EQ(a.numCaches, b.numCaches);
+    EXPECT_EQ(a.totalRefs, b.totalRefs);
+    EXPECT_TRUE(a.events == b.events) << a.scheme << "/" << a.traceName;
+    EXPECT_TRUE(a.ops == b.ops) << a.scheme << "/" << a.traceName;
+    EXPECT_TRUE(a.cleanWriteHolders == b.cleanWriteHolders)
+        << a.scheme << "/" << a.traceName;
+}
+
+void
+expectIdenticalGrids(const GridResult &a, const GridResult &b)
+{
+    ASSERT_EQ(a.schemes.size(), b.schemes.size());
+    for (std::size_t s = 0; s < a.schemes.size(); ++s) {
+        EXPECT_EQ(a.schemes[s].scheme, b.schemes[s].scheme);
+        ASSERT_EQ(a.schemes[s].perTrace.size(),
+                  b.schemes[s].perTrace.size());
+        for (std::size_t t = 0; t < a.schemes[s].perTrace.size(); ++t)
+            expectIdentical(a.schemes[s].perTrace[t],
+                            b.schemes[s].perTrace[t]);
+    }
+}
+
+TEST(DecodedTraceTest, DecodeReportsExactShape)
+{
+    const auto traces = smallSuite();
+    for (const Trace &trace : traces) {
+        const DecodedTrace decoded =
+            decodeTrace(trace, defaultBlockBytes,
+                        SharingModel::ByProcess);
+        EXPECT_EQ(decoded.name, trace.name());
+        EXPECT_EQ(decoded.numRecords(), trace.size());
+        EXPECT_EQ(decoded.cachesNeeded,
+                  cachesNeeded(trace, SharingModel::ByProcess));
+        EXPECT_LE(decoded.cachesUsed, decoded.cachesNeeded);
+        EXPECT_GT(decoded.blockCount(), 0u);
+        EXPECT_EQ(decoded.ops.size(), decoded.blocks.size());
+        EXPECT_EQ(decoded.ops.size(), decoded.caches.size());
+        EXPECT_GT(decoded.memoryBytes(), 0u);
+
+        // Replay the stream by hand: kinds and flags must mirror the
+        // raw records, each dense index must label the real block,
+        // and the first-ref flag must fire exactly once per block.
+        std::vector<bool> seen(decoded.blockCount(), false);
+        std::uint64_t data_refs = 0;
+        for (std::size_t i = 0; i < trace.size(); ++i) {
+            const TraceRecord &record = trace[i];
+            const std::uint8_t op = decoded.ops[i];
+            if (record.isInstr()) {
+                EXPECT_EQ(op, decodedOpInstr);
+                continue;
+            }
+            EXPECT_EQ(op & decodedOpKindMask,
+                      record.isRead() ? decodedOpRead : decodedOpWrite);
+            const std::uint32_t index = decoded.blocks[i];
+            ASSERT_LT(index, decoded.blockCount());
+            EXPECT_EQ(decoded.denseToBlock[index],
+                      blockNumber(record.addr, defaultBlockBytes));
+            EXPECT_EQ((op & decodedOpFirstRef) != 0, !seen[index]);
+            seen[index] = true;
+            EXPECT_LT(decoded.caches[i], decoded.cachesUsed);
+            ++data_refs;
+        }
+        EXPECT_EQ(decoded.dataRefs, data_refs);
+    }
+}
+
+TEST(DecodedTraceTest, BitIdenticalAcrossPaperSchemes)
+{
+    const auto traces = smallSuite();
+    for (const Trace &trace : traces) {
+        const DecodedTrace decoded =
+            decodeTrace(trace, defaultBlockBytes,
+                        SharingModel::ByProcess);
+        for (const auto &scheme : paperSchemes()) {
+            expectIdentical(simulateTrace(decoded, scheme),
+                            simulateTrace(trace, scheme));
+        }
+    }
+}
+
+TEST(DecodedTraceTest, FiniteCachesTakeTheSparseEngineIdentically)
+{
+    const auto traces = smallSuite();
+    SimConfig config;
+    FiniteCacheConfig geometry;
+    geometry.capacityBytes = 4 * 1024; // tiny: plenty of evictions
+    geometry.ways = 2;
+    geometry.blockBytes = config.blockBytes;
+    config.finiteCache = geometry;
+
+    const DecodedTrace decoded = decodeTrace(
+        traces[0], config.blockBytes, config.sharing);
+    for (const std::string scheme : {"Dir0B", "Dir2NB", "YenFu"}) {
+        expectIdentical(simulateTrace(decoded, scheme, config),
+                        simulateTrace(traces[0], scheme, config));
+    }
+}
+
+TEST(DecodedTraceTest, TracedRunsStayIdenticalAndLabelRealBlocks)
+{
+    const auto traces = smallSuite();
+    const Trace &trace = traces[1];
+    const DecodedTrace decoded = decodeTrace(
+        trace, defaultBlockBytes, SharingModel::ByProcess);
+    const SimResult untraced = simulateTrace(trace, "Dir1NB");
+
+    TracerConfig tracer_config;
+    tracer_config.samplePeriod = 64;
+    EventTracer tracer(tracer_config);
+    {
+        SimConfig config;
+        auto session = tracer.session("Dir1NB", trace.name());
+        config.traceSink = session.get();
+        expectIdentical(simulateTrace(decoded, "Dir1NB", config),
+                        untraced);
+    }
+
+    // Dense runs key blocks by densified index internally; the sink
+    // must still see original block numbers.
+    bool any_event = false;
+    for (const auto &timeline : tracer.timelines()) {
+        for (const auto &event : timeline.events) {
+            any_event = true;
+            const auto &labels = decoded.denseToBlock;
+            EXPECT_NE(std::find(labels.begin(), labels.end(),
+                                event.block),
+                      labels.end())
+                << "event block " << event.block
+                << " is not an original block number";
+        }
+    }
+    EXPECT_TRUE(any_event);
+}
+
+TEST(DecodedTraceTest, WarmupAndInvariantChecksMatch)
+{
+    const auto traces = smallSuite();
+    SimConfig config;
+    config.warmupRefs = 7'000;
+    config.invariantCheckPeriod = 2'048;
+    const DecodedTrace decoded = decodeTrace(
+        traces[2], config.blockBytes, config.sharing);
+    for (const std::string scheme : {"Dir0B", "DirNNB", "DirCV"}) {
+        expectIdentical(simulateTrace(decoded, scheme, config),
+                        simulateTrace(traces[2], scheme, config));
+    }
+}
+
+TEST(DecodedTraceTest, RunnerGridsMatchLegacyAcrossJobCounts)
+{
+    const auto traces = smallSuite();
+    const auto &schemes = paperSchemes();
+
+    RunnerConfig legacy;
+    legacy.jobs = 1;
+    legacy.decode = false;
+    const GridResult reference =
+        ExperimentRunner(legacy).run(schemes, traces);
+
+    for (const unsigned jobs : {1u, 4u}) {
+        RunnerConfig config;
+        config.jobs = jobs;
+        config.decode = true;
+        const GridResult grid =
+            ExperimentRunner(config).run(schemes, traces);
+        expectIdenticalGrids(grid, reference);
+        for (std::size_t c = 0; c < grid.cells.size(); ++c)
+            EXPECT_EQ(grid.cells[c].refs,
+                      traces[c % traces.size()].size());
+    }
+}
+
+TEST(DecodedTraceTest, RunFilesReadsOnceAndMatchesLegacy)
+{
+    const auto traces = smallSuite();
+    std::vector<std::string> paths;
+    for (const auto &trace : traces) {
+        const std::string path = testing::TempDir() + "/decoded_"
+            + std::to_string(::getpid()) + "_" + trace.name()
+            + ".trace";
+        writeBinaryTraceFile(trace, path);
+        paths.push_back(path);
+    }
+    const auto &schemes = paperSchemes();
+
+    RunnerConfig legacy;
+    legacy.jobs = 1;
+    legacy.decode = false;
+    const GridResult reference =
+        ExperimentRunner(legacy).runFiles(schemes, paths);
+
+    for (const unsigned jobs : {1u, 4u}) {
+        RunnerConfig config;
+        config.jobs = jobs;
+        config.decode = true;
+        const GridResult grid =
+            ExperimentRunner(config).runFiles(schemes, paths);
+        expectIdenticalGrids(grid, reference);
+    }
+
+    // The single-file API matches too, hint or no hint.
+    const SimResult legacy_file = [&] {
+        const DecodedTrace decoded = decodeTraceFile(
+            paths[0], defaultBlockBytes, SharingModel::ByProcess);
+        return simulateTrace(decoded, "Dir4NB");
+    }();
+    expectIdentical(simulateTraceFile(paths[0], "Dir4NB"),
+                    legacy_file);
+    expectIdentical(
+        simulateTraceFile(paths[0], "Dir4NB", SimConfig{},
+                          cachesNeeded(traces[0],
+                                       SharingModel::ByProcess)),
+        legacy_file);
+}
+
+TEST(DecodedTraceTest, MismatchedGeometryIsRejected)
+{
+    const auto traces = smallSuite();
+    const DecodedTrace decoded = decodeTrace(
+        traces[0], defaultBlockBytes, SharingModel::ByProcess);
+
+    SimConfig wrong_block;
+    wrong_block.blockBytes = defaultBlockBytes * 2;
+    EXPECT_THROW(simulateTrace(decoded, "Dir0B", wrong_block),
+                 UsageError);
+
+    SimConfig wrong_sharing;
+    wrong_sharing.sharing = SharingModel::ByProcessor;
+    EXPECT_THROW(simulateTrace(decoded, "Dir0B", wrong_sharing),
+                 UsageError);
+
+    // A protocol domain smaller than the stream's cache ids fails
+    // with the legacy mapper's message.
+    const auto small = makeProtocol("Dir0B", 1);
+    if (decoded.cachesUsed > 1)
+        EXPECT_THROW(simulateTrace(decoded, *small), UsageError);
+}
+
+TEST(DecodedTraceTest, EmptyTraceFailsLikeTheLegacyPath)
+{
+    Trace empty("empty", 4);
+    const DecodedTrace decoded = decodeTrace(
+        empty, defaultBlockBytes, SharingModel::ByProcess);
+    EXPECT_EQ(decoded.numRecords(), 0u);
+    EXPECT_THROW(simulateTrace(decoded, "Dir0B"), UsageError);
+}
+
+} // namespace
+} // namespace dirsim
