@@ -96,6 +96,10 @@ std::vector<SchemeResults>
 timedGridOrThrow(const std::vector<std::string> &schemes)
 {
     RunnerConfig config = RunnerConfig::fromEnvironment();
+    // Content-addressed cell cache (DIRSIM_CACHE_DIR): reruns of
+    // identical (trace, scheme, config) cells replay stored results.
+    const auto cache = FileCellCache::fromEnvironment();
+    config.cellCache = cache;
 
     // Opt-in observers: a live stderr HUD (DIRSIM_PROGRESS=1) and
     // the coherence event tracer (DIRSIM_TRACE_SAMPLE=<period>).
@@ -147,6 +151,10 @@ timedGridOrThrow(const std::vector<std::string> &schemes)
            TextTable::grouped(
                static_cast<std::uint64_t>(grid.refsPerSecond())),
            " refs/s)");
+    if (cache)
+        inform("cell cache: ", grid.cacheHits(), " hits, ",
+               grid.cacheMisses(), " misses (",
+               cache->directory(), ")");
     return std::move(grid.schemes);
 }
 

@@ -10,14 +10,24 @@
  * pipeline (the production default); BM_RunGridLegacy pins the
  * sparse engine for before/after comparison.
  *
+ * The sharded-cell engine (sim/job.hh) gets its own coverage:
+ * BM_SimulateSharded (one large cell at several shard counts) and
+ * BM_RunGridSharded (the paper grid with intra-cell sharding).
+ *
  * After the microbenchmarks, one timed paper grid is recorded as
  * structured artifacts (manifest + per-cell throughput metrics,
- * obs/sink.hh) to BENCH_5.json — the repo's perf trajectory file.
- * DIRSIM_BENCH_JSON overrides the destination; set it to an empty
- * string to skip the grid entirely.
+ * obs/sink.hh) to BENCH_6.json — the repo's perf trajectory file —
+ * along with two engine measurements: the sequential-vs-8-shard
+ * throughput of the largest suite trace under Dir4NB
+ * (perf.shard.*, bit-identity asserted), and a cold-then-warm
+ * cell-cache grid replay (perf.cache.*, zero simulated references
+ * asserted). DIRSIM_BENCH_JSON overrides the destination; set it to
+ * an empty string to skip the grid entirely.
  */
 
+#include <chrono>
 #include <cstdlib>
+#include <filesystem>
 #include <iostream>
 
 #include <benchmark/benchmark.h>
@@ -159,6 +169,53 @@ BENCHMARK(BM_RunGridLegacy)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
+/** One large decoded cell at several shard counts (Arg = shards). */
+void
+BM_SimulateSharded(benchmark::State &state)
+{
+    const Trace &trace = benchTrace();
+    const DecodedTrace decoded = decodeTrace(
+        trace, defaultBlockBytes, SharingModel::ByProcess);
+    const SchemeSpec scheme = parseScheme("Dir4NB");
+    const auto shards = static_cast<unsigned>(state.range(0));
+    for (auto _ : state) {
+        const SimResult result =
+            simulateTraceSharded(decoded, scheme, {}, shards);
+        benchmark::DoNotOptimize(result.totalRefs);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(trace.size()));
+}
+BENCHMARK(BM_SimulateSharded)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->UseRealTime();
+
+/** The paper grid with intra-cell block sharding (Arg = shards). */
+void
+BM_RunGridSharded(benchmark::State &state)
+{
+    RunnerConfig config;
+    config.jobs = 1;
+    config.decode = true;
+    config.shards.shards = static_cast<unsigned>(state.range(0));
+    const ExperimentRunner runner(config);
+    std::uint64_t grid_refs = 0;
+    for (auto _ : state) {
+        const GridResult grid =
+            runner.run(paperSchemes(), gridSuite());
+        grid_refs = grid.totalRefs();
+        benchmark::DoNotOptimize(grid.schemes.size());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(grid_refs));
+}
+BENCHMARK(BM_RunGridSharded)
+    ->Arg(2)->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
 void
 BM_TraceStats(benchmark::State &state)
 {
@@ -173,6 +230,110 @@ BM_TraceStats(benchmark::State &state)
 }
 BENCHMARK(BM_TraceStats);
 
+double
+secondsOf(const std::function<void()> &work)
+{
+    const auto start = std::chrono::steady_clock::now();
+    work();
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+/**
+ * Sequential-vs-sharded throughput of one large cell: the largest
+ * suite trace under Dir4NB, 1 shard vs 8 shards. Bit-identity is
+ * asserted; the measured ratio lands in the trajectory file as
+ * perf.shard.speedup. The ratio scales with free cores — every shard
+ * scans the full record stream, so a loaded or single-core host
+ * reports the scan overhead rather than the parallel win (see
+ * docs/performance.md).
+ */
+void
+measureShardSpeedup(MetricRegistry &metrics)
+{
+    SuiteParams params;
+    params.refsPerTrace = 1'000'000;
+    params.seed = 88;
+    const std::vector<Trace> traces = standardSuite(params);
+    const Trace *largest = &traces[0];
+    for (const Trace &trace : traces)
+        if (trace.size() > largest->size())
+            largest = &trace;
+
+    const DecodedTrace decoded = decodeTrace(
+        *largest, defaultBlockBytes, SharingModel::ByProcess);
+    const SchemeSpec scheme = parseScheme("Dir4NB");
+
+    SimResult sequential, sharded;
+    const double seq_seconds = secondsOf([&] {
+        sequential = simulateTrace(decoded, scheme);
+    });
+    const double shard_seconds = secondsOf([&] {
+        sharded = simulateTraceSharded(decoded, scheme, {}, 8);
+    });
+    fatalIf(!(sequential.events == sharded.events)
+                || !(sequential.ops == sharded.ops)
+                || !(sequential.cleanWriteHolders
+                     == sharded.cleanWriteHolders),
+            "sharded ", largest->name(),
+            "/Dir4NB diverged from the sequential cell");
+
+    const double refs = static_cast<double>(largest->size());
+    metrics.set("perf.shard.refs_per_second.seq",
+                seq_seconds > 0.0 ? refs / seq_seconds : 0.0);
+    metrics.set("perf.shard.refs_per_second.shard8",
+                shard_seconds > 0.0 ? refs / shard_seconds : 0.0);
+    const double speedup =
+        shard_seconds > 0.0 ? seq_seconds / shard_seconds : 0.0;
+    metrics.set("perf.shard.speedup", speedup);
+    std::cerr << "shard scaling: " << largest->name()
+              << "/Dir4NB x8 shards = " << speedup
+              << "x sequential (" << ThreadPool::hardwareThreads()
+              << " hardware threads)\n";
+}
+
+/**
+ * Cold-then-warm cell-cache replay of the paper grid. The warm run
+ * must simulate nothing; its wall time and hit counts land in the
+ * trajectory file as perf.cache.*.
+ */
+void
+measureWarmCacheReplay(MetricRegistry &metrics)
+{
+    const auto cache_dir = std::filesystem::temp_directory_path()
+        / "dirsim_perf_cell_cache";
+    std::filesystem::remove_all(cache_dir);
+    RunnerConfig config;
+    config.cellCache =
+        std::make_shared<FileCellCache>(cache_dir.string());
+    const ExperimentRunner runner(config);
+
+    GridResult cold, warm;
+    const double cold_seconds = secondsOf([&] {
+        cold = runner.run(paperSchemes(), gridSuite());
+    });
+    const double warm_seconds = secondsOf([&] {
+        warm = runner.run(paperSchemes(), gridSuite());
+    });
+    fatalIf(warm.cacheHits() != warm.cells.size()
+                || warm.simulatedRefs() != 0,
+            "warm cell-cache grid simulated ", warm.simulatedRefs(),
+            " refs across ", warm.cacheMisses(),
+            " misses; expected a full replay");
+
+    metrics.set("perf.cache.cold_wall_seconds", cold_seconds);
+    metrics.set("perf.cache.warm_wall_seconds", warm_seconds);
+    metrics.add("perf.cache.warm_hits", warm.cacheHits());
+    metrics.add("perf.cache.warm_simulated_refs",
+                warm.simulatedRefs());
+    std::cerr << "warm cell cache: " << warm.cacheHits() << "/"
+              << warm.cells.size() << " cells replayed in "
+              << warm_seconds << "s (cold " << cold_seconds
+              << "s)\n";
+    std::filesystem::remove_all(cache_dir);
+}
+
 } // namespace
 
 int
@@ -186,14 +347,20 @@ main(int argc, char **argv)
 
     const char *override_path = std::getenv("DIRSIM_BENCH_JSON");
     const std::string out =
-        override_path ? override_path : "BENCH_5.json";
+        override_path ? override_path : "BENCH_6.json";
     if (out.empty())
         return 0;
     try {
+        MetricRegistry engine_metrics;
+        measureShardSpeedup(engine_metrics);
+        measureWarmCacheReplay(engine_metrics);
         JsonlSink sink(out);
         const ExperimentRunner runner;
         runWithArtifacts(runner, paperSchemes(), gridSuite(), {},
-                         sink);
+                         sink,
+                         [&engine_metrics](MetricRegistry &metrics) {
+                             metrics.merge(engine_metrics);
+                         });
     } catch (const SimulationError &error) {
         std::cerr << "error: " << error.what() << '\n';
         return 1;

@@ -39,7 +39,11 @@ main(int argc, char **argv)
         const SchemeSpec spec = parseScheme(scheme);
         const SimConfig config = SimConfig::fromEnvironment();
         const Trace trace = generateTrace(workload, refs, seed);
-        const SimResult result = simulateTrace(trace, spec, config);
+        // One SimJob through the engine entry point: picks up the
+        // decode pipeline and the DIRSIM_SHARDS override
+        // (JobOptions::fromEnvironment()) for free.
+        const SimResult result =
+            runJob({TraceRef::of(trace), spec, config}).result;
         printRunReport(std::cout, result);
     } catch (const SimulationError &error) {
         std::cerr << "error: " << error.what() << '\n';

@@ -22,8 +22,13 @@ main()
               << " processes on " << trace.numCpus() << " CPUs\n";
 
     // 2. Run it through a directory scheme and a snoopy scheme.
-    const SimResult dir0b = simulateTrace(trace, "Dir0B");
-    const SimResult dragon = simulateTrace(trace, "Dragon");
+    //    A SimJob names everything one simulation needs — the trace,
+    //    the scheme, the parameters — and runJob() is the one entry
+    //    point (sim/job.hh; docs/api.md).
+    const SimResult dir0b =
+        runJob({TraceRef::of(trace), parseScheme("Dir0B")}).result;
+    const SimResult dragon =
+        runJob({TraceRef::of(trace), parseScheme("Dragon")}).result;
 
     // 3. Weight the recorded events by a bus cost model.
     const BusCosts bus = paperPipelinedCosts();

@@ -5,13 +5,15 @@
  * larger than the paper's 4-CPU tracing host, and relate traffic to
  * directory storage cost.
  *
- * The whole sweep runs as one grid on the parallel ExperimentRunner
- * (DIRSIM_JOBS workers; default: all hardware threads), with a
- * progress line per finished scheme.
+ * The whole sweep is expressed as one SimJob per scheme and executed
+ * in a single runJobs() call (sim/job.hh): the trace is decoded once,
+ * shared read-only across the jobs, and the jobs run concurrently
+ * (DIRSIM_JOBS workers; default: all hardware threads).
  *
  * Usage: scalability_study [procs] [refs] [seed]
  */
 
+#include <chrono>
 #include <cstdlib>
 #include <iostream>
 
@@ -71,31 +73,40 @@ try {
             parseScheme("Dir" + std::to_string(i) + "NB"));
     }
 
-    RunnerConfig runner_config = RunnerConfig::fromEnvironment();
-    runner_config.onCellComplete = [](const GridProgress &progress) {
-        std::cerr << "  [" << progress.completedCells << "/"
-                  << progress.totalCells << "] " << progress.cell.scheme
-                  << " done in "
-                  << TextTable::fixed(progress.cell.wallSeconds, 2)
+    // One SimJob per scheme over the shared trace; runJobs() builds a
+    // single plan (the trace is decoded and checksummed once) and
+    // executes the jobs on a worker pool.
+    std::vector<SimJob> jobs;
+    for (const SchemeSpec &spec : schemes)
+        jobs.push_back({TraceRef::of(traces[0]), spec, {}});
+
+    const auto start = std::chrono::steady_clock::now();
+    const std::vector<CellOutcome> outcomes =
+        runJobs(jobs, JobOptions::fromEnvironment(), /* workers */ 0);
+    const double wall_seconds =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+
+    for (std::size_t s = 0; s < outcomes.size(); ++s)
+        std::cerr << "  [" << s + 1 << "/" << outcomes.size() << "] "
+                  << outcomes[s].result.scheme << " done in "
+                  << TextTable::fixed(outcomes[s].wallSeconds, 2)
                   << "s\n";
-    };
-    const ExperimentRunner runner(runner_config);
-    const GridResult grid = runner.run(schemes, traces);
 
     std::cout << procs << "-processor machine, "
               << TextTable::grouped(traces[0].size())
-              << " references; grid ran on " << grid.jobs
-              << " jobs in " << TextTable::fixed(grid.wallSeconds, 2)
-              << "s\n\n";
+              << " references; " << outcomes.size()
+              << " jobs ran in "
+              << TextTable::fixed(wall_seconds, 2) << "s\n\n";
 
     TextTable table({"scheme", "cycles/ref", "vs full map",
                      "dir bits/block", "broadcasts"});
-    const double full_map_cost =
-        grid.schemes[0].perTrace[0].cost(bus).total();
+    const double full_map_cost = outcomes[0].result.cost(bus).total();
 
     for (std::size_t s = 0; s < schemes.size(); ++s) {
         const SchemeSpec &spec = schemes[s];
-        const SimResult &result = grid.schemes[s].perTrace[0];
+        const SimResult &result = outcomes[s].result;
         const double total = result.cost(bus).total();
         StorageParams params;
         params.numCaches = procs;

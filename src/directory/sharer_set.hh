@@ -72,6 +72,12 @@ class SharerSet
     /** True iff this is a superset of @p other (same domain). */
     bool isSupersetOf(const SharerSet &other) const;
 
+    /** Add every member of @p other (same domain). */
+    void unionWith(const SharerSet &other);
+
+    /** True iff this and @p other share a member (same domain). */
+    bool intersects(const SharerSet &other) const;
+
     bool operator==(const SharerSet &other) const = default;
 
   private:

@@ -42,6 +42,7 @@
 #include "directory/tang.hh"
 #include "directory/two_bit.hh"
 #include "obs/artifacts.hh"
+#include "obs/cell_cache.hh"
 #include "obs/chrome_trace.hh"
 #include "obs/histogram.hh"
 #include "obs/manifest.hh"
@@ -66,6 +67,7 @@
 #include "protocols/yen_fu.hh"
 #include "sim/decoded.hh"
 #include "sim/experiment.hh"
+#include "sim/job.hh"
 #include "sim/report.hh"
 #include "sim/runner.hh"
 #include "sim/simulator.hh"

@@ -229,6 +229,12 @@ gridMetrics(const GridResult &grid)
     metrics.set("runner.grid.jobs", grid.jobs);
     metrics.set("runner.grid.cells",
                 static_cast<double>(grid.cells.size()));
+    if (grid.cacheEnabled) {
+        metrics.add("runner.cache.hits", grid.cacheHits());
+        metrics.add("runner.cache.misses", grid.cacheMisses());
+        metrics.add("runner.grid.simulated_refs",
+                    grid.simulatedRefs());
+    }
     return metrics;
 }
 

@@ -1,0 +1,108 @@
+#include "obs/cell_cache.hh"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "common/env.hh"
+#include "common/json.hh"
+#include "common/logging.hh"
+#include "obs/record.hh"
+
+namespace dirsim
+{
+
+FileCellCache::FileCellCache(std::string dir_arg)
+    : dir(std::move(dir_arg))
+{
+    fatalIf(dir.empty(), "cell cache directory must not be empty");
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    fatalIf(ec.value() != 0, "cannot create cache directory '", dir,
+            "': ", ec.message());
+}
+
+std::shared_ptr<FileCellCache>
+FileCellCache::fromEnvironment()
+{
+    const auto dir = envString("DIRSIM_CACHE_DIR");
+    if (!dir || dir->empty())
+        return nullptr;
+    return std::make_shared<FileCellCache>(*dir);
+}
+
+std::string
+FileCellCache::entryPath(std::uint64_t key) const
+{
+    std::ostringstream name;
+    name << std::hex;
+    name.width(16);
+    name.fill('0');
+    name << key;
+    return dir + "/" + name.str() + ".cell.json";
+}
+
+bool
+FileCellCache::lookup(std::uint64_t key, SimResult &out)
+{
+    std::ifstream in(entryPath(key));
+    if (!in) {
+        ++missCount;
+        return false;
+    }
+    std::string line;
+    if (!std::getline(in, line) || line.empty()) {
+        ++missCount;
+        return false;
+    }
+    try {
+        const JsonValue json = JsonValue::parse(line);
+        out = CellRecord::fromJson(json).toSimResult();
+    } catch (const SimulationError &) {
+        // Corrupted or truncated entry: a miss; the store() that
+        // follows the re-simulation rewrites it whole.
+        ++missCount;
+        return false;
+    }
+    ++hitCount;
+    return true;
+}
+
+void
+FileCellCache::store(std::uint64_t key, const SimResult &result,
+                     double wall_seconds)
+{
+    CellTiming timing;
+    timing.scheme = result.scheme;
+    timing.traceName = result.traceName;
+    timing.refs = result.totalRefs;
+    timing.wallSeconds = wall_seconds;
+
+    std::ostringstream line;
+    JsonWriter writer(line);
+    CellRecord::fromCell(result, timing).writeJson(writer);
+
+    const std::string path = entryPath(key);
+    // Unique temp name per writer thread, then an atomic rename, so
+    // concurrent workers (or processes) never expose a partial entry.
+    std::ostringstream tmp;
+    tmp << path << ".tmp."
+        << std::hash<std::thread::id>{}(std::this_thread::get_id());
+    {
+        std::ofstream outfile(tmp.str(),
+                              std::ios::binary | std::ios::trunc);
+        fatalIf(!outfile, "cannot write cache entry '", tmp.str(), "'");
+        outfile << line.str() << '\n';
+        outfile.flush();
+        fatalIf(!outfile, "I/O error writing cache entry '", tmp.str(),
+                "'");
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp.str(), path, ec);
+    fatalIf(ec.value() != 0, "cannot publish cache entry '", path,
+            "': ", ec.message());
+    ++storeCount;
+}
+
+} // namespace dirsim

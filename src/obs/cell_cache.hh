@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The file-backed cell result cache.
+ *
+ * FileCellCache persists one CellRecord JSONL line per cache entry
+ * under a directory, named by the entry's content-addressed key
+ * (sim/job.hh cellCacheKey()) in hex. Because the engine schema
+ * version is folded into the key, a stale entry from an older engine
+ * simply never gets looked up; a corrupted or truncated entry is
+ * treated as a miss and overwritten by the store that follows.
+ *
+ * Writes go through a temp file + rename, so concurrent grid workers
+ * (and concurrent processes sharing one cache directory) never
+ * observe a half-written entry. Set DIRSIM_CACHE_DIR to enable the
+ * cache in the bench binaries and examples; the paper grid replays
+ * from a warm cache with zero simulated references
+ * (tests/cell_cache_test.cmake).
+ */
+
+#ifndef DIRSIM_OBS_CELL_CACHE_HH
+#define DIRSIM_OBS_CELL_CACHE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "sim/job.hh"
+
+namespace dirsim
+{
+
+/** CellCache backed by one JSONL file per entry. */
+class FileCellCache : public CellCache
+{
+  public:
+    /** @param dir_arg cache directory; created if absent */
+    explicit FileCellCache(std::string dir_arg);
+
+    /**
+     * The DIRSIM_CACHE_DIR cache, or nullptr when the variable is
+     * unset or empty.
+     */
+    static std::shared_ptr<FileCellCache> fromEnvironment();
+
+    bool lookup(std::uint64_t key, SimResult &out) override;
+    void store(std::uint64_t key, const SimResult &result,
+               double wall_seconds) override;
+
+    const std::string &directory() const { return dir; }
+
+    /** Process-lifetime counters (thread-safe). */
+    std::uint64_t hits() const { return hitCount.load(); }
+    std::uint64_t misses() const { return missCount.load(); }
+    std::uint64_t stores() const { return storeCount.load(); }
+
+  private:
+    std::string entryPath(std::uint64_t key) const;
+
+    std::string dir;
+    std::atomic<std::uint64_t> hitCount{0};
+    std::atomic<std::uint64_t> missCount{0};
+    std::atomic<std::uint64_t> storeCount{0};
+};
+
+} // namespace dirsim
+
+#endif // DIRSIM_OBS_CELL_CACHE_HH

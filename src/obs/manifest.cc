@@ -70,21 +70,9 @@ sharingFromString(const std::string &name)
 
 } // namespace
 
-std::uint64_t
-fileChecksumFnv64(const std::string &path)
-{
-    std::ifstream in(path, std::ios::binary);
-    fatalIf(!in, "cannot open '", path, "' for checksumming");
-    traceformat::Fnv64 fnv;
-    char buf[1 << 16];
-    while (in.read(buf, sizeof(buf)) || in.gcount() > 0) {
-        fnv.update(buf, static_cast<std::size_t>(in.gcount()));
-        if (in.eof())
-            break;
-    }
-    fatalIf(in.bad(), "I/O error while checksumming '", path, "'");
-    return fnv.value();
-}
+// fileChecksumFnv64() moved to sim/job.cc (the cell cache keys need
+// it below the obs layer); the declaration in manifest.hh remains
+// valid for existing callers.
 
 std::vector<std::pair<std::string, std::string>>
 dirsimEnvironment()

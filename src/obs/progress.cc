@@ -58,6 +58,9 @@ ProgressHud::renderLine(const GridProgress &progress)
     line << '[' << progress.completedCells << '/'
          << progress.totalCells << "] " << progress.cell.scheme << '/'
          << progress.cell.traceName;
+    if (progress.cacheHits > 0)
+        line << "  cache " << progress.cacheHits << '/'
+             << progress.completedCells;
     const double rate = progress.refsPerSecond();
     if (rate > 0.0)
         line << "  " << formatRate(rate);

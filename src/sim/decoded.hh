@@ -161,7 +161,9 @@ SimResult simulateTrace(const DecodedTrace &decoded,
                         const SchemeSpec &scheme,
                         const SimConfig &config = {});
 
-/** Name-based convenience for the spec overload. */
+/** Legacy string-named convenience for the spec overload; kept as a
+ *  one-line wrapper. Prefer runJob({TraceRef::of(decoded),
+ *  parseScheme(name), config}) — sim/job.hh, docs/api.md. */
 SimResult simulateTrace(const DecodedTrace &decoded,
                         const std::string &scheme,
                         const SimConfig &config = {});

@@ -8,6 +8,7 @@
 #include "common/logging.hh"
 #include "common/thread_pool.hh"
 #include "sim/decoded.hh"
+#include "sim/job.hh"
 
 namespace dirsim
 {
@@ -31,67 +32,6 @@ currentThreadTag()
         std::hash<std::thread::id>{}(std::this_thread::get_id()));
 }
 
-/**
- * Attach a per-cell trace sink, when configured. The returned owner
- * must live until the cell's simulation call returns; destroying it
- * merges the session's data into its tracer.
- */
-std::unique_ptr<ProtocolTraceSink>
-attachCellSink(const RunnerConfig::CellSinkFactory &make_sink,
-               const std::string &scheme, const std::string &trace,
-               SimConfig &sim)
-{
-    if (!make_sink)
-        return nullptr;
-    std::unique_ptr<ProtocolTraceSink> sink =
-        make_sink(scheme, trace);
-    if (sink)
-        sim.traceSink = sink.get();
-    return sink;
-}
-
-/** Simulate one cell and record its timing. */
-SimResult
-runCell(const SchemeSpec &scheme, const Trace &trace,
-        const SimConfig &sim,
-        const RunnerConfig::CellSinkFactory &make_sink,
-        CellTiming &timing)
-{
-    timing.startNs = PhaseTimer::nowNs();
-    timing.threadTag = currentThreadTag();
-    const auto start = Clock::now();
-    timing.scheme = scheme.name();
-    timing.traceName = trace.name();
-    SimConfig cell_sim = sim;
-    const auto sink = attachCellSink(make_sink, timing.scheme,
-                                     timing.traceName, cell_sim);
-    SimResult result = simulateTrace(trace, scheme, cell_sim);
-    timing.refs = trace.size();
-    timing.wallSeconds = secondsSince(start);
-    return result;
-}
-
-/** The decode-once cell: replay a shared decoded stream. */
-SimResult
-runDecodedCell(const SchemeSpec &scheme, const DecodedTrace &decoded,
-               const SimConfig &sim,
-               const RunnerConfig::CellSinkFactory &make_sink,
-               CellTiming &timing)
-{
-    timing.startNs = PhaseTimer::nowNs();
-    timing.threadTag = currentThreadTag();
-    const auto start = Clock::now();
-    timing.scheme = scheme.name();
-    timing.traceName = decoded.name;
-    SimConfig cell_sim = sim;
-    const auto sink = attachCellSink(make_sink, timing.scheme,
-                                     timing.traceName, cell_sim);
-    SimResult result = simulateTrace(decoded, scheme, cell_sim);
-    timing.refs = decoded.numRecords();
-    timing.wallSeconds = secondsSince(start);
-    return result;
-}
-
 } // namespace
 
 unsigned
@@ -107,6 +47,7 @@ RunnerConfig::fromEnvironment()
     RunnerConfig config;
     config.jobs = envUnsigned("DIRSIM_JOBS", 0);
     config.decode = decodeEnabled();
+    config.shards = ShardPlan::fromEnvironment();
     return config;
 }
 
@@ -125,6 +66,30 @@ GridResult::refsPerSecond() const
     return wallSeconds > 0.0
         ? static_cast<double>(totalRefs()) / wallSeconds
         : 0.0;
+}
+
+std::uint64_t
+GridResult::cacheHits() const
+{
+    std::uint64_t hits = 0;
+    for (const auto &cell : cells)
+        hits += cell.cacheHit ? 1 : 0;
+    return hits;
+}
+
+std::uint64_t
+GridResult::cacheMisses() const
+{
+    return cells.size() - cacheHits();
+}
+
+std::uint64_t
+GridResult::simulatedRefs() const
+{
+    std::uint64_t refs = 0;
+    for (const auto &cell : cells)
+        refs += cell.simulatedRefs;
+    return refs;
 }
 
 ExperimentRunner::ExperimentRunner(RunnerConfig config_arg)
@@ -157,14 +122,17 @@ ExperimentRunner::runGridCells(
     std::mutex progress_mutex;
     std::size_t completed = 0;
     std::uint64_t completed_refs = 0;
+    std::size_t completed_hits = 0;
     const auto finishCell = [&](std::size_t index) {
         if (!config.onCellComplete)
             return;
         std::lock_guard<std::mutex> lock(progress_mutex);
         completed_refs += grid.cells[index].refs;
+        completed_hits += grid.cells[index].cacheHit ? 1 : 0;
         GridProgress progress{++completed,         num_cells,
                               grid.cells[index],   secondsSince(start),
-                              completed_refs,      planned_refs};
+                              completed_refs,      planned_refs,
+                              completed_hits};
         config.onCellComplete(progress);
     };
 
@@ -201,6 +169,59 @@ ExperimentRunner::runGridCells(
 }
 
 GridResult
+ExperimentRunner::runJobGrid(const std::vector<SimJob> &jobs,
+                             const std::vector<SchemeSpec> &schemes,
+                             std::size_t num_traces) const
+{
+    JobOptions options;
+    options.decode = config.decode;
+    options.shards = config.shards;
+    options.cache = config.cellCache;
+
+    // Planning (decode + checksum each distinct trace once) is grid
+    // setup, charged as Read time; it makes plannedRefs exact by
+    // construction for decoded grids.
+    const std::uint64_t plan_start = PhaseTimer::nowNs();
+    const SimPlan plan = buildPlan(jobs, options);
+    const std::uint64_t plan_ns = PhaseTimer::nowNs() - plan_start;
+
+    GridResult grid = runGridCells(
+        schemes.size(), num_traces, plan.plannedRefs(),
+        [&](std::size_t s, std::size_t t, CellTiming &timing) {
+            const std::size_t index = s * num_traces + t;
+            const PlannedCell &planned = plan.cells[index];
+            timing.startNs = PhaseTimer::nowNs();
+            timing.threadTag = currentThreadTag();
+            const auto start = Clock::now();
+            timing.scheme = planned.scheme.name();
+            timing.traceName = planned.traceName;
+
+            ShardSinkFactory make_sink;
+            if (config.makeCellTraceSink) {
+                make_sink = [this, &timing](unsigned) {
+                    return config.makeCellTraceSink(timing.scheme,
+                                                    timing.traceName);
+                };
+            }
+            const CellOutcome outcome =
+                runPlannedCell(plan, index, make_sink);
+            timing.refs = outcome.records;
+            timing.wallSeconds = secondsSince(start);
+            timing.cacheHit = outcome.cacheHit;
+            timing.shards = outcome.shardsUsed;
+            timing.simulatedRefs = outcome.simulatedRefs;
+            if (timing.traceName.empty())
+                timing.traceName = outcome.result.traceName;
+            return outcome.result;
+        });
+    grid.setupPhases.add(Phase::Read, plan_ns);
+    grid.cacheEnabled = config.cellCache != nullptr;
+    for (std::size_t s = 0; s < schemes.size(); ++s)
+        grid.schemes[s].scheme = schemes[s].name();
+    return grid;
+}
+
+GridResult
 ExperimentRunner::run(const std::vector<SchemeSpec> &schemes,
                       const std::vector<Trace> &traces,
                       const SimConfig &sim) const
@@ -208,48 +229,12 @@ ExperimentRunner::run(const std::vector<SchemeSpec> &schemes,
     fatalIf(schemes.empty(), "experiment grid with no schemes");
     fatalIf(traces.empty(), "experiment grid with no traces");
 
-    if (config.decode) {
-        // Decode each trace once; all scheme cells replay the shared
-        // immutable stream. The decode is grid setup, charged as Read
-        // time, and makes plannedRefs exact by construction.
-        const std::uint64_t decode_start = PhaseTimer::nowNs();
-        std::vector<DecodedTrace> decoded;
-        decoded.reserve(traces.size());
+    std::vector<SimJob> jobs;
+    jobs.reserve(schemes.size() * traces.size());
+    for (const SchemeSpec &scheme : schemes)
         for (const Trace &trace : traces)
-            decoded.push_back(
-                decodeTrace(trace, sim.blockBytes, sim.sharing));
-        const std::uint64_t decode_ns =
-            PhaseTimer::nowNs() - decode_start;
-
-        std::uint64_t trace_refs = 0;
-        for (const DecodedTrace &stream : decoded)
-            trace_refs += stream.numRecords();
-        GridResult grid = runGridCells(
-            schemes.size(), traces.size(),
-            trace_refs * schemes.size(),
-            [&](std::size_t s, std::size_t t, CellTiming &timing) {
-                return runDecodedCell(schemes[s], decoded[t], sim,
-                                      config.makeCellTraceSink,
-                                      timing);
-            });
-        grid.setupPhases.add(Phase::Read, decode_ns);
-        for (std::size_t s = 0; s < schemes.size(); ++s)
-            grid.schemes[s].scheme = schemes[s].name();
-        return grid;
-    }
-
-    std::uint64_t trace_refs = 0;
-    for (const Trace &trace : traces)
-        trace_refs += trace.size();
-    GridResult grid = runGridCells(
-        schemes.size(), traces.size(), trace_refs * schemes.size(),
-        [&](std::size_t s, std::size_t t, CellTiming &timing) {
-            return runCell(schemes[s], traces[t], sim,
-                           config.makeCellTraceSink, timing);
-        });
-    for (std::size_t s = 0; s < schemes.size(); ++s)
-        grid.schemes[s].scheme = schemes[s].name();
-    return grid;
+            jobs.push_back({TraceRef::of(trace), scheme, sim});
+    return runJobGrid(jobs, schemes, traces.size());
 }
 
 GridResult
@@ -261,39 +246,22 @@ ExperimentRunner::runFiles(const std::vector<SchemeSpec> &schemes,
     fatalIf(tracePaths.empty(), "experiment grid with no trace files");
 
     if (config.decode) {
-        // One decode per file — the only read it ever gets. The same
-        // pass validates the file, sizes the coherence domain, and
-        // captures the stream every cell replays, fixing the legacy
-        // double read (sizing scan + per-cell reopen).
-        const std::uint64_t decode_start = PhaseTimer::nowNs();
-        std::vector<DecodedTrace> decoded;
-        decoded.reserve(tracePaths.size());
-        for (const auto &path : tracePaths)
-            decoded.push_back(decodeTraceFile(path, sim.blockBytes,
-                                              sim.sharing));
-        const std::uint64_t decode_ns =
-            PhaseTimer::nowNs() - decode_start;
-
-        std::uint64_t trace_refs = 0;
-        for (const DecodedTrace &stream : decoded)
-            trace_refs += stream.numRecords();
-        GridResult grid = runGridCells(
-            schemes.size(), tracePaths.size(),
-            trace_refs * schemes.size(),
-            [&](std::size_t s, std::size_t t, CellTiming &timing) {
-                return runDecodedCell(schemes[s], decoded[t], sim,
-                                      config.makeCellTraceSink,
-                                      timing);
-            });
-        grid.setupPhases.add(Phase::Read, decode_ns);
-        for (std::size_t s = 0; s < schemes.size(); ++s)
-            grid.schemes[s].scheme = schemes[s].name();
-        return grid;
+        // One decode per file — the only read it ever gets. The plan
+        // validates the file, sizes the coherence domain, and captures
+        // the stream every cell replays, fixing the legacy double read
+        // (sizing scan + per-cell reopen).
+        std::vector<SimJob> jobs;
+        jobs.reserve(schemes.size() * tracePaths.size());
+        for (const SchemeSpec &scheme : schemes)
+            for (const std::string &path : tracePaths)
+                jobs.push_back({TraceRef::file(path), scheme, sim});
+        return runJobGrid(jobs, schemes, tracePaths.size());
     }
 
-    // One validating scan per file, up front: sizes every cell's
-    // coherence domain and rejects malformed inputs before any
-    // simulation work is queued.
+    // Legacy bounded-memory pipeline: one validating scan per file,
+    // up front, sizes every cell's coherence domain and rejects
+    // malformed inputs before any simulation work is queued; each
+    // cell then re-opens and streams its file.
     const std::uint64_t scan_start = PhaseTimer::nowNs();
     std::vector<TraceFileInfo> infos;
     infos.reserve(tracePaths.size());
@@ -301,32 +269,19 @@ ExperimentRunner::runFiles(const std::vector<SchemeSpec> &schemes,
         infos.push_back(scanTraceFile(path, sim.sharing));
     const std::uint64_t scan_ns = PhaseTimer::nowNs() - scan_start;
 
-    std::uint64_t trace_refs = 0;
-    for (const TraceFileInfo &info : infos)
-        trace_refs += info.records;
-    GridResult grid = runGridCells(
-        schemes.size(), tracePaths.size(),
-        trace_refs * schemes.size(),
-        [&](std::size_t s, std::size_t t, CellTiming &timing) {
-            timing.startNs = PhaseTimer::nowNs();
-            timing.threadTag = currentThreadTag();
-            const auto start = Clock::now();
-            timing.scheme = schemes[s].name();
-            timing.traceName = infos[t].name;
-            SimConfig cell_sim = sim;
-            const auto sink = attachCellSink(
-                config.makeCellTraceSink, timing.scheme,
-                timing.traceName, cell_sim);
-            SimResult result = simulateTraceFile(
-                tracePaths[t], schemes[s], cell_sim,
-                infos[t].caches);
-            timing.refs = infos[t].records;
-            timing.wallSeconds = secondsSince(start);
-            return result;
-        });
+    std::vector<SimJob> jobs;
+    jobs.reserve(schemes.size() * tracePaths.size());
+    for (const SchemeSpec &scheme : schemes) {
+        for (std::size_t t = 0; t < tracePaths.size(); ++t) {
+            TraceRef ref = TraceRef::file(tracePaths[t]);
+            ref.cachesHint = infos[t].caches;
+            ref.recordsHint = infos[t].records;
+            ref.nameHint = infos[t].name;
+            jobs.push_back({std::move(ref), scheme, sim});
+        }
+    }
+    GridResult grid = runJobGrid(jobs, schemes, tracePaths.size());
     grid.setupPhases.add(Phase::Read, scan_ns);
-    for (std::size_t s = 0; s < schemes.size(); ++s)
-        grid.schemes[s].scheme = schemes[s].name();
     return grid;
 }
 

@@ -13,6 +13,13 @@
  * runGrid() (sim/experiment.hh) is a thin wrapper over this API with
  * environment-default concurrency; CLIs that want progress output or
  * timing metrics use the runner directly.
+ *
+ * The runner itself is a wrapper over the SimJob engine (sim/job.hh):
+ * run()/runFiles() expand the grid into scheme-major SimJobs, build
+ * one SimPlan (each distinct trace decoded and checksummed once), and
+ * execute the planned cells on the pool. That routing is what gives
+ * grids intra-cell block sharding (RunnerConfig::shards) and the
+ * content-addressed cell cache (RunnerConfig::cellCache) for free.
  */
 
 #ifndef DIRSIM_SIM_RUNNER_HH
@@ -25,6 +32,7 @@
 #include <vector>
 
 #include "sim/experiment.hh"
+#include "sim/job.hh"
 #include "sim/simulator.hh"
 
 namespace dirsim
@@ -45,6 +53,12 @@ struct CellTiming
      */
     std::uint64_t startNs = 0;
     std::uint64_t threadTag = 0;
+    /** True when the result came from the cell cache. */
+    bool cacheHit = false;
+    /** Shards the cell's simulation used (1 = sequential). */
+    unsigned shards = 1;
+    /** Records actually simulated: 0 for cache hits. */
+    std::uint64_t simulatedRefs = 0;
 
     /** Simulation throughput; 0 when the cell ran too fast to time. */
     double refsPerSecond() const
@@ -69,6 +83,8 @@ struct GridProgress
     std::uint64_t completedRefs = 0;
     /** References the whole grid will simulate (known up front). */
     std::uint64_t plannedRefs = 0;
+    /** Cells served from the cell cache so far. */
+    std::size_t cacheHits = 0;
 
     /** Aggregate throughput so far; 0 until measurable. */
     double refsPerSecond() const
@@ -136,13 +152,31 @@ struct RunnerConfig
     bool decode = true;
 
     /**
+     * Intra-cell block sharding (sim/job.hh): how many shards each
+     * decoded cell splits into. The default is one shard — the exact
+     * legacy sequential cell. Cells that cannot shard (finite caches,
+     * no decoded stream) ignore the plan and run one shard.
+     */
+    ShardPlan shards;
+
+    /**
+     * Content-addressed cell result cache (sim/job.hh); nullptr (the
+     * default) simulates every cell. Wire obs'
+     * FileCellCache::fromEnvironment() here to honor
+     * DIRSIM_CACHE_DIR.
+     */
+    std::shared_ptr<CellCache> cellCache;
+
+    /**
      * The DIRSIM_JOBS environment override when set and non-zero,
      * otherwise the hardware thread count.
      */
     static unsigned defaultJobs();
 
-    /** A config with jobs = the DIRSIM_JOBS override (or 0) and
-     *  decode = the DIRSIM_DECODE override (or on). */
+    /** A config with jobs = the DIRSIM_JOBS override (or 0), decode =
+     *  the DIRSIM_DECODE override (or on), and shards = the
+     *  DIRSIM_SHARDS override (or sequential). The cell cache is not
+     *  wired here — the sim layer cannot see obs' file cache. */
     static RunnerConfig fromEnvironment();
 };
 
@@ -165,11 +199,19 @@ struct GridResult
      * each SimResult::phases.
      */
     PhaseBreakdown setupPhases;
+    /** True when the grid ran with a cell cache configured. */
+    bool cacheEnabled = false;
 
     /** Aggregate throughput: all simulated refs over the wall time. */
     double refsPerSecond() const;
-    /** Sum of every cell's simulated references. */
+    /** Sum of every cell's covered references (cached or not). */
     std::uint64_t totalRefs() const;
+    /** Cells served from the cell cache. */
+    std::uint64_t cacheHits() const;
+    /** Cells that actually simulated. */
+    std::uint64_t cacheMisses() const;
+    /** References actually simulated (0 for a fully warm cache). */
+    std::uint64_t simulatedRefs() const;
 };
 
 /**
@@ -200,7 +242,8 @@ class ExperimentRunner
                    const std::vector<Trace> &traces,
                    const SimConfig &sim = {}) const;
 
-    /** Name-based convenience: parseScheme() each name, then run. */
+    /** Legacy string-named convenience: parseScheme() each name,
+     *  then run. Kept as a one-line wrapper (docs/api.md). */
     GridResult run(const std::vector<std::string> &schemes,
                    const std::vector<Trace> &traces,
                    const SimConfig &sim = {}) const;
@@ -228,7 +271,8 @@ class ExperimentRunner
                         const std::vector<std::string> &tracePaths,
                         const SimConfig &sim = {}) const;
 
-    /** Name-based convenience for runFiles(). */
+    /** Legacy string-named convenience for runFiles(); kept as a
+     *  one-line wrapper (docs/api.md). */
     GridResult runFiles(const std::vector<std::string> &schemes,
                         const std::vector<std::string> &tracePaths,
                         const SimConfig &sim = {}) const;
@@ -237,6 +281,13 @@ class ExperimentRunner
     unsigned resolvedJobs() const;
 
   private:
+    /** Expand scheme-major jobs through the SimJob engine
+     *  (buildPlan + runPlannedCell per cell) and execute them on the
+     *  grid scaffolding. */
+    GridResult runJobGrid(const std::vector<SimJob> &jobs,
+                          const std::vector<SchemeSpec> &schemes,
+                          std::size_t num_traces) const;
+
     /** Shared grid scaffolding: cells(s, t) fills one SimResult.
      *  @param planned_refs total references the grid will simulate,
      *         reported through GridProgress */

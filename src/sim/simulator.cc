@@ -8,6 +8,7 @@
 #include "common/logging.hh"
 #include "protocols/registry.hh"
 #include "sim/decoded.hh"
+#include "sim/job.hh"
 #include "trace/reader.hh"
 
 namespace dirsim
@@ -244,11 +245,13 @@ SimResult
 simulateTrace(const Trace &trace, const SchemeSpec &scheme,
               const SimConfig &config)
 {
-    const unsigned caches = cachesNeeded(trace, config.sharing);
-    fatalIf(caches == 0, "trace '", trace.name(), "' has no references");
-    const auto protocol =
-        makeProtocol(scheme, caches, cacheFactoryFor(config));
-    return simulateTrace(trace, *protocol, config);
+    // One-line wrapper over the SimJob engine (sim/job.hh);
+    // JobOptions::sequential() pins the legacy semantics — sparse
+    // engine, one shard, no cache — so this overload stays the
+    // reference the decoded/sharded paths are tested against.
+    return runJob({TraceRef::of(trace), scheme, config},
+                  JobOptions::sequential())
+        .result;
 }
 
 TraceFileInfo

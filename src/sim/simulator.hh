@@ -159,13 +159,21 @@ SimResult simulateTrace(TraceSource &source,
  * Build the scheme from its structured spec with the cache count
  * implied by the trace and the sharing model (honoring
  * SimConfig::finiteCache), then simulate.
+ *
+ * One-line wrapper over the SimJob engine (sim/job.hh) with
+ * JobOptions::sequential() — the exact legacy sparse path. New code
+ * that wants decoding, sharding, or the result cache should build a
+ * SimJob and call runJob().
  */
 SimResult simulateTrace(const Trace &trace, const SchemeSpec &scheme,
                         const SimConfig &config = {});
 
 /**
- * Convenience: parse the scheme name (protocols/registry.hh), then
- * run the spec-based overload.
+ * Legacy string-named convenience: parse the scheme name
+ * (protocols/registry.hh), then run the spec-based overload. Kept as
+ * a one-line wrapper for downstream code; prefer
+ * runJob({TraceRef::of(trace), parseScheme(name), config}) — see
+ * docs/api.md for the migration table.
  */
 SimResult simulateTrace(const Trace &trace, const std::string &scheme,
                         const SimConfig &config = {});
@@ -208,13 +216,21 @@ TraceFileInfo scanTraceFile(const std::string &path,
  * non-zero, e.g. from an earlier scanTraceFile()), then a streaming
  * simulation pass. Results are bit-identical either way, and to
  * loading the file and running the in-memory overload.
+ *
+ * This is the engine's single-file primitive; new code that wants
+ * sharding or the result cache should run a SimJob on a
+ * TraceRef::file() instead (sim/job.hh, docs/api.md).
  */
 SimResult simulateTraceFile(const std::string &path,
                             const SchemeSpec &scheme,
                             const SimConfig &config = {},
                             unsigned caches_hint = 0);
 
-/** Name-based convenience for simulateTraceFile(). */
+/**
+ * Legacy string-named convenience for simulateTraceFile(); kept as a
+ * one-line wrapper. Prefer a SimJob over TraceRef::file() with
+ * parseScheme() (docs/api.md).
+ */
 SimResult simulateTraceFile(const std::string &path,
                             const std::string &scheme,
                             const SimConfig &config = {},

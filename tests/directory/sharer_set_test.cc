@@ -176,5 +176,58 @@ TEST(SharerSetTest, Equality)
     EXPECT_EQ(a, b);
 }
 
+TEST(SharerSetTest, UnionWithMergesAcrossWords)
+{
+    // Spans multiple 64-bit words so the loop is exercised past w=0.
+    SharerSet a(130);
+    a.add(0);
+    a.add(63);
+    SharerSet b(130);
+    b.add(64);
+    b.add(129);
+    a.unionWith(b);
+    EXPECT_EQ(a.toVector(), (std::vector<CacheId>{0, 63, 64, 129}));
+    // The argument is untouched; union is idempotent.
+    EXPECT_EQ(b.count(), 2u);
+    a.unionWith(b);
+    EXPECT_EQ(a.count(), 4u);
+}
+
+TEST(SharerSetTest, UnionWithEmptyIsIdentity)
+{
+    SharerSet a(8);
+    a.add(5);
+    SharerSet empty(8);
+    a.unionWith(empty);
+    EXPECT_EQ(a.toVector(), std::vector<CacheId>{5});
+    empty.unionWith(a);
+    EXPECT_EQ(empty, a);
+}
+
+TEST(SharerSetTest, IntersectsFindsSharedMembers)
+{
+    SharerSet a(130);
+    a.add(1);
+    a.add(129);
+    SharerSet b(130);
+    b.add(64);
+    EXPECT_FALSE(a.intersects(b));
+    EXPECT_FALSE(b.intersects(a));
+    b.add(129);
+    EXPECT_TRUE(a.intersects(b));
+    EXPECT_TRUE(b.intersects(a));
+    SharerSet empty(130);
+    EXPECT_FALSE(a.intersects(empty));
+    EXPECT_FALSE(empty.intersects(empty));
+}
+
+TEST(SharerSetTest, UnionAndIntersectAcrossDomainsPanic)
+{
+    SharerSet a(8);
+    SharerSet b(16);
+    EXPECT_THROW(a.unionWith(b), LogicError);
+    EXPECT_THROW(a.intersects(b), LogicError);
+}
+
 } // namespace
 } // namespace dirsim
