@@ -8,9 +8,24 @@
 namespace dirsim
 {
 
-CoarseVector::CoarseVector(unsigned num_caches_arg)
-    : numCaches(num_caches_arg),
-      numDigits(std::max(1u, ceilLog2(std::max(1u, num_caches_arg)))),
+namespace
+{
+
+/** Digit count: ternary needs ceil(log2 n), regions ceil(n / K). */
+unsigned
+digitCount(unsigned num_caches, unsigned region_size)
+{
+    if (region_size == 0)
+        return std::max(1u, ceilLog2(std::max(1u, num_caches)));
+    return (num_caches + region_size - 1) / region_size;
+}
+
+} // namespace
+
+CoarseVector::CoarseVector(unsigned num_caches_arg,
+                           unsigned region_size_arg)
+    : numCaches(num_caches_arg), regionGranularity(region_size_arg),
+      numDigits(digitCount(num_caches_arg, region_size_arg)),
       code(numDigits, Digit::Zero)
 {
     fatalIf(numCaches == 0, "CoarseVector over an empty domain");
@@ -22,6 +37,11 @@ CoarseVector::add(CacheId cache)
     panicIfNot(cache < numCaches,
                "CoarseVector::add: cache ", cache, " out of domain ",
                numCaches);
+    if (regionGranularity != 0) {
+        code[cache / regionGranularity] = Digit::One;
+        hasMember = true;
+        return;
+    }
     if (!hasMember) {
         for (unsigned d = 0; d < numDigits; ++d)
             code[d] = ((cache >> d) & 1) ? Digit::One : Digit::Zero;
@@ -51,12 +71,54 @@ CoarseVector::bothDigits() const
     return n;
 }
 
+unsigned
+CoarseVector::regionCount() const
+{
+    panicIfNot(regionGranularity != 0,
+               "regionCount() on a ternary CoarseVector");
+    return numDigits;
+}
+
+unsigned
+CoarseVector::regionWidth(unsigned region) const
+{
+    panicIfNot(regionGranularity != 0,
+               "regionWidth() on a ternary CoarseVector");
+    panicIfNot(region < numDigits, "CoarseVector: region ", region,
+               " out of range ", numDigits);
+    // The last region is clipped when K does not divide n.
+    const unsigned begin = region * regionGranularity;
+    return std::min(regionGranularity, numCaches - begin);
+}
+
+unsigned
+CoarseVector::flaggedRegions() const
+{
+    panicIfNot(regionGranularity != 0,
+               "flaggedRegions() on a ternary CoarseVector");
+    unsigned n = 0;
+    for (const Digit d : code)
+        n += d == Digit::One ? 1 : 0;
+    return n;
+}
+
 SharerSet
 CoarseVector::decode() const
 {
     SharerSet result(numCaches);
     if (!hasMember)
         return result;
+    if (regionGranularity != 0) {
+        for (unsigned r = 0; r < numDigits; ++r) {
+            if (code[r] != Digit::One)
+                continue;
+            const CacheId begin = r * regionGranularity;
+            const CacheId end = begin + regionWidth(r);
+            for (CacheId cache = begin; cache < end; ++cache)
+                result.add(cache);
+        }
+        return result;
+    }
     for (CacheId cache = 0; cache < numCaches; ++cache) {
         bool match = true;
         for (unsigned d = 0; d < numDigits && match; ++d) {
@@ -72,10 +134,37 @@ CoarseVector::decode() const
     return result;
 }
 
+unsigned
+CoarseVector::supersetSize() const
+{
+    if (!hasMember)
+        return 0;
+    if (regionGranularity != 0) {
+        // Sum of clipped widths: counting regionGranularity for the
+        // last region would overstate the fan-out when K does not
+        // divide n.
+        unsigned size = 0;
+        for (unsigned r = 0; r < numDigits; ++r)
+            if (code[r] == Digit::One)
+                size += regionWidth(r);
+        return size;
+    }
+    return decode().count();
+}
+
 std::string
 CoarseVector::toString() const
 {
     std::string out;
+    if (regionGranularity != 0) {
+        // Region bits, region 0 first: "1.0.1" (flagged/unflagged).
+        for (unsigned r = 0; r < numDigits; ++r) {
+            if (r != 0)
+                out += '.';
+            out += code[r] == Digit::One ? '1' : '0';
+        }
+        return hasMember ? out : std::string("(empty)");
+    }
     // Most-significant digit first, matching the paper's description
     // of the word as an index.
     for (unsigned d = numDigits; d-- > 0;) {
@@ -96,8 +185,9 @@ CoarseVector::toString() const
     return hasMember ? out : std::string("(empty)");
 }
 
-CoarseVectorDirectory::CoarseVectorDirectory(unsigned num_caches_arg)
-    : caches(num_caches_arg)
+CoarseVectorDirectory::CoarseVectorDirectory(unsigned num_caches_arg,
+                                             unsigned region_size_arg)
+    : caches(num_caches_arg), regionGranularity(region_size_arg)
 {
     fatalIf(caches == 0, "directory needs at least one cache");
 }
@@ -115,7 +205,8 @@ CoarseVectorDirectory::entry(BlockNum block)
     const auto it = entries.find(block);
     if (it != entries.end())
         return it->second;
-    return entries.emplace(block, Entry(caches)).first->second;
+    return entries.emplace(block, Entry(caches, regionGranularity))
+        .first->second;
 }
 
 const CoarseVectorDirectory::Entry *
@@ -133,7 +224,7 @@ CoarseVectorDirectory::reserveDense(std::uint64_t block_count)
     panicIfNot(entries.empty() && !denseMode,
                "CoarseVectorDirectory::reserveDense on a touched "
                "directory");
-    dense.assign(block_count, Entry(caches));
+    dense.assign(block_count, Entry(caches, regionGranularity));
     denseMode = true;
 }
 

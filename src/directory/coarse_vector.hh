@@ -21,19 +21,37 @@ namespace dirsim
 {
 
 /**
- * Ternary-digit superset code over cache indices.
+ * Superset code over cache indices, in one of two representations:
+ *
+ *  - Ternary (region_size == 0, the default): the Section 6 word of
+ *    d = ceil(log2 n) digits described in the file comment.
+ *
+ *  - Region vector (region_size == K >= 1): one presence bit per
+ *    K-cache region, the coarse-vector organization of the
+ *    limited-pointer literature (e.g. SGI Origin). Region r covers
+ *    caches [r*K, min((r+1)*K, n)); when K does not divide n the
+ *    last region is narrower — regionWidth() is the clipped width,
+ *    and every fan-out count uses it, never a blanket r*K.
  *
  * Invariants (property-tested):
  *  - decode() is always a superset of the exact sharer set encoded;
- *  - a code holding a single cache decodes exactly to that cache;
- *  - with k digits marked BOTH the superset has exactly 2^k members
- *    (clipped to the domain when n is not a power of two).
+ *  - ternary: a code holding a single cache decodes exactly to that
+ *    cache, and with k digits marked BOTH the superset has exactly
+ *    2^k members (clipped to the domain when n is not a power of 2);
+ *  - region: the superset is exactly the union of the flagged
+ *    regions clipped to the domain, and supersetSize() equals the
+ *    sum of their clipped widths.
  */
 class CoarseVector
 {
   public:
-    /** @param num_caches_arg domain size n (>= 1) */
-    explicit CoarseVector(unsigned num_caches_arg);
+    /**
+     * @param num_caches_arg domain size n (>= 1)
+     * @param region_size_arg 0 for the ternary code, else the region
+     *        granularity K (need not divide n)
+     */
+    explicit CoarseVector(unsigned num_caches_arg,
+                          unsigned region_size_arg = 0);
 
     /** True when no cache has been encoded since the last clear. */
     bool empty() const { return !hasMember; }
@@ -44,28 +62,56 @@ class CoarseVector
     /** Reset to the empty code. */
     void clear();
 
-    /** Number of digits d = ceil(log2 n) (1 when n == 1). */
+    /** Region granularity K, or 0 for the ternary code. */
+    unsigned regionSize() const { return regionGranularity; }
+
+    /**
+     * Ternary: number of digits d = ceil(log2 n) (1 when n == 1).
+     * Region: number of regions ceil(n / K).
+     */
     unsigned digits() const { return numDigits; }
 
-    /** Number of digits currently BOTH. */
+    /** Number of digits currently BOTH (0 in region mode). */
     unsigned bothDigits() const;
+
+    /** Region mode: number of regions ceil(n / K). */
+    unsigned regionCount() const;
+
+    /** Region mode: clipped width of region @p region —
+     *  min(K, n - region*K), i.e. the last region is narrower when K
+     *  does not divide n. */
+    unsigned regionWidth(unsigned region) const;
+
+    /** Region mode: number of regions currently flagged. */
+    unsigned flaggedRegions() const;
 
     /** The denoted superset of caches (clipped to the domain). */
     SharerSet decode() const;
 
-    /** Size of the denoted superset. */
-    unsigned supersetSize() const { return decode().count(); }
+    /**
+     * Size of the denoted superset — the invalidation fan-out when
+     * the code is probed. Region mode computes it as the sum of the
+     * flagged regions' clipped widths (O(regions), no decode).
+     */
+    unsigned supersetSize() const;
 
     /** Render like "1 0 * 1" with '*' for BOTH (for diagnostics). */
     std::string toString() const;
 
-    /** Hardware cost of the code in bits (2 per digit). */
-    unsigned storageBits() const { return 2 * numDigits; }
+    /** Hardware cost of the code in bits: 2 per ternary digit, or 1
+     *  per region bit. */
+    unsigned storageBits() const
+    {
+        return regionGranularity == 0 ? 2 * numDigits : numDigits;
+    }
 
   private:
     enum class Digit : std::uint8_t { Zero, One, Both };
 
     unsigned numCaches;
+    /** Region granularity K; 0 selects the ternary code. */
+    unsigned regionGranularity;
+    /** Ternary digits, or region presence bits (Zero/One). */
     unsigned numDigits;
     bool hasMember = false;
     std::vector<Digit> code;
@@ -84,16 +130,27 @@ class CoarseVectorDirectory
   public:
     struct Entry
     {
-        explicit Entry(unsigned num_caches) : sharers(num_caches) {}
+        explicit Entry(unsigned num_caches, unsigned region_size = 0)
+            : sharers(num_caches, region_size)
+        {}
         bool dirty = false;
         CoarseVector sharers;
     };
 
-    explicit CoarseVectorDirectory(unsigned num_caches_arg);
+    /**
+     * @param num_caches_arg caches in the domain
+     * @param region_size_arg 0 for ternary entries, else the region
+     *        granularity K (see CoarseVector)
+     */
+    explicit CoarseVectorDirectory(unsigned num_caches_arg,
+                                   unsigned region_size_arg = 0);
 
     Entry &entry(BlockNum block);
     const Entry *find(BlockNum block) const;
     unsigned numCaches() const { return caches; }
+
+    /** Region granularity of the entries (0 = ternary). */
+    unsigned regionSize() const { return regionGranularity; }
 
     /** Switch to dense entry storage; see FullMapDirectory. */
     void reserveDense(std::uint64_t block_count);
@@ -103,6 +160,7 @@ class CoarseVectorDirectory
 
   private:
     unsigned caches;
+    unsigned regionGranularity;
     std::unordered_map<BlockNum, Entry> entries;
     std::vector<Entry> dense;
     bool denseMode = false;

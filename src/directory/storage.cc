@@ -24,6 +24,8 @@ toString(DirectoryOrg org)
         return "limited-ptr+b";
       case DirectoryOrg::CoarseVector:
         return "coarse-vector";
+      case DirectoryOrg::RegionVector:
+        return "region-vector";
     }
     panic("unknown DirectoryOrg ", static_cast<int>(org));
 }
@@ -63,6 +65,15 @@ directoryBitsPerBlock(DirectoryOrg org, const StorageParams &params)
       case DirectoryOrg::CoarseVector:
         // 2 bits per ternary digit (paper: 2*log2 n) + dirty bit.
         return 2.0 * ptr_bits + 1.0;
+      case DirectoryOrg::RegionVector:
+        // One presence bit per K-cache region (last region clipped,
+        // but it still needs its own bit) + dirty bit.
+        fatalIf(params.regionSize == 0,
+                "region-vector storage needs a region size >= 1");
+        return static_cast<double>((params.numCaches
+                                    + params.regionSize - 1)
+                                   / params.regionSize)
+            + 1.0;
     }
     panic("unknown DirectoryOrg ", static_cast<int>(org));
 }

@@ -24,6 +24,7 @@ enum class DirectoryOrg
     LimitedPtr,     ///< Dir_i: i pointers of log2(n) bits + dirty
     LimitedPtrB,    ///< Dir_i B: Dir_i plus a broadcast bit
     CoarseVector,   ///< Section 6 ternary code: 2*log2(n) bits + dirty
+    RegionVector,   ///< DirCVr<K>: ceil(n/K) region bits + dirty
 };
 
 /** Name of an organization, e.g. "full-map". */
@@ -34,6 +35,8 @@ struct StorageParams
 {
     unsigned numCaches = 4;       ///< n
     unsigned numPointers = 1;     ///< i, for the limited schemes
+    /** RegionVector only: region granularity K (need not divide n). */
+    unsigned regionSize = 16;
     /** Tang only: blocks per cache (duplicate tag count per cache). */
     std::uint64_t blocksPerCache = 4096;
     /** Tang only: tag width mirrored per block. */

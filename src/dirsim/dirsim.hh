@@ -70,6 +70,7 @@
 #include "sim/job.hh"
 #include "sim/report.hh"
 #include "sim/runner.hh"
+#include "sim/scaling.hh"
 #include "sim/simulator.hh"
 #include "sim/suite.hh"
 #include "trace/filter.hh"

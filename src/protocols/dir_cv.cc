@@ -5,9 +5,27 @@
 namespace dirsim
 {
 
-DirCV::DirCV(unsigned num_caches_arg, const CacheFactory &factory)
-    : CoherenceProtocol(num_caches_arg, factory), dir(num_caches_arg)
+DirCV::DirCV(unsigned num_caches_arg, unsigned region_size_arg,
+             const CacheFactory &factory)
+    : CoherenceProtocol(num_caches_arg, factory),
+      dir(num_caches_arg, region_size_arg)
 {
+}
+
+std::string
+DirCV::name() const
+{
+    if (dir.regionSize() == 0)
+        return "DirCV";
+    return "DirCVr" + std::to_string(dir.regionSize());
+}
+
+unsigned
+DirCV::dirtyProbeMsgs(const CoarseVectorDirectory::Entry &entry) const
+{
+    if (dir.regionSize() == 0)
+        return 1;
+    return entry.sharers.supersetSize();
 }
 
 void
@@ -34,10 +52,12 @@ DirCV::handleReadMiss(CacheId cache, BlockNum block,
 {
     CoarseVectorDirectory::Entry &entry = dir.entry(block);
     if (others.anyDirty) {
-        // Dirty implies the last write reset the code to exactly the
-        // owner, so the write-back request is a single message.
+        // Ternary: dirty implies the last write reset the code to
+        // exactly the owner, so the write-back request is a single
+        // message. Region mode only narrows the owner to its region,
+        // so the request goes to every region member.
         if (!first) {
-            ++opCounts.invalMsgs;
+            opCounts.invalMsgs += dirtyProbeMsgs(entry);
             ++opCounts.dirtySupplies;
         }
         setState(others.dirtyOwner, block, stClean);
@@ -76,7 +96,7 @@ DirCV::handleWriteMiss(CacheId cache, BlockNum block,
     CoarseVectorDirectory::Entry &entry = dir.entry(block);
     if (others.anyDirty) {
         if (!first) {
-            ++opCounts.invalMsgs;
+            opCounts.invalMsgs += dirtyProbeMsgs(entry);
             ++opCounts.dirtySupplies;
         }
         invalidateIn(others.dirtyOwner, block);
@@ -101,9 +121,10 @@ DirCV::handleWriteMiss(CacheId cache, BlockNum block,
 void
 DirCV::onEviction(CacheId cache, BlockNum block, CacheBlockState state)
 {
-    // The ternary code cannot subtract a member, so clean evictions
-    // leave the (still correct) superset in place. A dirty eviction
-    // implies the code was exactly {cache}; the write-back resets it.
+    // Neither code can subtract a member, so clean evictions leave
+    // the (still correct) superset in place. A dirty eviction implies
+    // the code denoted only {cache} (ternary) or its region; the
+    // write-back resets it.
     if (isDirtyState(state)) {
         CoarseVectorDirectory::Entry &entry = dir.entry(block);
         entry.sharers.clear();
@@ -131,9 +152,18 @@ DirCV::checkInvariants(BlockNum block) const
         panicIfNot(sharers.count() == 1,
                    "DirCV: dirty block ", block, " has ",
                    sharers.count(), " sharers");
-        panicIfNot(entry->sharers.decode().isOnly(sharers.first()),
-                   "DirCV: dirty block ", block,
-                   " has an inexact code");
+        if (dir.regionSize() == 0) {
+            panicIfNot(
+                entry->sharers.decode().isOnly(sharers.first()),
+                "DirCV: dirty block ", block,
+                " has an inexact code");
+        } else {
+            // Region mode cannot be exact: the tightest legal code
+            // is the owner's region alone.
+            panicIfNot(entry->sharers.flaggedRegions() == 1,
+                       "DirCV: dirty block ", block, " flags ",
+                       entry->sharers.flaggedRegions(), " regions");
+        }
     }
 }
 

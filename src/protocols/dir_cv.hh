@@ -7,6 +7,12 @@
  * every cache in the superset — more messages than the exact full
  * map, far fewer bits of storage, and never a full broadcast unless
  * the code has degenerated to one.
+ *
+ * A region granularity K > 0 selects the coarse-vector alternative
+ * instead (DirCVr<K>): one presence bit per K-cache region, clipped
+ * at the domain edge. The superset is then the union of the flagged
+ * regions, and a dirty block's code denotes the owner's whole region,
+ * so locating the owner costs one probe per region member.
  */
 
 #ifndef DIRSIM_PROTOCOLS_DIR_CV_HH
@@ -25,10 +31,13 @@ class DirCV : public CoherenceProtocol
     static constexpr CacheBlockState stClean = 1;
     static constexpr CacheBlockState stDirty = 2;
 
+    /** @param region_size_arg 0 for the ternary code, else the
+     *         region granularity K (see CoarseVector). */
     explicit DirCV(unsigned num_caches_arg,
+                   unsigned region_size_arg = 0,
                    const CacheFactory &factory = {});
 
-    std::string name() const override { return "DirCV"; }
+    std::string name() const override;
     bool isDirtyState(CacheBlockState state) const override
     {
         return state == stDirty;
@@ -56,6 +65,15 @@ class DirCV : public CoherenceProtocol
      */
     void invalidateSuperset(CacheId keeper, BlockNum block,
                             bool costed);
+
+    /**
+     * Messages needed to reach the dirty owner through the code: 1
+     * in ternary mode (a dirty code is exactly the owner), the
+     * denoted superset's size in region mode (the code only narrows
+     * the owner down to its region).
+     */
+    unsigned dirtyProbeMsgs(const CoarseVectorDirectory::Entry &entry)
+        const;
 
     CoarseVectorDirectory dir;
 };

@@ -122,7 +122,8 @@ SchemeSpec::name() const
       case SchemeFamily::YenFu:
         return "YenFu";
       case SchemeFamily::DirCV:
-        return "DirCV";
+        return pointers == 0 ? "DirCV"
+                             : "DirCVr" + std::to_string(pointers);
       case SchemeFamily::DirIB:
         return "Dir" + std::to_string(pointers) + "B";
       case SchemeFamily::DirINB:
@@ -151,6 +152,22 @@ parseScheme(const std::string &name)
         return named(SchemeFamily::YenFu);
     if (key == "dircv")
         return named(SchemeFamily::DirCV);
+    if (key.rfind("dircvr", 0) == 0) {
+        const std::string digits = key.substr(6);
+        fatalIf(digits.empty()
+                    || digits.find_first_not_of("0123456789")
+                           != std::string::npos,
+                "DirCVr<K> needs an integer region granularity, got '",
+                name, "'");
+        const unsigned long region = std::stoul(digits);
+        fatalIf(region == 0,
+                "DirCVr0 is not a scheme; use 'DirCV' for the ternary "
+                "code");
+        fatalIf(region > 65535, "DirCVr region granularity ", region,
+                " exceeds the largest cache domain (65535)");
+        return named(SchemeFamily::DirCV,
+                     static_cast<unsigned>(region));
+    }
 
     unsigned pointers = 0;
     bool broadcast = false;
@@ -186,7 +203,8 @@ makeProtocol(const SchemeSpec &spec, unsigned num_caches,
       case SchemeFamily::YenFu:
         return std::make_unique<YenFu>(num_caches, factory);
       case SchemeFamily::DirCV:
-        return std::make_unique<DirCV>(num_caches, factory);
+        return std::make_unique<DirCV>(num_caches, spec.pointers,
+                                       factory);
       case SchemeFamily::DirIB:
         fatalIf(spec.pointers == 0,
                 "Dir<i>B needs at least one pointer");
@@ -238,7 +256,9 @@ validSchemesText()
             out += name;
         }
         out += ", and the parameterized families Dir<i>B / Dir<i>NB "
-               "(any integer i >= 1, e.g. Dir2B, Dir4NB)";
+               "(any integer i >= 1, e.g. Dir2B, Dir4NB) and "
+               "DirCVr<K> (region-vector coarse code, any region "
+               "granularity K >= 1, e.g. DirCVr16)";
         return out;
     }();
     return text;

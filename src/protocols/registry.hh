@@ -51,8 +51,10 @@ struct SchemeSpec
 
     /**
      * Directory pointers per entry: the `i` of the Dir<i>B / Dir<i>NB
-     * families, 1 for Dir1NB, 0 for Dir0B. Zero (and meaningless) for
-     * the full-map and snoopy families.
+     * families, 1 for Dir1NB, 0 for Dir0B. For DirCV it is overloaded
+     * as the region granularity K of the DirCVr<K> region-vector code
+     * (0 selects the ternary Section 6 code). Zero (and meaningless)
+     * for the full-map and snoopy families.
      */
     unsigned pointers = 0;
 
@@ -86,7 +88,8 @@ struct SchemeSpec
  * Recognized names: "Dir1NB", "DirNNB", "Dir0B", "WTI", "Dragon",
  * "Berkeley", "YenFu", "DirCV", and the parameterized families
  * "Dir<i>B" / "Dir<i>NB" for any integer i >= 1 (e.g. "Dir2B",
- * "Dir4NB"). Matching is case-insensitive.
+ * "Dir4NB") and "DirCVr<K>" for any region granularity K >= 1
+ * (e.g. "DirCVr16"). Matching is case-insensitive.
  *
  * @throws UsageError for unknown names; the message names the
  *         offending input and lists every valid scheme

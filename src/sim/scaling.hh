@@ -1,0 +1,103 @@
+/**
+ * @file
+ * The scaling suite: N-cache workloads for the cache-count sweep.
+ *
+ * The paper's evaluation ran on a 4-CPU VAX; the modern directory
+ * debate is about hundreds of sharers. This module defines the
+ * machine-size axis of that study: one synthetic workload family,
+ * parameterized only by the cache count N, with the sharing degree
+ * (processes per sharing cluster) and the migration rate held fixed
+ * across N so that cost and invalidation-distribution curves as a
+ * function of N compare like against like. The examples/dirsim_scaling
+ * CLI runs the scheme grid over this suite and renders those curves
+ * from the run's artifacts (docs/scaling.md).
+ */
+
+#ifndef DIRSIM_SIM_SCALING_HH
+#define DIRSIM_SIM_SCALING_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "protocols/registry.hh"
+#include "trace/trace.hh"
+#include "tracegen/profile.hh"
+
+namespace dirsim
+{
+
+/** Parameters of the scaling suite. */
+struct ScalingParams
+{
+    /**
+     * Cache counts to sweep. The defaults cover the paper's machine
+     * (4) through the sizes the scalability debate is about; every
+     * count must fit the trace format's u16 cpu ids.
+     */
+    std::vector<unsigned> cacheCounts{4, 16, 64, 256, 1024};
+
+    /**
+     * References per trace — the same for every N, so per-reference
+     * metrics compare directly across machine sizes.
+     */
+    std::uint64_t refsPerTrace = 600'000;
+
+    /** Base seed; each N derives its own from it. */
+    std::uint64_t seed = 1024;
+
+    /**
+     * Sharing degree: processes per sharing cluster
+     * (WorkloadProfile::sharingClusterProcs). Application data is
+     * shared by at most this many caches; kernel hot words stay
+     * machine-global, giving the widely-shared tail.
+     */
+    unsigned clusterProcs = 4;
+
+    /**
+     * Per-timeslice CPU-swap probability on the fully-loaded machine
+     * (WorkloadProfile::migrationProb). One order of magnitude above
+     * the paper-default so migration-induced sharing is visible at
+     * suite-sized traces while staying rare per reference.
+     */
+    double migrationProb = 0.002;
+
+    /**
+     * Apply the DIRSIM_SCALING_{NS,REFS,SEED,CLUSTER} environment
+     * overrides, if set. DIRSIM_SCALING_NS is a comma-separated list
+     * of cache counts, e.g. "4,64,1024".
+     */
+    static ScalingParams fromEnvironment();
+};
+
+/**
+ * The N-cache workload profile, named "scale<N>".
+ *
+ * A fully-loaded machine (one process per CPU, so the migration knob
+ * is live), thor-like reference mixes, and cluster-partitioned
+ * application sharing per @p params. Deterministic: depends only on
+ * (num_cpus, params).
+ */
+WorkloadProfile scalingProfile(unsigned num_cpus,
+                               const ScalingParams &params = {});
+
+/** Generate the "scale<N>" trace for one cache count. */
+Trace scalingTrace(unsigned num_cpus,
+                   const ScalingParams &params = {});
+
+/** Generate one trace per params.cacheCounts entry, in order. */
+std::vector<Trace> scalingSuite(
+    const ScalingParams &params = ScalingParams::fromEnvironment());
+
+/**
+ * The scheme axis of the scaling report: Dir0B through the full map
+ * (Dir_inf), including the broadcast and no-broadcast limited-pointer
+ * families at small i, the ternary coarse vector, and a region coarse
+ * vector whose granularity does not divide most cache counts
+ * (exercising the last-region arithmetic).
+ */
+std::vector<SchemeSpec> scalingSchemes();
+
+} // namespace dirsim
+
+#endif // DIRSIM_SIM_SCALING_HH

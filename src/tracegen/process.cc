@@ -18,7 +18,8 @@ constexpr unsigned jumpEvery = 64;
 
 WorldState::WorldState(const WorkloadProfile &profile_arg)
     : profile(profile_arg), space(),
-      locks(profile_arg.numLocks),
+      locks(static_cast<std::size_t>(profile_arg.numLocks)
+            * profile_arg.numClusters()),
       privateSampler(profile_arg.privateWords, profile_arg.privateZipf),
       sharedSampler(profile_arg.sharedWords, profile_arg.sharedZipf)
 {
@@ -28,7 +29,10 @@ WorldState::WorldState(const WorkloadProfile &profile_arg)
 SyntheticProcess::SyntheticProcess(unsigned index_arg, ProcId pid_arg,
                                    WorldState &world_arg, Rng rng_arg)
     : index(index_arg), processId(pid_arg), world(world_arg),
-      rng(rng_arg)
+      rng(rng_arg), cluster(world_arg.clusterOf(index_arg)),
+      sharedWordBase(static_cast<std::uint64_t>(cluster)
+                     * world_arg.profile.sharedWords),
+      lockIndexBase(cluster * world_arg.profile.numLocks)
 {
     enterPhase(Phase::Local, world.profile.localWorkRefs);
     // Desynchronize the initial phase positions across processes.
@@ -97,11 +101,14 @@ SyntheticProcess::dataAddr(Phase for_phase, bool is_write)
                                        world.privateSampler(rng));
       case Phase::Browse:
         // Browse writes go to a uniformly random (usually cold) word
-        // so that widely-read hot blocks are rarely invalidated.
+        // so that widely-read hot blocks are rarely invalidated. Each
+        // sharing cluster browses its own slice of the pool; with one
+        // cluster the slice base is zero (the original behaviour).
         if (is_write)
             return world.space.shared(
-                rng.below(world.profile.sharedWords));
-        return world.space.shared(world.sharedSampler(rng));
+                sharedWordBase + rng.below(world.profile.sharedWords));
+        return world.space.shared(
+            sharedWordBase + world.sharedSampler(rng));
       case Phase::Critical: {
         // Writes (and half the reads) target the lock's work region,
         // which migrates between successive holders; the other reads
@@ -112,7 +119,8 @@ SyntheticProcess::dataAddr(Phase for_phase, bool is_write)
                 + static_cast<unsigned>(rng.below(region));
             return world.space.mailbox(currentLock, slot);
         }
-        return world.space.shared(world.sharedSampler(rng));
+        return world.space.shared(
+            sharedWordBase + world.sharedSampler(rng));
       }
       case Phase::Os: {
         // Kernel writes overwhelmingly target per-process structures
@@ -165,8 +173,10 @@ SyntheticProcess::advanceAfter(Phase finished)
     const WorkloadProfile &p = world.profile;
 
     const auto begin_acquire = [this] {
-        currentLock = static_cast<unsigned>(
-            rng.below(world.profile.numLocks));
+        // Same single rng draw as ever; the cluster base only offsets
+        // the chosen index into the cluster's own lock set.
+        currentLock = lockIndexBase
+            + static_cast<unsigned>(rng.below(world.profile.numLocks));
         phase = Phase::SpinWait;
         remaining = 1; // unused while spinning
     };

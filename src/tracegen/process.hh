@@ -52,7 +52,18 @@ struct WorldState
         /** Completed acquire/release pairs (diagnostics). */
         std::uint64_t handoffs = 0;
     };
+    /**
+     * profile.numLocks locks per sharing cluster, cluster-major: lock
+     * l of cluster c is locks[c * profile.numLocks + l]. One cluster
+     * (the default) degenerates to the original flat lock table.
+     */
     std::vector<Lock> locks;
+
+    /** Sharing cluster of process @p proc_index. */
+    unsigned clusterOf(unsigned proc_index) const
+    {
+        return proc_index / profile.clusterProcs();
+    }
 
     ZipfSampler privateSampler;
     ZipfSampler sharedSampler;
@@ -129,6 +140,13 @@ class SyntheticProcess
     ProcId processId;
     WorldState &world;
     Rng rng;
+
+    /** Sharing cluster this process belongs to. */
+    unsigned cluster;
+    /** First shared-pool word of the cluster's slice. */
+    std::uint64_t sharedWordBase;
+    /** First lock index of the cluster's lock set. */
+    unsigned lockIndexBase;
 
     Phase phase = Phase::Local;
     unsigned remaining = 1;

@@ -19,6 +19,11 @@ WorkloadProfile::check() const
 {
     fatalIf(name.empty(), "workload profile needs a name");
     fatalIf(numCpus == 0, name, ": needs at least one CPU");
+    // The binary trace format (trace/format.hh) stores the cpu count
+    // and every record's cpu id as u16, and the scheduler casts cpu
+    // indices to CpuId; a larger machine would silently wrap.
+    fatalIf(numCpus > 65535, name, ": ", numCpus,
+            " CPUs exceed the trace format's u16 cpu ids (max 65535)");
     fatalIf(numProcesses == 0, name, ": needs at least one process");
     fatalIf(privateWords == 0 || sharedWords == 0 || kernelWords == 0,
             name, ": data pools must be non-empty");

@@ -115,15 +115,48 @@ struct WorkloadProfile
      *  word rather than per-process kernel data. */
     double kernelHotFrac = 0.05;
 
+    // --- sharing topology (the N-cache scaling knob) ---
+    /**
+     * Sharing degree: processes are partitioned into clusters of this
+     * many processes, and each cluster gets its own slice of the
+     * shared pool plus its own set of numLocks locks, so application
+     * data is shared by at most a cluster's worth of caches no matter
+     * how large the machine is. Zero (the default) keeps the original
+     * single-cluster behaviour — every process shares one pool and
+     * one lock set — and is guaranteed to generate byte-identical
+     * traces to profiles predating this knob. Kernel hot words stay
+     * machine-global in either mode, so large machines still exhibit
+     * a widely-shared tail (docs/scaling.md).
+     */
+    unsigned sharingClusterProcs = 0;
+
     // --- scheduling ---
     /** Timeslice burst bounds in references. */
     unsigned burstMinRefs = 5;
     unsigned burstMaxRefs = 16;
-    /** Probability a process migrates CPUs at a timeslice end. The
-     *  default makes migration genuinely rare (a few dozen events per
-     *  million references), matching the paper's "few instances of
-     *  process migration in our traces". */
+    /** Probability a process migrates CPUs at a timeslice end (only
+     *  on a fully-loaded machine — an oversubscribed one migrates by
+     *  context switching instead). The default makes migration
+     *  genuinely rare (a few dozen events per million references),
+     *  matching the paper's "few instances of process migration in
+     *  our traces". */
     double migrationProb = 0.0002;
+
+    /** Processes per sharing cluster with the default resolved. */
+    unsigned clusterProcs() const
+    {
+        if (sharingClusterProcs == 0
+            || sharingClusterProcs >= numProcesses)
+            return numProcesses;
+        return sharingClusterProcs;
+    }
+
+    /** Number of sharing clusters (last one may be partial). */
+    unsigned numClusters() const
+    {
+        const unsigned per = clusterProcs();
+        return (numProcesses + per - 1) / per;
+    }
 
     /** Validate the whole profile; throws UsageError on nonsense. */
     void check() const;

@@ -82,6 +82,8 @@ TraceScheduler::generate(std::uint64_t target_refs)
                             world.profile.burstMaxRefs));
             unsigned emitted = 0;
             while (emitted < burst) {
+                // The CpuId narrowing is safe: profile.check() bounds
+                // numCpus by the trace format's u16 cpu ids.
                 emitted += procs[cpuProc[cpu]]->step(
                     trace, static_cast<CpuId>(cpu));
             }

@@ -1,5 +1,9 @@
 /** @file Unit and property tests for the Section 6 coarse vector. */
 
+#include <algorithm>
+#include <utility>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "common/logging.hh"
@@ -148,8 +152,174 @@ TEST_P(CoarseVectorProperty, SupersetSizeMatchesBothDigits)
 }
 
 INSTANTIATE_TEST_SUITE_P(Domains, CoarseVectorProperty,
-                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 12, 16,
-                                           31, 32, 64));
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 12,
+                                           16, 31, 32, 64));
+
+// ---- Region-vector mode (DirCVr<K>): one bit per K-cache region. ----
+
+TEST(RegionVectorTest, ClippedLastRegionWidth)
+{
+    // N=6, K=4: two regions, the last covers only caches {4, 5}.
+    CoarseVector code(6, 4);
+    EXPECT_EQ(code.regionSize(), 4u);
+    EXPECT_EQ(code.regionCount(), 2u);
+    EXPECT_EQ(code.regionWidth(0), 4u);
+    EXPECT_EQ(code.regionWidth(1), 2u);
+    EXPECT_EQ(code.storageBits(), 2u);
+
+    code.add(5);
+    EXPECT_EQ(code.flaggedRegions(), 1u);
+    // The fan-out is the clipped width, not a blanket K.
+    EXPECT_EQ(code.supersetSize(), 2u);
+    const SharerSet decoded = code.decode();
+    EXPECT_EQ(decoded.count(), 2u);
+    EXPECT_TRUE(decoded.contains(4));
+    EXPECT_TRUE(decoded.contains(5));
+
+    code.add(0);
+    EXPECT_EQ(code.flaggedRegions(), 2u);
+    EXPECT_EQ(code.supersetSize(), 6u);
+}
+
+TEST(RegionVectorTest, LargeNonDivisibleDomain)
+{
+    // N=1022, K=32: 32 regions, the last (region 31) spans caches
+    // 992..1021 — 30 wide.
+    CoarseVector code(1022, 32);
+    EXPECT_EQ(code.regionCount(), 32u);
+    EXPECT_EQ(code.regionWidth(30), 32u);
+    EXPECT_EQ(code.regionWidth(31), 30u);
+
+    code.add(1021);
+    EXPECT_EQ(code.supersetSize(), 30u);
+    // decode() must never denote a cache outside the domain —
+    // SharerSet::add would panic on cache >= 1022.
+    const SharerSet decoded = code.decode();
+    EXPECT_EQ(decoded.count(), 30u);
+    EXPECT_TRUE(decoded.contains(992));
+    EXPECT_TRUE(decoded.contains(1021));
+    EXPECT_FALSE(decoded.contains(991));
+}
+
+TEST(RegionVectorTest, ExactDivisionAndDegenerateGranularities)
+{
+    // K divides N: every region is full width.
+    CoarseVector even(8, 4);
+    EXPECT_EQ(even.regionCount(), 2u);
+    EXPECT_EQ(even.regionWidth(1), 4u);
+
+    // K >= N: one region covering the whole domain.
+    CoarseVector whole(6, 64);
+    EXPECT_EQ(whole.regionCount(), 1u);
+    EXPECT_EQ(whole.regionWidth(0), 6u);
+    whole.add(2);
+    EXPECT_EQ(whole.supersetSize(), 6u);
+
+    // K = 1: the code degenerates to an exact presence-bit vector.
+    CoarseVector exact(6, 1);
+    EXPECT_EQ(exact.regionCount(), 6u);
+    exact.add(1);
+    exact.add(4);
+    EXPECT_EQ(exact.supersetSize(), 2u);
+    EXPECT_EQ(exact.decode().toVector(),
+              (std::vector<CacheId>{1, 4}));
+}
+
+TEST(RegionVectorTest, ClearAndToString)
+{
+    CoarseVector code(6, 4);
+    EXPECT_EQ(code.toString(), "(empty)");
+    code.add(4);
+    EXPECT_EQ(code.toString(), "0.1");
+    code.clear();
+    EXPECT_TRUE(code.empty());
+    EXPECT_EQ(code.decode().count(), 0u);
+    EXPECT_EQ(code.supersetSize(), 0u);
+}
+
+TEST(RegionVectorTest, TernaryAccessorsPanicOnRegionQueries)
+{
+    CoarseVector ternary(8);
+    EXPECT_THROW(ternary.regionCount(), LogicError);
+    EXPECT_THROW(ternary.regionWidth(0), LogicError);
+    EXPECT_THROW(ternary.flaggedRegions(), LogicError);
+    CoarseVector region(8, 4);
+    EXPECT_THROW(region.regionWidth(2), LogicError);
+}
+
+/** Domain/granularity sweep, non-divisible pairs included. */
+class RegionVectorProperty
+    : public ::testing::TestWithParam<std::pair<unsigned, unsigned>>
+{
+};
+
+TEST_P(RegionVectorProperty, SupersetIsUnionOfFlaggedRegions)
+{
+    const auto [n, k] = GetParam();
+    Rng rng(3000 + n * 131 + k);
+    for (int round = 0; round < 50; ++round) {
+        CoarseVector code(n, k);
+        SharerSet exact(n);
+        const unsigned adds =
+            1 + static_cast<unsigned>(rng.below(std::min(n, 40u)));
+        for (unsigned i = 0; i < adds; ++i) {
+            const auto cache = static_cast<CacheId>(rng.below(n));
+            code.add(cache);
+            exact.add(cache);
+        }
+        const SharerSet decoded = code.decode();
+        ASSERT_TRUE(decoded.isSupersetOf(exact))
+            << "n=" << n << " k=" << k;
+        // supersetSize() must agree with the decoded set exactly,
+        // and with the sum of the flagged regions' clipped widths.
+        ASSERT_EQ(code.supersetSize(), decoded.count());
+        unsigned width_sum = 0;
+        for (unsigned r = 0; r < code.regionCount(); ++r)
+            width_sum += code.regionWidth(r);
+        ASSERT_EQ(width_sum, n);
+        // Every member's whole region is denoted.
+        exact.forEach([&](CacheId cache) {
+            const unsigned region = cache / k;
+            const unsigned begin = region * k;
+            const unsigned end = begin + code.regionWidth(region);
+            for (unsigned c = begin; c < end; ++c)
+                ASSERT_TRUE(decoded.contains(c));
+        });
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, RegionVectorProperty,
+    ::testing::Values(std::pair<unsigned, unsigned>{6, 4},
+                      std::pair<unsigned, unsigned>{6, 1},
+                      std::pair<unsigned, unsigned>{8, 4},
+                      std::pair<unsigned, unsigned>{13, 5},
+                      std::pair<unsigned, unsigned>{64, 12},
+                      std::pair<unsigned, unsigned>{256, 12},
+                      std::pair<unsigned, unsigned>{1022, 32},
+                      std::pair<unsigned, unsigned>{1024, 12}));
+
+/** The ternary code at the S1 regression sizes (6 and 1022): bounded
+ *  rounds so the O(n) decode stays fast at N=1022. */
+TEST(CoarseVectorTest, TernaryRegressionSizesStaySupersets)
+{
+    for (const unsigned n : {6u, 1022u}) {
+        Rng rng(4000 + n);
+        for (int round = 0; round < 20; ++round) {
+            CoarseVector code(n);
+            SharerSet exact(n);
+            for (unsigned i = 0; i < 12; ++i) {
+                const auto cache = static_cast<CacheId>(rng.below(n));
+                code.add(cache);
+                exact.add(cache);
+            }
+            const SharerSet decoded = code.decode();
+            ASSERT_TRUE(decoded.isSupersetOf(exact)) << "n=" << n;
+            ASSERT_EQ(code.supersetSize(), decoded.count());
+            ASSERT_LE(decoded.count(), n);
+        }
+    }
+}
 
 } // namespace
 } // namespace dirsim

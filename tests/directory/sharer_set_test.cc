@@ -1,5 +1,8 @@
 /** @file Unit tests for directory/sharer_set.hh. */
 
+#include <algorithm>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "common/logging.hh"
@@ -228,6 +231,94 @@ TEST(SharerSetTest, UnionAndIntersectAcrossDomainsPanic)
     EXPECT_THROW(a.unionWith(b), LogicError);
     EXPECT_THROW(a.intersects(b), LogicError);
 }
+
+/**
+ * Word-boundary audit (S3): every multi-word path at domain sizes
+ * that sit just below, exactly at, and just above the 64-bit word
+ * edge, plus a large multi-word domain.
+ */
+class SharerSetBoundary : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(SharerSetBoundary, EdgeMembersRoundTrip)
+{
+    const unsigned n = GetParam();
+    SharerSet set(n);
+    // Members at every word edge the domain has.
+    std::vector<CacheId> edges{0, static_cast<CacheId>(n - 1)};
+    for (unsigned word_edge = 63; word_edge < n; word_edge += 64) {
+        edges.push_back(static_cast<CacheId>(word_edge));
+        if (word_edge + 1 < n)
+            edges.push_back(static_cast<CacheId>(word_edge + 1));
+    }
+    std::sort(edges.begin(), edges.end());
+    edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+    for (const CacheId cache : edges)
+        set.add(cache);
+    EXPECT_EQ(set.count(), edges.size());
+    EXPECT_EQ(set.toVector(), edges);
+    for (const CacheId cache : edges)
+        EXPECT_TRUE(set.contains(cache)) << "n=" << n << " " << cache;
+    EXPECT_THROW(set.add(static_cast<CacheId>(n)), LogicError);
+
+    // forEach visits exactly the members, ascending.
+    std::vector<CacheId> visited;
+    set.forEach([&](CacheId cache) { visited.push_back(cache); });
+    EXPECT_EQ(visited, edges);
+
+    // The popcount scan agrees word by word.
+    EXPECT_EQ(set.first(), edges.front());
+    EXPECT_EQ(set.countExcluding(edges.front()), edges.size() - 1);
+    EXPECT_EQ(set.countExcluding(static_cast<CacheId>(n - 1)),
+              edges.size() - 1);
+}
+
+TEST_P(SharerSetBoundary, LastExcludingScansBackAcrossWords)
+{
+    const unsigned n = GetParam();
+    SharerSet set(n);
+    set.add(0);
+    set.add(static_cast<CacheId>(n - 1));
+    // Excluding the top member must find 0 even when words between
+    // them are all zero.
+    EXPECT_EQ(set.lastExcluding(static_cast<CacheId>(n - 1)), 0u);
+    EXPECT_EQ(set.lastExcluding(0), n - 1);
+    EXPECT_EQ(set.lastExcluding(static_cast<CacheId>(n / 2)), n - 1);
+    set.remove(static_cast<CacheId>(n - 1));
+    EXPECT_EQ(set.lastExcluding(0), invalidCacheId);
+}
+
+TEST_P(SharerSetBoundary, UnionAndIntersectAtWordEdges)
+{
+    const unsigned n = GetParam();
+    SharerSet low(n);
+    low.add(0);
+    // Word-0 edge bit, kept disjoint from high's member (n - 1).
+    if (n > 64)
+        low.add(63);
+    SharerSet high(n);
+    high.add(static_cast<CacheId>(n - 1));
+
+    EXPECT_FALSE(low.intersects(high));
+    SharerSet merged = low;
+    merged.unionWith(high);
+    EXPECT_EQ(merged.count(), low.count() + 1);
+    EXPECT_TRUE(merged.isSupersetOf(low));
+    EXPECT_TRUE(merged.isSupersetOf(high));
+    EXPECT_TRUE(merged.intersects(high));
+    EXPECT_TRUE(merged.intersects(low));
+
+    // A stray bit above numCaches would break count(); equality with
+    // a freshly-built identical set guards the tail word's mask.
+    SharerSet rebuilt(n);
+    merged.forEach([&](CacheId cache) { rebuilt.add(cache); });
+    EXPECT_EQ(rebuilt, merged);
+}
+
+INSTANTIATE_TEST_SUITE_P(WordEdges, SharerSetBoundary,
+                         ::testing::Values(63, 64, 65, 1024));
 
 } // namespace
 } // namespace dirsim

@@ -74,6 +74,68 @@ TEST(StorageTest, LimitedBeatsFullMapAtScale)
     EXPECT_LT(limited, full / 10.0);
 }
 
+TEST(StorageTest, HandComputedValuesAtScale)
+{
+    // S2 cross-check: every pointer-based formula against values
+    // computed by hand at the scaling suite's machine sizes.
+    // N=64: i pointers of 6 bits + ceil(log2(i+1)) count + dirty.
+    EXPECT_DOUBLE_EQ(
+        directoryBitsPerBlock(DirectoryOrg::LimitedPtr, params(64, 4)),
+        4 * 6 + 3 + 1.0); // 28
+    // N=256: 8-bit pointers.
+    EXPECT_DOUBLE_EQ(
+        directoryBitsPerBlock(DirectoryOrg::LimitedPtr,
+                              params(256, 4)),
+        4 * 8 + 3 + 1.0); // 36
+    EXPECT_DOUBLE_EQ(
+        directoryBitsPerBlock(DirectoryOrg::LimitedPtrB,
+                              params(256, 4)),
+        37.0);
+    // N=1024: 10-bit pointers.
+    EXPECT_DOUBLE_EQ(
+        directoryBitsPerBlock(DirectoryOrg::LimitedPtr,
+                              params(1024, 2)),
+        2 * 10 + 2 + 1.0); // 23
+    EXPECT_DOUBLE_EQ(
+        directoryBitsPerBlock(DirectoryOrg::LimitedPtr,
+                              params(1024, 8)),
+        8 * 10 + 4 + 1.0); // 85
+    EXPECT_DOUBLE_EQ(
+        directoryBitsPerBlock(DirectoryOrg::FullMap, params(1024)),
+        1025.0);
+    EXPECT_DOUBLE_EQ(
+        directoryBitsPerBlock(DirectoryOrg::CoarseVector,
+                              params(256)),
+        17.0);
+    EXPECT_DOUBLE_EQ(
+        directoryBitsPerBlock(DirectoryOrg::CoarseVector,
+                              params(1024)),
+        21.0);
+}
+
+TEST(StorageTest, RegionVectorIsCeilNOverK)
+{
+    const auto region = [](unsigned n, unsigned k) {
+        StorageParams p;
+        p.numCaches = n;
+        p.regionSize = k;
+        return directoryBitsPerBlock(DirectoryOrg::RegionVector, p);
+    };
+    // ceil(n/K) presence bits + dirty; the clipped last region still
+    // needs its own bit.
+    EXPECT_DOUBLE_EQ(region(6, 4), 3.0);
+    EXPECT_DOUBLE_EQ(region(64, 12), 7.0);
+    EXPECT_DOUBLE_EQ(region(256, 12), 23.0);
+    EXPECT_DOUBLE_EQ(region(1024, 12), 87.0);
+    EXPECT_DOUBLE_EQ(region(1024, 1024), 2.0);
+
+    StorageParams bad;
+    bad.regionSize = 0;
+    EXPECT_THROW(
+        directoryBitsPerBlock(DirectoryOrg::RegionVector, bad),
+        UsageError);
+}
+
 TEST(StorageTest, TangAmortization)
 {
     StorageParams p = params(4);
@@ -117,6 +179,8 @@ TEST(StorageTest, OrgNames)
                  "tang-duplicate");
     EXPECT_STREQ(toString(DirectoryOrg::LimitedPtr), "limited-ptr");
     EXPECT_STREQ(toString(DirectoryOrg::LimitedPtrB), "limited-ptr+b");
+    EXPECT_STREQ(toString(DirectoryOrg::RegionVector),
+                 "region-vector");
 }
 
 } // namespace

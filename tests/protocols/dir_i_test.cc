@@ -154,5 +154,64 @@ TEST(DirINBTest, BudgetValidation)
     EXPECT_THROW(DirIB(4, 0), UsageError);
 }
 
+// ---- Large-N stress (S2): sharer count far above the pointer
+// budget, with exact accounting checked by hand. ----
+
+TEST(DirIBTest, ManySharersBroadcastAccountingAtLargeN)
+{
+    // 200 of 256 caches share a block on a 4-pointer directory: one
+    // broadcast, zero directed messages, and the writer is the sole
+    // holder afterwards with an exact entry again.
+    DirIB protocol(256, 4);
+    protocol.read(0, B, true);
+    for (CacheId c = 1; c < 200; ++c)
+        protocol.read(c, B, false);
+    EXPECT_TRUE(protocol.directory().find(B)->broadcastRequired());
+    protocol.checkAllInvariants();
+
+    protocol.write(0, B, false);
+    EXPECT_EQ(protocol.ops().broadcastInvals, 1u);
+    EXPECT_EQ(protocol.ops().invalMsgs, 0u);
+    EXPECT_EQ(protocol.holders(B).count(), 1u);
+    EXPECT_FALSE(protocol.directory().find(B)->broadcastRequired());
+    protocol.checkAllInvariants();
+
+    // Re-sharing after the reset is exact up to the budget again:
+    // the read's dirty flush is one directed message, and the next
+    // write invalidates the single other copy with one more — no
+    // further broadcasts.
+    protocol.read(17, B, false);
+    EXPECT_EQ(protocol.ops().invalMsgs, 1u);
+    EXPECT_EQ(protocol.ops().dirtySupplies, 1u);
+    protocol.write(0, B, false);
+    EXPECT_EQ(protocol.ops().invalMsgs, 2u);
+    EXPECT_EQ(protocol.ops().broadcastInvals, 1u);
+}
+
+TEST(DirINBTest, EvictionChurnAccountingAtLargeN)
+{
+    // 200 sequential sharers through a 4-pointer FIFO: each reader
+    // past the fourth evicts exactly one copy, so copies never exceed
+    // the budget and overflowInvals counts the evictions exactly.
+    DirINB protocol(256, 4);
+    protocol.read(0, B, true);
+    for (CacheId c = 1; c < 200; ++c) {
+        protocol.read(c, B, false);
+        ASSERT_LE(protocol.holders(B).count(), 4u);
+    }
+    EXPECT_EQ(protocol.ops().overflowInvals, 200u - 4u);
+    EXPECT_EQ(protocol.ops().broadcastInvals, 0u);
+    // FIFO: the survivors are the last four readers.
+    for (CacheId c = 196; c < 200; ++c)
+        EXPECT_TRUE(protocol.holders(B).contains(c)) << c;
+    protocol.checkAllInvariants();
+
+    // A write then invalidates exactly the other pointed copies.
+    protocol.write(199, B, false);
+    EXPECT_EQ(protocol.ops().invalMsgs, 3u);
+    EXPECT_EQ(protocol.holders(B).count(), 1u);
+    protocol.checkAllInvariants();
+}
+
 } // namespace
 } // namespace dirsim

@@ -150,6 +150,30 @@ TEST(RegistryTest, SpecFactoryRejectsZeroPointerFamilies)
     EXPECT_THROW(makeProtocol(spec, 4), UsageError);
 }
 
+TEST(RegistryTest, DirCVrRoundTripsAndBuilds)
+{
+    const SchemeSpec spec = parseScheme("DirCVr12");
+    EXPECT_EQ(spec.family, SchemeFamily::DirCV);
+    EXPECT_EQ(spec.pointers, 12u);
+    EXPECT_EQ(spec.name(), "DirCVr12");
+    EXPECT_EQ(parseScheme(spec.name()), spec);
+    EXPECT_FALSE(spec.parameterized());
+    EXPECT_TRUE(spec.broadcast());
+
+    EXPECT_EQ(makeProtocol("dircvr4", 6)->name(), "DirCVr4");
+    EXPECT_EQ(makeProtocol(spec, 1022)->name(), "DirCVr12");
+
+    // The two coarse-vector modes are distinct specs (distinct cell
+    // identities), and the ternary name never grows a suffix.
+    EXPECT_NE(parseScheme("DirCV"), spec);
+    EXPECT_EQ(parseScheme("DirCV").name(), "DirCV");
+
+    EXPECT_THROW(parseScheme("DirCVr0"), UsageError);
+    EXPECT_THROW(parseScheme("DirCVr"), UsageError);
+    EXPECT_THROW(parseScheme("DirCVrx"), UsageError);
+    EXPECT_THROW(parseScheme("DirCVr70000"), UsageError);
+}
+
 TEST(RegistryTest, ValidSchemesTextMentionsEverything)
 {
     const std::string &text = validSchemesText();
@@ -157,6 +181,7 @@ TEST(RegistryTest, ValidSchemesTextMentionsEverything)
         EXPECT_NE(text.find(name), std::string::npos) << name;
     EXPECT_NE(text.find("Dir<i>B"), std::string::npos);
     EXPECT_NE(text.find("Dir<i>NB"), std::string::npos);
+    EXPECT_NE(text.find("DirCVr<K>"), std::string::npos);
 }
 
 TEST(RegistryTest, RejectsDir0NB)
