@@ -58,19 +58,37 @@ def load_metrics_records(path):
     return records
 
 
-def gauge(metrics, name):
+def gauge(metrics, name, path):
+    """The gauge's value, or None when absent. A present-but-malformed
+    entry (wrong kind, no numeric value) is a file problem: exit 2
+    with the offending file and metric named, never a traceback."""
     entry = metrics.get(name)
-    if not isinstance(entry, dict) or entry.get("kind") != "gauge":
+    if entry is None:
         return None
-    return float(entry["value"])
+    if not isinstance(entry, dict) or entry.get("kind") != "gauge":
+        fail_usage(f"error: {path}: metric {name} is not a gauge")
+    if "value" not in entry:
+        fail_usage(f"error: {path}: gauge {name} has no value field")
+    try:
+        return float(entry["value"])
+    except (TypeError, ValueError):
+        fail_usage(f"error: {path}: gauge {name} has non-numeric "
+                   f"value {entry['value']!r}")
 
 
-def compare(baseline, candidate, threshold):
+def compare(baseline, candidate, threshold, base_path, cand_path):
     """Print one grid's comparison; return the regressed gauge names."""
     regressions = []
     for name in THROUGHPUT_GAUGES:
-        base = gauge(baseline, name)
-        cand = gauge(candidate, name)
+        base = gauge(baseline, name, base_path)
+        cand = gauge(candidate, name, cand_path)
+        if base is None and cand is not None:
+            # A stale baseline silently "skipping" the gating metric
+            # would pass every candidate; make it a hard usage error.
+            fail_usage(
+                f"error: {base_path}: baseline is missing {name}, "
+                f"which {cand_path} has — regenerate the baseline "
+                f"before comparing")
         if base is None or cand is None:
             print(f"  {name}: missing from "
                   f"{'baseline' if base is None else 'candidate'}, skipped")
@@ -86,8 +104,8 @@ def compare(baseline, candidate, threshold):
         print(f"  {name}: {base:,.0f} -> {cand:,.0f} "
               f"({delta:+.1%})  {verdict}")
     for name in CONTEXT_GAUGES:
-        base = gauge(baseline, name)
-        cand = gauge(candidate, name)
+        base = gauge(baseline, name, base_path)
+        cand = gauge(candidate, name, cand_path)
         if base is None or cand is None:
             continue
         print(f"  {name}: {base:g} -> {cand:g}  (context only)")
@@ -117,7 +135,8 @@ def main():
     regressions = []
     for index, (base, cand) in enumerate(zip(base_grids, cand_grids)):
         print(f"grid {index}:")
-        regressions += compare(base, cand, args.threshold)
+        regressions += compare(base, cand, args.threshold,
+                               args.baseline, args.candidate)
 
     if regressions:
         print(f"FAIL: {len(regressions)} metric(s) regressed by more "

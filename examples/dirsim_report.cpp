@@ -12,6 +12,10 @@
  * Usage:
  *   dirsim_report <results.jsonl>             render the report
  *   dirsim_report --diff <a.jsonl> <b.jsonl>  compare two runs
+ *   dirsim_report --diff-clean <a.jsonl> <b.jsonl>
+ *                       assert a clean diff (for scripts/CI: same
+ *                       comparison, but a one-line verdict instead
+ *                       of the report-style table)
  *
  * Diffing compares the deterministic metrics of every cell present
  * in either run (event/op counters, the Figure 1 histogram, derived
@@ -169,6 +173,26 @@ render(const std::string &path)
     return 0;
 }
 
+/** --diff-clean: the scriptable assertion form. */
+int
+diffClean(const std::string &path_a, const std::string &path_b)
+{
+    const RunArtifacts a = loadArtifacts(path_a);
+    const RunArtifacts b = loadArtifacts(path_b);
+    const std::vector<MetricDelta> deltas = diffArtifacts(a, b);
+    if (deltas.empty()) {
+        std::cout << "diff clean: " << a.cells.size()
+                  << " cell(s)\n";
+        return 0;
+    }
+    std::cerr << "diff NOT clean: " << deltas.size()
+              << " delta(s); first: "
+              << (deltas[0].cell.empty() ? "<run>" : deltas[0].cell)
+              << " " << deltas[0].metric << " " << deltas[0].a
+              << " != " << deltas[0].b << '\n';
+    return 1;
+}
+
 int
 diff(const std::string &path_a, const std::string &path_b)
 {
@@ -200,11 +224,15 @@ main(int argc, char **argv)
             return render(args[0]);
         if (args.size() == 3 && args[0] == "--diff")
             return diff(args[1], args[2]);
+        if (args.size() == 3 && args[0] == "--diff-clean")
+            return diffClean(args[1], args[2]);
     } catch (const SimulationError &error) {
         std::cerr << "error: " << error.what() << '\n';
         return 2;
     }
     std::cerr << "usage: dirsim_report <results.jsonl>\n"
-                 "       dirsim_report --diff <a.jsonl> <b.jsonl>\n";
+                 "       dirsim_report --diff <a.jsonl> <b.jsonl>\n"
+                 "       dirsim_report --diff-clean <a.jsonl> "
+                 "<b.jsonl>\n";
     return 2;
 }

@@ -1,0 +1,126 @@
+#!/usr/bin/env bash
+# The dirsim_serve end-to-end smoke (docs/sweep.md):
+#
+#  1. Start the daemon on an ephemeral port.
+#  2. POST a sweep spec through the bundled client, stream its
+#     progress events to completion, and GET the artifacts.
+#  3. dirsim_report --diff-clean against a local dirsim_sweep run of
+#     the same spec: the daemon computes exactly what the CLI does.
+#  4. A malformed spec gets a 400 (client exit 1) and a full queue a
+#     429 — and the daemon keeps serving after both.
+#  5. POST /shutdown stops the daemon cleanly.
+#
+# Usage: dirsim_serve_test.sh <dirsim_serve> <dirsim_sweep>
+#                             <dirsim_report> <workdir>
+set -u
+
+SERVE=$1
+SWEEP=$2
+REPORT=$3
+WORKDIR=$4
+
+work="$WORKDIR/serve_e2e"
+rm -rf "$work"
+mkdir -p "$work"
+cd "$work"
+
+fail() {
+    echo "FAIL: $*" >&2
+    [ -n "${daemon_pid:-}" ] && kill "$daemon_pid" 2>/dev/null
+    exit 1
+}
+
+cat > spec.json <<'EOF'
+{
+  "name": "e2e",
+  "schemes": ["Dir0B", "WTI"],
+  "traces": [{"profile": "pops", "refs": 20000, "seed": 5}],
+  "block_bytes": [16, 32]
+}
+EOF
+echo '{"name":"bad","schemes":["Nope"],"traces":[{"profile":"pops"}]}' \
+    > bad.json
+
+# 1. Daemon on an ephemeral port; parse the startup line.
+"$SERVE" --port 0 --queue 2 > daemon.log 2>&1 &
+daemon_pid=$!
+port=""
+for _ in $(seq 50); do
+    port=$(sed -n 's/^dirsim_serve listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' \
+        daemon.log)
+    [ -n "$port" ] && break
+    kill -0 "$daemon_pid" 2>/dev/null || fail "daemon died at startup"
+    sleep 0.1
+done
+[ -n "$port" ] && [ "$port" -gt 0 ] || fail "no startup line in daemon.log"
+
+# 2. Submit, stream to completion, fetch artifacts.
+id=$("$SERVE" submit spec.json --port "$port" 2>/dev/null) \
+    || fail "submit rejected a valid spec"
+"$SERVE" wait "$id" --port "$port" > events.jsonl 2>/dev/null \
+    || fail "run $id did not finish done"
+grep -q '"kind":"progress"' events.jsonl \
+    || fail "event stream carried no progress events"
+grep -q '"state":"done"' events.jsonl \
+    || fail "event stream never reached state done"
+"$SERVE" get "$id" --port "$port" --out served.jsonl \
+    || fail "artifact fetch failed"
+
+# 3. The served artifacts equal a local run of the same spec.
+"$SWEEP" run spec.json --out local > /dev/null 2>&1 \
+    || fail "local dirsim_sweep run failed"
+"$REPORT" --diff-clean served.jsonl local/results.jsonl \
+    || fail "served artifacts diverge from the local run"
+
+# 4a. Malformed spec: 400, client exit 1, daemon survives.
+"$SERVE" submit bad.json --port "$port" > /dev/null 2> bad.err
+rc=$?
+[ "$rc" -eq 1 ] || fail "bad spec should fail with 1, got $rc"
+grep -q "HTTP 400" bad.err || fail "bad spec did not produce a 400"
+
+# 5. Clean shutdown of the first daemon.
+"$SERVE" shutdown --port "$port" > /dev/null \
+    || fail "shutdown request failed"
+for _ in $(seq 100); do
+    kill -0 "$daemon_pid" 2>/dev/null || break
+    sleep 0.1
+done
+kill -0 "$daemon_pid" 2>/dev/null && fail "daemon ignored /shutdown"
+grep -q "dirsim_serve stopped" daemon.log \
+    || fail "daemon did not log a clean stop"
+daemon_pid=""
+
+# 6. Full queue: a second daemon with --hold parks the worker, so
+# the capacity-2 queue fills deterministically and the third submit
+# gets a 429 — without killing the daemon.
+"$SERVE" --port 0 --queue 2 --hold > held.log 2>&1 &
+daemon_pid=$!
+port=""
+for _ in $(seq 50); do
+    port=$(sed -n 's/^dirsim_serve listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' \
+        held.log)
+    [ -n "$port" ] && break
+    kill -0 "$daemon_pid" 2>/dev/null || fail "held daemon died"
+    sleep 0.1
+done
+[ -n "$port" ] || fail "no startup line in held.log"
+"$SERVE" submit spec.json --port "$port" > /dev/null 2>&1 \
+    || fail "first held submit should queue"
+"$SERVE" submit spec.json --port "$port" > /dev/null 2>&1 \
+    || fail "second held submit should queue"
+"$SERVE" submit spec.json --port "$port" > /dev/null 2> q.err
+rc=$?
+[ "$rc" -eq 1 ] || fail "overflow submit should fail with 1, got $rc"
+grep -q "HTTP 429" q.err || fail "full queue did not produce a 429"
+# Daemon still answers after the 429 ...
+"$SERVE" status --port "$port" > /dev/null \
+    || fail "daemon unresponsive after 429"
+# ... and still shuts down cleanly with runs parked in its queue.
+"$SERVE" shutdown --port "$port" > /dev/null \
+    || fail "held daemon shutdown request failed"
+for _ in $(seq 100); do
+    kill -0 "$daemon_pid" 2>/dev/null || break
+    sleep 0.1
+done
+kill -0 "$daemon_pid" 2>/dev/null && fail "held daemon ignored /shutdown"
+echo "serve e2e OK (run $id)"

@@ -13,6 +13,7 @@
  * Usage:
  *   dirsim_validate <trace-file> [<trace-file>...]
  *   dirsim_validate --manifest <results.jsonl>
+ *   dirsim_validate --sweep <spec.json>
  *
  * Files ending in ".txt" are text traces; everything else is the
  * binary container (see docs/trace-format.md).
@@ -22,10 +23,19 @@
  * run manifest is re-checksummed on disk with the trace-format-v2
  * FNV-1a and compared against the manifest — catching traces that
  * were moved, truncated, or regenerated since the run.
+ *
+ * With --sweep, the argument is a sweep spec (docs/sweep.md) and the
+ * exhaustive linter runs: unknown scheme names, empty axes, cache
+ * counts past the trace format's u16 cpu ids, impossible geometries,
+ * and axis repeats that would expand into duplicate cells are ALL
+ * reported (not just the first), mirroring the trace-lint mode's
+ * exit codes.
  */
 
+#include <fstream>
 #include <iostream>
 #include <memory>
+#include <sstream>
 #include <string>
 
 #include "dirsim/dirsim.hh"
@@ -143,6 +153,42 @@ checkManifest(const std::string &results_path)
     return all_ok;
 }
 
+/** Lint a sweep spec, reporting every problem found. */
+bool
+checkSweepSpec(const std::string &spec_path)
+{
+    std::ifstream in(spec_path, std::ios::binary);
+    if (!in) {
+        std::cerr << "error: cannot open sweep spec '" << spec_path
+                  << "'\n";
+        return false;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+
+    const std::vector<SweepDiagnostic> diagnostics =
+        lintSweepSpec(text.str());
+    if (diagnostics.empty()) {
+        const SweepPlan plan =
+            expandSweep(parseSweepSpec(text.str()));
+        std::cout << spec_path << ": OK (" << plan.cells.size()
+                  << " cells: " << plan.traces.size()
+                  << " traces x " << plan.schemes.size()
+                  << " schemes x "
+                  << plan.spec.blockBytes.size() << " blocks x "
+                  << plan.spec.geometries.size()
+                  << " geometries x " << plan.spec.shards.size()
+                  << " shard counts)\n";
+        return true;
+    }
+    std::cout << spec_path << ": INVALID\n";
+    for (const SweepDiagnostic &diagnostic : diagnostics)
+        std::cerr << "error: " << diagnostic.where << ": "
+                  << diagnostic.message << '\n';
+    std::cerr << diagnostics.size() << " problem(s) found\n";
+    return false;
+}
+
 } // namespace
 
 int
@@ -157,11 +203,22 @@ main(int argc, char **argv)
             return 2;
         }
     }
-    if (args.empty() || args[0] == "--manifest") {
+    if (args.size() == 2 && args[0] == "--sweep") {
+        try {
+            return checkSweepSpec(args[1]) ? 0 : 1;
+        } catch (const SimulationError &error) {
+            std::cerr << "error: " << error.what() << '\n';
+            return 2;
+        }
+    }
+    if (args.empty() || args[0] == "--manifest"
+        || args[0] == "--sweep") {
         std::cerr << "usage: dirsim_validate <trace-file> "
                      "[<trace-file>...]\n"
                      "       dirsim_validate --manifest "
-                     "<results.jsonl>\n";
+                     "<results.jsonl>\n"
+                     "       dirsim_validate --sweep "
+                     "<spec.json>\n";
         return 2;
     }
     bool all_ok = true;

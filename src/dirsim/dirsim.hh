@@ -71,8 +71,15 @@
 #include "sim/report.hh"
 #include "sim/runner.hh"
 #include "sim/scaling.hh"
+#include "serve/client.hh"
+#include "serve/discipline.hh"
+#include "serve/http.hh"
+#include "serve/server.hh"
 #include "sim/simulator.hh"
 #include "sim/suite.hh"
+#include "sweep/expand.hh"
+#include "sweep/run.hh"
+#include "sweep/spec.hh"
 #include "trace/filter.hh"
 #include "trace/format.hh"
 #include "trace/reader.hh"

@@ -1,9 +1,11 @@
 #include "obs/cell_cache.hh"
 
+#include <unistd.h>
+
+#include <atomic>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
-#include <thread>
 
 #include "common/env.hh"
 #include "common/json.hh"
@@ -84,11 +86,14 @@ FileCellCache::store(std::uint64_t key, const SimResult &result,
     CellRecord::fromCell(result, timing).writeJson(writer);
 
     const std::string path = entryPath(key);
-    // Unique temp name per writer thread, then an atomic rename, so
+    // Unique temp name per store() call — pid for cross-process
+    // uniqueness, a process-wide counter for cross-thread uniqueness
+    // (thread-id hashes can collide) — then an atomic rename, so
     // concurrent workers (or processes) never expose a partial entry.
+    static std::atomic<std::uint64_t> storeSerial{0};
     std::ostringstream tmp;
-    tmp << path << ".tmp."
-        << std::hash<std::thread::id>{}(std::this_thread::get_id());
+    tmp << path << ".tmp." << ::getpid() << "."
+        << storeSerial.fetch_add(1);
     {
         std::ofstream outfile(tmp.str(),
                               std::ios::binary | std::ios::trunc);

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * A minimal blocking HTTP/1.1 client for the dirsim_serve surface.
+ *
+ * Exists so the end-to-end tests (and the `dirsim_serve submit|wait|
+ * get|cancel|shutdown` client subcommands) exercise the daemon with
+ * repo-built code only — no curl dependency. Framing mirrors the
+ * server: Content-Length responses are read to length; responses
+ * without one (the JSONL event streams) are read line-by-line until
+ * the server closes.
+ */
+
+#ifndef DIRSIM_SERVE_CLIENT_HH
+#define DIRSIM_SERVE_CLIENT_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dirsim
+{
+
+/** One client-side response. */
+struct HttpClientResponse
+{
+    int status = 0;
+    /** Header (name, value) pairs; names lowercased. */
+    std::vector<std::pair<std::string, std::string>> headers;
+    std::string body;
+};
+
+/**
+ * Perform one request against 127.0.0.1:@p port and read the full
+ * response.
+ *
+ * @throws UsageError when the daemon is unreachable or the response
+ *         is malformed
+ */
+HttpClientResponse httpRequest(
+    std::uint16_t port, const std::string &method,
+    const std::string &target, const std::string &body = {},
+    const std::vector<std::pair<std::string, std::string>> &headers =
+        {});
+
+/**
+ * GET @p target and deliver the streamed body one line at a time
+ * (trailing newline stripped). @p on_line returning false stops the
+ * stream early (closing the connection).
+ *
+ * @return the response status
+ * @throws UsageError when the daemon is unreachable or the response
+ *         is malformed
+ */
+int httpStreamLines(
+    std::uint16_t port, const std::string &target,
+    const std::function<bool(const std::string &)> &on_line,
+    const std::vector<std::pair<std::string, std::string>> &headers =
+        {});
+
+} // namespace dirsim
+
+#endif // DIRSIM_SERVE_CLIENT_HH

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * A dependency-free blocking HTTP/1.1 transport for dirsim_serve.
+ *
+ * Scope is deliberately minimal: loopback-only listening sockets,
+ * one request per connection (every response carries
+ * "Connection: close"), Content-Length framed bodies, and a
+ * line-streaming mode for JSONL event feeds (headers without a
+ * Content-Length, then one line per write until the handler closes —
+ * the HTTP/1.0-style "body until close" framing, which curl, Python
+ * and the bundled client all consume naturally).
+ *
+ * Nothing here knows about sweeps; src/serve/server.hh composes
+ * these pieces into the daemon. Limits (header/body byte caps)
+ * protect the parser from hostile peers: oversized input fails the
+ * read with a diagnostic instead of growing unbounded buffers.
+ */
+
+#ifndef DIRSIM_SERVE_HTTP_HH
+#define DIRSIM_SERVE_HTTP_HH
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace dirsim
+{
+
+/** One parsed request. */
+struct HttpRequest
+{
+    std::string method;  ///< e.g. "GET" (uppercase as sent)
+    std::string target;  ///< the raw request target, incl. query
+    std::string version; ///< "HTTP/1.1"
+    /** Header (name, value) pairs; names are lowercased. */
+    std::vector<std::pair<std::string, std::string>> headers;
+    std::string body;
+
+    /** First header value for @p name (lowercase); nullptr when
+     *  absent. */
+    const std::string *header(std::string_view name) const;
+
+    /** The target's path component (before any '?'). */
+    std::string path() const;
+
+    /** Value of query parameter @p key; "" when absent. */
+    std::string query(std::string_view key) const;
+};
+
+/** One response to send. */
+struct HttpResponse
+{
+    int status = 200;
+    std::string contentType = "application/json";
+    std::string body;
+    /** Extra headers beyond the generated ones. */
+    std::vector<std::pair<std::string, std::string>> headers;
+};
+
+/** Canonical reason phrase ("OK", "Too Many Requests", ...). */
+const char *httpStatusText(int status);
+
+/**
+ * An accepted connection (owns the socket). Move-only; the
+ * destructor closes.
+ */
+class HttpConnection
+{
+  public:
+    explicit HttpConnection(int fd_arg) : sock(fd_arg) {}
+    ~HttpConnection() { close(); }
+
+    HttpConnection(HttpConnection &&other) noexcept
+        : sock(other.sock), buffer(std::move(other.buffer))
+    {
+        other.sock = -1;
+    }
+    HttpConnection &operator=(HttpConnection &&) = delete;
+    HttpConnection(const HttpConnection &) = delete;
+    HttpConnection &operator=(const HttpConnection &) = delete;
+
+    /**
+     * Read and parse one request.
+     *
+     * @return true on success; false on clean EOF before any bytes
+     *         (@p error empty) or on a malformed/oversized request
+     *         (@p error holds the diagnostic — send a 400 and close)
+     */
+    bool readRequest(HttpRequest &out, std::string &error);
+
+    /** Send a complete Content-Length framed response. */
+    void sendResponse(const HttpResponse &response);
+
+    /**
+     * Begin a streaming response: status line + headers with no
+     * Content-Length ("Connection: close" framing). Follow with
+     * sendLine() calls; closing the connection ends the body.
+     */
+    void beginStream(int status,
+                     const std::string &content_type = "application/"
+                                                       "x-ndjson");
+
+    /** Write one line (plus '\n') of a streaming body.
+     *  @return false when the peer is gone (stop streaming) */
+    bool sendLine(const std::string &line);
+
+    void close();
+    bool valid() const { return sock >= 0; }
+
+  private:
+    bool sendAll(const void *data, std::size_t size);
+
+    int sock = -1;
+    std::string buffer; ///< bytes read past the previous request
+};
+
+/**
+ * A loopback (127.0.0.1) listening socket. Port 0 binds an ephemeral
+ * port; port() reports the one actually bound.
+ */
+class HttpListener
+{
+  public:
+    /** Bind + listen. @throws UsageError when the port is taken or
+     *  the socket cannot be created */
+    explicit HttpListener(std::uint16_t port_arg);
+    ~HttpListener();
+
+    HttpListener(const HttpListener &) = delete;
+    HttpListener &operator=(const HttpListener &) = delete;
+
+    std::uint16_t port() const { return boundPort; }
+
+    /**
+     * Block for the next connection.
+     * @return the accepted connection fd, or -1 once shutdown() has
+     *         closed the listener
+     */
+    int acceptConnection();
+
+    /** Unblock acceptConnection() and close the listening socket.
+     *  Safe to call from another thread, and more than once. */
+    void shutdown();
+
+  private:
+    /** Atomic so shutdown() (another thread) and the accept loop
+     *  agree on whether the listener is still open. */
+    std::atomic<int> sock{-1};
+    std::uint16_t boundPort = 0;
+};
+
+/** Parser limits (shared with the bundled client). */
+inline constexpr std::size_t httpMaxHeaderBytes = 64 * 1024;
+inline constexpr std::size_t httpMaxBodyBytes = 16 * 1024 * 1024;
+
+} // namespace dirsim
+
+#endif // DIRSIM_SERVE_HTTP_HH

@@ -1,0 +1,663 @@
+#include "serve/server.hh"
+
+#include <sstream>
+
+#include "common/env.hh"
+#include "common/json.hh"
+#include "common/logging.hh"
+#include "obs/artifacts.hh"
+#include "obs/cell_cache.hh"
+#include "obs/sink.hh"
+#include "sweep/run.hh"
+#include "sweep/spec.hh"
+
+namespace dirsim
+{
+
+namespace
+{
+
+std::string
+errorJson(const std::string &message)
+{
+    std::ostringstream os;
+    JsonWriter writer(os);
+    writer.beginObject().key("error").value(message).endObject();
+    return os.str();
+}
+
+HttpResponse
+errorResponse(int status, const std::string &message)
+{
+    HttpResponse response;
+    response.status = status;
+    response.body = errorJson(message);
+    return response;
+}
+
+/** "/runs/12/events" -> {"runs", "12", "events"}. */
+std::vector<std::string>
+pathSegments(const std::string &path)
+{
+    std::vector<std::string> segments;
+    std::istringstream in(path);
+    std::string segment;
+    while (std::getline(in, segment, '/')) {
+        if (!segment.empty())
+            segments.push_back(segment);
+    }
+    return segments;
+}
+
+/** Parse a run id segment; false on non-numeric ids. */
+bool
+parseRunId(const std::string &text, std::uint64_t &id)
+{
+    if (text.empty()
+        || text.find_first_not_of("0123456789") != std::string::npos)
+        return false;
+    try {
+        id = std::stoull(text);
+    } catch (const std::exception &) {
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+ServeConfig
+ServeConfig::fromEnvironment()
+{
+    ServeConfig config;
+    const unsigned port = envUnsigned("DIRSIM_SERVE_PORT", 0);
+    fatalIf(port > 65535, "DIRSIM_SERVE_PORT ", port,
+            " is not a valid port");
+    config.port = static_cast<std::uint16_t>(port);
+    config.queueCapacity = envU64("DIRSIM_SERVE_QUEUE", 8);
+    config.jobs = envUnsigned("DIRSIM_SERVE_JOBS", 0);
+    config.discipline =
+        envString("DIRSIM_SERVE_DISCIPLINE").value_or("fcfs");
+    config.cache = FileCellCache::fromEnvironment();
+    return config;
+}
+
+SweepServer::SweepServer(ServeConfig config_arg)
+    : config(std::move(config_arg))
+{
+}
+
+SweepServer::~SweepServer()
+{
+    stop();
+}
+
+void
+SweepServer::start()
+{
+    fatalIf(started, "server already started");
+    queue = makeDiscipline(config.discipline);
+    holding = config.hold;
+    listener = std::make_unique<HttpListener>(config.port);
+    started = true;
+    acceptThread = std::thread(&SweepServer::acceptLoop, this);
+    workerThread = std::thread(&SweepServer::workerLoop, this);
+}
+
+std::uint16_t
+SweepServer::port() const
+{
+    panicIfNot(listener != nullptr, "port() before start()");
+    return listener->port();
+}
+
+void
+SweepServer::waitForShutdown()
+{
+    std::unique_lock<std::mutex> lock(stateMutex);
+    stopCv.wait(lock, [&] { return stopping; });
+}
+
+void
+SweepServer::stop()
+{
+    {
+        std::lock_guard<std::mutex> lock(stateMutex);
+        stopping = true;
+        // The running sweep (if any) stops at its next cell boundary.
+        for (auto &[id, entry] : runs)
+            entry->cancel.store(true);
+    }
+    workCv.notify_all();
+    eventsCv.notify_all();
+    stopCv.notify_all();
+    if (listener)
+        listener->shutdown();
+    if (acceptThread.joinable())
+        acceptThread.join();
+
+    // The accept thread was the only spawner, so the handler list is
+    // stable now.
+    std::vector<std::thread> to_join;
+    {
+        std::lock_guard<std::mutex> lock(stateMutex);
+        to_join.swap(handlers);
+    }
+    for (std::thread &handler : to_join)
+        handler.join();
+    if (workerThread.joinable())
+        workerThread.join();
+}
+
+void
+SweepServer::acceptLoop()
+{
+    for (;;) {
+        const int fd = listener->acceptConnection();
+        if (fd < 0)
+            return;
+        std::lock_guard<std::mutex> lock(stateMutex);
+        if (stopping) {
+            HttpConnection drop(fd);
+            return;
+        }
+        handlers.emplace_back(&SweepServer::handleConnection, this,
+                              fd);
+    }
+}
+
+void
+SweepServer::handleConnection(int fd)
+{
+    HttpConnection connection(fd);
+    HttpRequest request;
+    std::string parse_error;
+    if (!connection.readRequest(request, parse_error)) {
+        if (!parse_error.empty())
+            connection.sendResponse(
+                errorResponse(400, parse_error));
+        return;
+    }
+
+    bool responded = false;
+    HttpResponse response;
+    try {
+        response = handle(request, connection, responded);
+    } catch (const SimulationError &error) {
+        response = errorResponse(400, error.what());
+    } catch (const std::exception &error) {
+        response = errorResponse(500, error.what());
+    }
+    if (!responded)
+        connection.sendResponse(response);
+}
+
+HttpResponse
+SweepServer::handle(const HttpRequest &request,
+                    HttpConnection &connection, bool &responded)
+{
+    const std::vector<std::string> segments =
+        pathSegments(request.path());
+
+    if (segments.empty()) {
+        if (request.method != "GET")
+            return errorResponse(405, "use GET /");
+        std::ostringstream os;
+        JsonWriter writer(os);
+        std::lock_guard<std::mutex> lock(stateMutex);
+        writer.beginObject()
+            .key("service").value("dirsim_serve")
+            .key("discipline").value(queue->name())
+            .key("queue_depth").value(
+                static_cast<std::uint64_t>(queue->size()))
+            .key("queue_capacity").value(
+                static_cast<std::uint64_t>(config.queueCapacity))
+            .key("holding").value(holding)
+            .key("runs").value(
+                static_cast<std::uint64_t>(runs.size()))
+            .endObject();
+        HttpResponse response;
+        response.body = os.str();
+        return response;
+    }
+
+    if (segments[0] == "runs") {
+        if (segments.size() == 1) {
+            if (request.method == "POST")
+                return handleSubmit(request);
+            if (request.method == "GET")
+                return handleList();
+            return errorResponse(405, "use GET or POST /runs");
+        }
+        std::uint64_t id = 0;
+        if (!parseRunId(segments[1], id))
+            return errorResponse(404, "unknown run '" + segments[1]
+                                     + "'");
+        if (segments.size() == 2) {
+            if (request.method != "GET")
+                return errorResponse(405, "use GET /runs/{id}");
+            return handleStatus(id);
+        }
+        if (segments.size() == 3 && segments[2] == "events") {
+            if (request.method != "GET")
+                return errorResponse(405,
+                                     "use GET /runs/{id}/events");
+            streamEvents(id, connection);
+            responded = true;
+            return {};
+        }
+        if (segments.size() == 3 && segments[2] == "artifacts") {
+            if (request.method != "GET")
+                return errorResponse(
+                    405, "use GET /runs/{id}/artifacts");
+            return handleArtifacts(id);
+        }
+        if (segments.size() == 3 && segments[2] == "cancel") {
+            if (request.method != "POST")
+                return errorResponse(405,
+                                     "use POST /runs/{id}/cancel");
+            return handleCancel(id);
+        }
+        if (segments.size() == 4 && segments[2] == "diff") {
+            if (request.method != "GET")
+                return errorResponse(
+                    405, "use GET /runs/{id}/diff/{id}");
+            std::uint64_t other = 0;
+            if (!parseRunId(segments[3], other))
+                return errorResponse(404, "unknown run '"
+                                         + segments[3] + "'");
+            return handleDiff(id, other);
+        }
+        return errorResponse(404,
+                             "no such endpoint under /runs");
+    }
+
+    if (segments.size() == 2 && segments[0] == "admin"
+        && segments[1] == "release") {
+        if (request.method != "POST")
+            return errorResponse(405, "use POST /admin/release");
+        {
+            std::lock_guard<std::mutex> lock(stateMutex);
+            holding = false;
+        }
+        workCv.notify_all();
+        HttpResponse response;
+        response.body = "{\"holding\":false}";
+        return response;
+    }
+
+    if (segments.size() == 1 && segments[0] == "shutdown") {
+        if (request.method != "POST")
+            return errorResponse(405, "use POST /shutdown");
+        {
+            std::lock_guard<std::mutex> lock(stateMutex);
+            stopping = true;
+            for (auto &[id, entry] : runs)
+                entry->cancel.store(true);
+        }
+        stopCv.notify_all();
+        workCv.notify_all();
+        eventsCv.notify_all();
+        HttpResponse response;
+        response.body = "{\"stopping\":true}";
+        return response;
+    }
+
+    return errorResponse(404, "no such endpoint '" + request.path()
+                             + "'");
+}
+
+HttpResponse
+SweepServer::handleSubmit(const HttpRequest &request)
+{
+    // Validate up front so a malformed spec is a 400 with the
+    // parser's diagnostic and never occupies a queue slot.
+    SweepSpec spec;
+    std::size_t cells = 0;
+    try {
+        spec = parseSweepSpec(request.body);
+        cells = expandSweep(spec).cells.size();
+    } catch (const UsageError &error) {
+        return errorResponse(400, std::string("sweep spec rejected: ")
+                                 + error.what());
+    }
+
+    const std::string *client_header =
+        request.header("x-dirsim-client");
+    const std::string client =
+        client_header ? *client_header : std::string();
+
+    std::uint64_t id = 0;
+    {
+        std::lock_guard<std::mutex> lock(stateMutex);
+        if (stopping)
+            return errorResponse(503, "daemon is shutting down");
+        if (queue->size() >= config.queueCapacity)
+            return errorResponse(
+                429, "queue full ("
+                    + std::to_string(config.queueCapacity)
+                    + " runs waiting); retry later");
+        id = nextId++;
+        auto entry = std::make_unique<RunEntry>();
+        entry->id = id;
+        entry->client = client;
+        entry->specText = request.body;
+        entry->name = spec.name;
+        entry->events.push_back("{\"kind\":\"state\",\"state\":"
+                                "\"queued\"}");
+        runs.emplace(id, std::move(entry));
+        queue->enqueue({id, client});
+    }
+    workCv.notify_one();
+    eventsCv.notify_all();
+
+    std::ostringstream os;
+    JsonWriter writer(os);
+    writer.beginObject()
+        .key("id").value(id)
+        .key("name").value(spec.name)
+        .key("state").value("queued")
+        .key("cells").value(static_cast<std::uint64_t>(cells))
+        .endObject();
+    HttpResponse response;
+    response.status = 202;
+    response.body = os.str();
+    return response;
+}
+
+namespace
+{
+
+void
+writeRunJson(JsonWriter &writer,
+             std::uint64_t id, const std::string &name,
+             const std::string &state, const std::string &client,
+             const std::string &error, std::size_t events)
+{
+    writer.beginObject()
+        .key("id").value(id)
+        .key("name").value(name)
+        .key("state").value(state);
+    if (!client.empty())
+        writer.key("client").value(client);
+    if (!error.empty())
+        writer.key("error").value(error);
+    writer.key("events").value(static_cast<std::uint64_t>(events))
+        .endObject();
+}
+
+} // namespace
+
+HttpResponse
+SweepServer::handleStatus(std::uint64_t id)
+{
+    std::lock_guard<std::mutex> lock(stateMutex);
+    const auto it = runs.find(id);
+    if (it == runs.end())
+        return errorResponse(404,
+                             "unknown run " + std::to_string(id));
+    const RunEntry &entry = *it->second;
+    std::ostringstream os;
+    JsonWriter writer(os);
+    writeRunJson(writer, entry.id, entry.name, entry.state,
+                 entry.client, entry.error, entry.events.size());
+    HttpResponse response;
+    response.body = os.str();
+    return response;
+}
+
+HttpResponse
+SweepServer::handleList()
+{
+    std::lock_guard<std::mutex> lock(stateMutex);
+    std::ostringstream os;
+    JsonWriter writer(os);
+    writer.beginObject().key("runs").beginArray();
+    for (const auto &[id, entry] : runs)
+        writeRunJson(writer, entry->id, entry->name, entry->state,
+                     entry->client, entry->error,
+                     entry->events.size());
+    writer.endArray().endObject();
+    HttpResponse response;
+    response.body = os.str();
+    return response;
+}
+
+HttpResponse
+SweepServer::handleArtifacts(std::uint64_t id)
+{
+    std::lock_guard<std::mutex> lock(stateMutex);
+    const auto it = runs.find(id);
+    if (it == runs.end())
+        return errorResponse(404,
+                             "unknown run " + std::to_string(id));
+    const RunEntry &entry = *it->second;
+    if (entry.state != "done")
+        return errorResponse(409, "run " + std::to_string(id)
+                                 + " has no artifacts (state "
+                                 + entry.state + ")");
+    HttpResponse response;
+    response.contentType = "application/x-ndjson";
+    response.body = entry.artifacts;
+    return response;
+}
+
+HttpResponse
+SweepServer::handleDiff(std::uint64_t a, std::uint64_t b)
+{
+    std::string artifacts_a;
+    std::string artifacts_b;
+    {
+        std::lock_guard<std::mutex> lock(stateMutex);
+        for (const std::uint64_t id : {a, b}) {
+            const auto it = runs.find(id);
+            if (it == runs.end())
+                return errorResponse(
+                    404, "unknown run " + std::to_string(id));
+            if (it->second->state != "done")
+                return errorResponse(
+                    409, "run " + std::to_string(id)
+                        + " has no artifacts (state "
+                        + it->second->state + ")");
+        }
+        artifacts_a = runs.at(a)->artifacts;
+        artifacts_b = runs.at(b)->artifacts;
+    }
+
+    std::istringstream stream_a(artifacts_a);
+    std::istringstream stream_b(artifacts_b);
+    const RunArtifacts loaded_a = loadArtifacts(stream_a);
+    const RunArtifacts loaded_b = loadArtifacts(stream_b);
+    const std::vector<MetricDelta> deltas =
+        diffArtifacts(loaded_a, loaded_b);
+
+    std::ostringstream os;
+    JsonWriter writer(os);
+    writer.beginObject()
+        .key("a").value(a)
+        .key("b").value(b)
+        .key("clean").value(deltas.empty())
+        .key("deltas").beginArray();
+    for (const MetricDelta &delta : deltas) {
+        writer.beginObject()
+            .key("cell").value(delta.cell)
+            .key("metric").value(delta.metric)
+            .key("a").value(delta.a)
+            .key("b").value(delta.b)
+            .endObject();
+    }
+    writer.endArray().endObject();
+    HttpResponse response;
+    response.body = os.str();
+    return response;
+}
+
+HttpResponse
+SweepServer::handleCancel(std::uint64_t id)
+{
+    std::lock_guard<std::mutex> lock(stateMutex);
+    const auto it = runs.find(id);
+    if (it == runs.end())
+        return errorResponse(404,
+                             "unknown run " + std::to_string(id));
+    RunEntry &entry = *it->second;
+    if (entry.state == "queued") {
+        queue->remove(id);
+        entry.state = "cancelled";
+        entry.events.push_back("{\"kind\":\"state\",\"state\":"
+                               "\"cancelled\"}");
+        eventsCv.notify_all();
+    } else if (entry.state == "running") {
+        entry.cancel.store(true);
+    }
+    std::ostringstream os;
+    JsonWriter writer(os);
+    writer.beginObject()
+        .key("id").value(id)
+        .key("state").value(entry.state)
+        .endObject();
+    HttpResponse response;
+    response.body = os.str();
+    return response;
+}
+
+void
+SweepServer::streamEvents(std::uint64_t id,
+                          HttpConnection &connection)
+{
+    RunEntry *entry = nullptr;
+    {
+        std::lock_guard<std::mutex> lock(stateMutex);
+        const auto it = runs.find(id);
+        if (it == runs.end()) {
+            connection.sendResponse(errorResponse(
+                404, "unknown run " + std::to_string(id)));
+            return;
+        }
+        entry = it->second.get();
+    }
+
+    connection.beginStream(200);
+    std::size_t sent = 0;
+    std::unique_lock<std::mutex> lock(stateMutex);
+    for (;;) {
+        while (sent < entry->events.size()) {
+            const std::string line = entry->events[sent++];
+            lock.unlock();
+            const bool alive = connection.sendLine(line);
+            lock.lock();
+            if (!alive)
+                return; // peer went away
+        }
+        if (entry->finished() || stopping)
+            return;
+        eventsCv.wait(lock);
+    }
+}
+
+void
+SweepServer::appendEvent(RunEntry &entry, std::string line)
+{
+    {
+        std::lock_guard<std::mutex> lock(stateMutex);
+        entry.events.push_back(std::move(line));
+    }
+    eventsCv.notify_all();
+}
+
+void
+SweepServer::workerLoop()
+{
+    for (;;) {
+        RunEntry *entry = nullptr;
+        {
+            std::unique_lock<std::mutex> lock(stateMutex);
+            workCv.wait(lock, [&] {
+                return stopping || (!holding && !queue->empty());
+            });
+            if (stopping)
+                return;
+            const std::optional<QueuedRun> next = queue->dequeue();
+            if (!next)
+                continue;
+            entry = runs.at(next->id).get();
+            entry->state = "running";
+            entry->events.push_back("{\"kind\":\"state\",\"state\":"
+                                    "\"running\"}");
+        }
+        eventsCv.notify_all();
+        executeRun(*entry);
+    }
+}
+
+void
+SweepServer::executeRun(RunEntry &entry)
+{
+    std::string final_state = "done";
+    std::string error;
+    std::string artifacts;
+    std::size_t executed_cells = 0;
+    try {
+        const SweepSpec spec = parseSweepSpec(entry.specText);
+        const SweepPlan plan = expandSweep(spec);
+
+        SweepOptions options;
+        options.jobs = config.jobs;
+        options.cache = config.cache;
+        options.cancel = &entry.cancel;
+        options.onProgress = [&](const GridProgress &progress) {
+            std::ostringstream os;
+            JsonWriter writer(os);
+            writer.beginObject()
+                .key("kind").value("progress")
+                .key("completed").value(static_cast<std::uint64_t>(
+                    progress.completedCells))
+                .key("total").value(static_cast<std::uint64_t>(
+                    progress.totalCells))
+                .key("cell").value(progress.cell.traceName)
+                .key("scheme").value(progress.cell.scheme)
+                .key("refs").value(progress.cell.refs)
+                .key("cache_hit").value(progress.cell.cacheHit)
+                .endObject();
+            appendEvent(entry, os.str());
+        };
+
+        const SweepOutcome outcome = runSweep(plan, options);
+        executed_cells = outcome.records.size();
+        if (outcome.completed) {
+            std::ostringstream os;
+            JsonlSink sink(os);
+            writeSweepArtifacts(outcome, sink);
+            artifacts = os.str();
+        } else {
+            final_state = "cancelled";
+        }
+    } catch (const SimulationError &failure) {
+        final_state = "failed";
+        error = failure.what();
+    } catch (const std::exception &failure) {
+        final_state = "failed";
+        error = failure.what();
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(stateMutex);
+        entry.state = final_state;
+        entry.error = error;
+        entry.artifacts = std::move(artifacts);
+        std::ostringstream os;
+        JsonWriter writer(os);
+        writer.beginObject()
+            .key("kind").value("state")
+            .key("state").value(final_state)
+            .key("cells").value(
+                static_cast<std::uint64_t>(executed_cells));
+        if (!error.empty())
+            writer.key("error").value(error);
+        writer.endObject();
+        entry.events.push_back(os.str());
+    }
+    eventsCv.notify_all();
+}
+
+} // namespace dirsim

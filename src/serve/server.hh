@@ -1,0 +1,172 @@
+/**
+ * @file
+ * SweepServer: the dirsim_serve daemon core.
+ *
+ * A loopback HTTP/1.1 service that accepts sweep specs over POST,
+ * queues them under a pluggable service discipline (serve/
+ * discipline.hh), executes them one at a time on the sweep engine
+ * (sweep/run.hh), streams per-cell progress as JSONL, and serves
+ * finished artifacts and artifact diffs. The HTTP surface
+ * (docs/sweep.md, "The HTTP surface"):
+ *
+ *   GET  /                      service status + queue depth
+ *   POST /runs                  submit a spec (body = spec JSON);
+ *                               202 {"id",...} | 400 | 429
+ *   GET  /runs                  all runs, oldest first
+ *   GET  /runs/{id}             one run's status
+ *   GET  /runs/{id}/events      JSONL progress stream until the run
+ *                               finishes (Connection: close framing)
+ *   GET  /runs/{id}/artifacts   the finished results.jsonl
+ *   GET  /runs/{id}/diff/{id2}  diffArtifacts() of two finished runs
+ *   POST /runs/{id}/cancel      cancel (queued or running)
+ *   POST /admin/release         release a --hold'ed worker
+ *   POST /shutdown              stop the daemon
+ *
+ * Degradation is graceful by construction: a malformed spec is a 400
+ * with the parser's diagnostic, a full queue is a 429 (the submitter
+ * retries later; the daemon keeps serving), a cancelled run stops at
+ * the next cell boundary, and every handler failure is a response,
+ * never a crash.
+ *
+ * Identity for the round-robin discipline comes from the
+ * X-Dirsim-Client request header (absent = one shared anonymous
+ * identity).
+ */
+
+#ifndef DIRSIM_SERVE_SERVER_HH
+#define DIRSIM_SERVE_SERVER_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/discipline.hh"
+#include "serve/http.hh"
+#include "sim/job.hh"
+
+namespace dirsim
+{
+
+/** SweepServer knobs (CLI flags / DIRSIM_SERVE_* environment). */
+struct ServeConfig
+{
+    /** Listen port; 0 binds an ephemeral port (read it back via
+     *  SweepServer::port()). */
+    std::uint16_t port = 0;
+
+    /** Queued-run bound; submissions past it get 429. */
+    std::size_t queueCapacity = 8;
+
+    /** Worker threads per sweep (SweepOptions::jobs; 0 = default). */
+    unsigned jobs = 0;
+
+    /** Service discipline: "fcfs" or "round-robin". */
+    std::string discipline = "fcfs";
+
+    /**
+     * Start with the worker held: submissions queue but nothing
+     * executes until POST /admin/release. Lets tests (and batch
+     * operators) stage a backlog deterministically.
+     */
+    bool hold = false;
+
+    /** Cell cache shared by every run; nullptr = simulate always. */
+    std::shared_ptr<CellCache> cache;
+
+    /** Apply DIRSIM_SERVE_{PORT,QUEUE,JOBS,DISCIPLINE} over the
+     *  defaults, and wire DIRSIM_CACHE_DIR as the cache. */
+    static ServeConfig fromEnvironment();
+};
+
+/** The daemon: listener + per-connection handlers + one sweep
+ *  worker. */
+class SweepServer
+{
+  public:
+    explicit SweepServer(ServeConfig config_arg = {});
+    ~SweepServer();
+
+    SweepServer(const SweepServer &) = delete;
+    SweepServer &operator=(const SweepServer &) = delete;
+
+    /** Bind the port and start the accept + worker threads.
+     *  @throws UsageError when the port cannot be bound */
+    void start();
+
+    /** Stop accepting, cancel the running sweep, join every thread.
+     *  Idempotent. */
+    void stop();
+
+    /** The bound port (valid after start()). */
+    std::uint16_t port() const;
+
+    /** Block until POST /shutdown (or stop()) — the daemon main's
+     *  wait. */
+    void waitForShutdown();
+
+  private:
+    /** One submitted run's full lifecycle. */
+    struct RunEntry
+    {
+        std::uint64_t id = 0;
+        std::string client;
+        std::string specText;
+        std::string name;  ///< the spec's campaign name
+        std::string state = "queued"; ///< queued|running|done|
+                                      ///< failed|cancelled
+        std::string error;
+        std::string artifacts; ///< results.jsonl once done
+        std::vector<std::string> events; ///< JSONL progress lines
+        std::atomic<bool> cancel{false};
+
+        bool finished() const
+        {
+            return state != "queued" && state != "running";
+        }
+    };
+
+    void acceptLoop();
+    void handleConnection(int fd);
+    void workerLoop();
+    void executeRun(RunEntry &entry);
+    void appendEvent(RunEntry &entry, std::string line);
+
+    HttpResponse handle(const HttpRequest &request,
+                        HttpConnection &connection,
+                        bool &responded);
+    HttpResponse handleSubmit(const HttpRequest &request);
+    HttpResponse handleStatus(std::uint64_t id);
+    HttpResponse handleList();
+    HttpResponse handleArtifacts(std::uint64_t id);
+    HttpResponse handleDiff(std::uint64_t a, std::uint64_t b);
+    HttpResponse handleCancel(std::uint64_t id);
+    void streamEvents(std::uint64_t id, HttpConnection &connection);
+
+    ServeConfig config;
+
+    std::unique_ptr<HttpListener> listener;
+    std::thread acceptThread;
+    std::thread workerThread;
+    std::vector<std::thread> handlers; ///< guarded by stateMutex
+
+    mutable std::mutex stateMutex;
+    std::condition_variable workCv;   ///< worker: queue/stop changes
+    std::condition_variable eventsCv; ///< streamers: event appends
+    std::condition_variable stopCv;   ///< waitForShutdown
+    std::unique_ptr<ServiceDiscipline> queue;
+    std::map<std::uint64_t, std::unique_ptr<RunEntry>> runs;
+    std::uint64_t nextId = 1;
+    bool holding = false;
+    bool stopping = false;
+    bool started = false;
+};
+
+} // namespace dirsim
+
+#endif // DIRSIM_SERVE_SERVER_HH

@@ -187,6 +187,66 @@ TEST(JsonParseTest, RejectsRunawayNesting)
     EXPECT_THROW(JsonValue::parse(deep), UsageError);
 }
 
+// The parser now sits on the dirsim_serve network input path
+// (sweep specs arrive over POST /runs), so hostile spec-shaped
+// inputs get their own coverage: depth bombs, duplicate keys, and
+// trailing garbage after an otherwise-valid spec.
+
+TEST(JsonParseTest, DeeplyNestedSweepSpecHitsDepthCap)
+{
+    // The parser caps nesting at 64 levels (json.cc maxDepth): the
+    // deepest accepted document has 63 nested containers; one more
+    // is rejected, whether the nesting is arrays or spec-shaped
+    // objects.
+    const auto nestedArrays = [](int levels) {
+        return std::string(static_cast<std::size_t>(levels), '[')
+            + "1"
+            + std::string(static_cast<std::size_t>(levels), ']');
+    };
+    EXPECT_NO_THROW(JsonValue::parse(nestedArrays(63)));
+    EXPECT_THROW(JsonValue::parse(nestedArrays(64)), UsageError);
+
+    std::string object_bomb = R"({"name":"deep","schemes":)";
+    for (int i = 0; i < 70; ++i)
+        object_bomb += R"({"traces":)";
+    object_bomb += "1";
+    for (int i = 0; i < 70; ++i)
+        object_bomb += "}";
+    object_bomb += "}";
+    EXPECT_THROW(JsonValue::parse(object_bomb), UsageError);
+}
+
+TEST(JsonParseTest, DuplicateKeysKeepBothMembersFirstWins)
+{
+    // Duplicate members parse (the grammar allows them); lookup by
+    // name resolves to the FIRST occurrence, so a malicious spec
+    // cannot smuggle a second "schemes" past a validator that only
+    // sees the first.
+    const JsonValue value = JsonValue::parse(
+        R"({"name":"dup","schemes":["Dir0B"],"schemes":["WTI"]})");
+    ASSERT_EQ(value.size(), 3u);
+    const JsonValue &schemes = value.at("schemes");
+    ASSERT_EQ(schemes.size(), 1u);
+    EXPECT_EQ(schemes.at(std::size_t{0}).asString(), "Dir0B");
+    EXPECT_EQ(value.find("schemes"), &value.members()[1].second);
+}
+
+TEST(JsonParseTest, TrailingGarbageAfterSpecRejected)
+{
+    const std::string spec =
+        R"({"name":"ok","schemes":["Dir0B"],)"
+        R"("traces":[{"profile":"pops"}]})";
+    EXPECT_NO_THROW(JsonValue::parse(spec));
+    for (const char *tail :
+         {"x", "{}", "[]", ",", R"({"name":"two"})", "]"}) {
+        EXPECT_THROW(JsonValue::parse(spec + tail), UsageError)
+            << tail;
+    }
+    // Trailing whitespace (including newlines from HTTP bodies) is
+    // NOT garbage.
+    EXPECT_NO_THROW(JsonValue::parse(spec + " \n\t\r\n"));
+}
+
 TEST(JsonRoundTripTest, WriterOutputParsesBack)
 {
     const std::string text = writeWith([](JsonWriter &w) {

@@ -1,0 +1,190 @@
+/** @file Unit tests for sweep/run.hh: execution, resume, artifacts. */
+
+#include <atomic>
+#include <filesystem>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "obs/artifacts.hh"
+#include "obs/cell_cache.hh"
+#include "sweep/run.hh"
+
+namespace dirsim
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+
+SweepPlan
+smallPlan()
+{
+    return expandSweep(parseSweepSpec(
+        R"({"name":"unit","schemes":["Dir0B","WTI"],)"
+        R"("traces":[{"profile":"pops","refs":20000,"seed":5}],)"
+        R"("block_bytes":[16,32]})"));
+}
+
+std::shared_ptr<FileCellCache>
+freshCache(const char *name)
+{
+    const fs::path dir =
+        fs::path(testing::TempDir()) / "dirsim_sweep_run" / name;
+    fs::remove_all(dir);
+    return std::make_shared<FileCellCache>(dir.string());
+}
+
+TEST(RunSweepTest, ExecutesEveryCellInPlanOrder)
+{
+    const SweepPlan plan = smallPlan();
+    const SweepOutcome outcome = runSweep(plan, {});
+    EXPECT_TRUE(outcome.completed);
+    ASSERT_EQ(outcome.records.size(), plan.cells.size());
+    for (std::size_t i = 0; i < outcome.records.size(); ++i) {
+        EXPECT_EQ(outcome.cellIndices[i], i);
+        // Records are named by the unique cell label, so multi-axis
+        // cells never collide in artifacts.
+        EXPECT_EQ(outcome.records[i].trace, plan.cells[i].label);
+        EXPECT_EQ(outcome.records[i].scheme,
+                  plan.cells[i].scheme.name());
+    }
+    EXPECT_EQ(outcome.cacheHits, 0u);
+    EXPECT_GT(outcome.simulatedRefs, 0u);
+    // The established metric names, so dirsim_report renders sweep
+    // metrics exactly like grid metrics.
+    EXPECT_TRUE(outcome.metrics.has("runner.grid.cells"));
+    EXPECT_TRUE(outcome.metrics.has("runner.grid.wall_seconds"));
+}
+
+TEST(RunSweepTest, ParallelMatchesSequential)
+{
+    const SweepPlan plan = smallPlan();
+    SweepOptions sequential;
+    sequential.jobs = 1;
+    SweepOptions parallel;
+    parallel.jobs = 4;
+    const SweepOutcome a = runSweep(plan, sequential);
+    const SweepOutcome b = runSweep(plan, parallel);
+    ASSERT_EQ(a.records.size(), b.records.size());
+    for (std::size_t i = 0; i < a.records.size(); ++i) {
+        EXPECT_EQ(a.records[i].trace, b.records[i].trace);
+        EXPECT_TRUE(a.records[i].events == b.records[i].events)
+            << a.records[i].trace;
+    }
+}
+
+TEST(RunSweepTest, BudgetInterruptsAndCacheResumes)
+{
+    const SweepPlan plan = smallPlan();
+    const auto cache = freshCache("resume");
+
+    SweepOptions first;
+    first.jobs = 1;
+    first.cache = cache;
+    first.maxSimulatedCells = 2;
+    const SweepOutcome interrupted = runSweep(plan, first);
+    EXPECT_FALSE(interrupted.completed);
+    EXPECT_EQ(interrupted.records.size(), 2u);
+    EXPECT_EQ(interrupted.cacheHits, 0u);
+
+    // Re-running the same plan with the same cache resumes: the two
+    // finished cells replay, only the remainder simulates.
+    SweepOptions second;
+    second.jobs = 1;
+    second.cache = cache;
+    const SweepOutcome resumed = runSweep(plan, second);
+    EXPECT_TRUE(resumed.completed);
+    ASSERT_EQ(resumed.records.size(), plan.cells.size());
+    EXPECT_EQ(resumed.cacheHits, 2u);
+    EXPECT_EQ(resumed.cacheMisses, plan.cells.size() - 2);
+
+    // The resumed leg simulates strictly less than an uninterrupted
+    // run, and its deterministic artifacts diff clean against one.
+    const SweepOutcome scratch = runSweep(plan, {});
+    EXPECT_LT(resumed.simulatedRefs, scratch.simulatedRefs);
+    std::ostringstream resumed_text;
+    std::ostringstream scratch_text;
+    {
+        JsonlSink resumed_sink(resumed_text);
+        writeSweepArtifacts(resumed, resumed_sink);
+        JsonlSink scratch_sink(scratch_text);
+        writeSweepArtifacts(scratch, scratch_sink);
+    }
+    std::istringstream resumed_in(resumed_text.str());
+    std::istringstream scratch_in(scratch_text.str());
+    const RunArtifacts a = loadArtifacts(resumed_in);
+    const RunArtifacts b = loadArtifacts(scratch_in);
+    EXPECT_TRUE(diffArtifacts(a, b).empty());
+}
+
+TEST(RunSweepTest, CancelStopsDispatch)
+{
+    const SweepPlan plan = smallPlan();
+    std::atomic<bool> cancel{true};
+    SweepOptions options;
+    options.jobs = 1;
+    options.cancel = &cancel;
+    const SweepOutcome outcome = runSweep(plan, options);
+    EXPECT_FALSE(outcome.completed);
+    EXPECT_TRUE(outcome.records.empty());
+}
+
+TEST(RunSweepTest, ProgressReportsEveryCell)
+{
+    const SweepPlan plan = smallPlan();
+    std::vector<std::string> seen;
+    SweepOptions options;
+    options.jobs = 1;
+    options.onProgress = [&](const GridProgress &progress) {
+        seen.push_back(progress.cell.traceName);
+        EXPECT_EQ(progress.totalCells, plan.cells.size());
+    };
+    runSweep(plan, options);
+    ASSERT_EQ(seen.size(), plan.cells.size());
+    for (std::size_t i = 0; i < seen.size(); ++i)
+        EXPECT_EQ(seen[i], plan.cells[i].label);
+}
+
+TEST(RunSweepTest, ArtifactsRoundTripThroughJsonl)
+{
+    const SweepPlan plan = smallPlan();
+    const SweepOutcome outcome = runSweep(plan, {});
+    std::ostringstream text;
+    {
+        JsonlSink sink(text);
+        writeSweepArtifacts(outcome, sink);
+    }
+    std::istringstream in(text.str());
+    const RunArtifacts loaded = loadArtifacts(in);
+    ASSERT_TRUE(loaded.hasManifest);
+    EXPECT_EQ(loaded.manifest.schemes,
+              (std::vector<std::string>{"Dir0B", "WTI"}));
+    ASSERT_EQ(loaded.cells.size(), plan.cells.size());
+    EXPECT_EQ(loaded.cells[0].trace, plan.cells[0].label);
+    ASSERT_TRUE(loaded.hasMetrics);
+    EXPECT_TRUE(loaded.metrics.has("runner.grid.cells"));
+}
+
+TEST(RunSweepTest, ShardAxisIsBitIdentical)
+{
+    // Sharding is a throughput knob: the same cell at any shard
+    // count must produce identical deterministic results.
+    const SweepPlan plan = expandSweep(parseSweepSpec(
+        R"({"name":"shards","schemes":["Dir0B"],)"
+        R"("traces":[{"profile":"pops","refs":20000,"seed":5}],)"
+        R"("shards":[1,4]})"));
+    ASSERT_EQ(plan.cells.size(), 2u);
+    const SweepOutcome outcome = runSweep(plan, {});
+    ASSERT_EQ(outcome.records.size(), 2u);
+    EXPECT_TRUE(outcome.records[0].events
+                == outcome.records[1].events);
+    EXPECT_TRUE(outcome.records[0].ops == outcome.records[1].ops);
+}
+
+} // namespace
+} // namespace dirsim

@@ -1,0 +1,192 @@
+/** @file Unit tests for sweep/spec.hh: parsing and linting. */
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "sweep/spec.hh"
+
+namespace dirsim
+{
+namespace
+{
+
+const char *const kFullSpec = R"({
+  "name": "full",
+  "schemes": ["Dir0B", "dir1nb", "WTI"],
+  "traces": [
+    {"profile": "pops", "refs": 40000, "seed": 3},
+    {"profile": "scale", "caches": [8, 16], "refs": 30000},
+    {"file": "traces/real.trc"}
+  ],
+  "block_bytes": [16, 32],
+  "geometries": ["infinite", {"capacity_bytes": 65536, "ways": 2}],
+  "shards": [1, 4],
+  "warmup_refs": 1000,
+  "sharing": "processor"
+})";
+
+TEST(SweepSpecTest, ParsesEveryMember)
+{
+    const SweepSpec spec = parseSweepSpec(kFullSpec);
+    EXPECT_EQ(spec.name, "full");
+    // Scheme names are canonicalized to the paper notation.
+    ASSERT_EQ(spec.schemes.size(), 3u);
+    EXPECT_EQ(spec.schemes[0], "Dir0B");
+    EXPECT_EQ(spec.schemes[1], "Dir1NB");
+    EXPECT_EQ(spec.schemes[2], "WTI");
+
+    ASSERT_EQ(spec.traces.size(), 3u);
+    EXPECT_EQ(spec.traces[0].kind, SweepTraceEntry::Kind::Profile);
+    EXPECT_EQ(spec.traces[0].profile, "pops");
+    EXPECT_EQ(spec.traces[0].refs, 40000u);
+    EXPECT_EQ(spec.traces[0].seed, 3u);
+    EXPECT_EQ(spec.traces[1].caches,
+              (std::vector<unsigned>{8, 16}));
+    EXPECT_EQ(spec.traces[2].kind, SweepTraceEntry::Kind::File);
+    EXPECT_EQ(spec.traces[2].file, "traces/real.trc");
+
+    EXPECT_EQ(spec.blockBytes, (std::vector<unsigned>{16, 32}));
+    ASSERT_EQ(spec.geometries.size(), 2u);
+    EXPECT_TRUE(spec.geometries[0].infinite);
+    EXPECT_FALSE(spec.geometries[1].infinite);
+    EXPECT_EQ(spec.geometries[1].capacityBytes, 65536u);
+    EXPECT_EQ(spec.geometries[1].ways, 2u);
+    EXPECT_EQ(spec.shards, (std::vector<unsigned>{1, 4}));
+    EXPECT_EQ(spec.warmupRefs, 1000u);
+    EXPECT_EQ(spec.sharing, SharingModel::ByProcessor);
+}
+
+TEST(SweepSpecTest, MinimalSpecGetsDefaults)
+{
+    const SweepSpec spec = parseSweepSpec(
+        R"({"name":"mini","schemes":["Dir0B"],)"
+        R"("traces":[{"profile":"pops"}]})");
+    EXPECT_EQ(spec.blockBytes,
+              (std::vector<unsigned>{defaultBlockBytes}));
+    ASSERT_EQ(spec.geometries.size(), 1u);
+    EXPECT_TRUE(spec.geometries[0].infinite);
+    EXPECT_EQ(spec.shards, (std::vector<unsigned>{1}));
+    EXPECT_EQ(spec.warmupRefs, 0u);
+    EXPECT_EQ(spec.sharing, SharingModel::ByProcess);
+    EXPECT_EQ(spec.traces[0].refs, 60'000u);
+}
+
+TEST(SweepSpecTest, RejectsBadSpecsWithNamedMember)
+{
+    // Each case names the offending member in the error message.
+    const std::vector<std::pair<std::string, std::string>> cases{
+        {R"({"schemes":["Dir0B"],"traces":[{"profile":"pops"}]})",
+         "name"},
+        {R"({"name":"x","schemes":[],"traces":[{"profile":"pops"}]})",
+         "schemes"},
+        {R"({"name":"x","schemes":["NotAScheme"],)"
+         R"("traces":[{"profile":"pops"}]})",
+         "schemes[0]"},
+        {R"({"name":"x","schemes":["Dir0B"],"traces":[]})", "traces"},
+        {R"({"name":"x","schemes":["Dir0B"],)"
+         R"("traces":[{"profile":"nope"}]})",
+         "traces[0].profile"},
+        {R"({"name":"x","schemes":["Dir0B"],)"
+         R"("traces":[{"profile":"pops","file":"a.trc"}]})",
+         "traces[0]"},
+        {R"({"name":"x","schemes":["Dir0B"],)"
+         R"("traces":[{"profile":"scale"}]})",
+         "traces[0]"},
+        {R"({"name":"x","schemes":["Dir0B"],)"
+         R"("traces":[{"profile":"pops"}],"typo_axis":[1]})",
+         "typo_axis"},
+        {R"({"name":"x","schemes":["Dir0B"],)"
+         R"("traces":[{"profile":"pops","caches":[70000]}]})",
+         "caches"},
+    };
+    for (const auto &[text, member] : cases) {
+        try {
+            parseSweepSpec(text);
+            FAIL() << "accepted: " << text;
+        } catch (const UsageError &error) {
+            EXPECT_NE(std::string(error.what()).find(member),
+                      std::string::npos)
+                << error.what() << " should name " << member;
+        }
+    }
+}
+
+TEST(SweepSpecTest, GeometryLabels)
+{
+    EXPECT_EQ(SweepGeometry{}.label(), "inf");
+    const SweepGeometry finite{false, 65536, 2};
+    EXPECT_EQ(finite.label(), "65536B2w");
+}
+
+TEST(SweepLintTest, CleanSpecHasNoDiagnostics)
+{
+    EXPECT_TRUE(lintSweepSpec(kFullSpec).empty());
+}
+
+bool
+mentions(const std::vector<SweepDiagnostic> &diags,
+         const std::string &needle)
+{
+    return std::any_of(diags.begin(), diags.end(),
+                       [&](const SweepDiagnostic &diag) {
+                           return (diag.where + ": " + diag.message)
+                                      .find(needle)
+                                  != std::string::npos;
+                       });
+}
+
+TEST(SweepLintTest, CollectsEveryStructuralProblemAtOnce)
+{
+    // One spec, several independent structural problems: the linter
+    // must report them all, not stop at the first the way strict
+    // parsing does.
+    const std::vector<SweepDiagnostic> diags = lintSweepSpec(R"({
+      "name": "broken",
+      "schemes": ["Dir0B", "NotAScheme"],
+      "traces": [
+        {"profile": "pops", "caches": [70000]},
+        {"profile": "nope"}
+      ]
+    })");
+    ASSERT_GE(diags.size(), 3u);
+    EXPECT_TRUE(mentions(diags, "NotAScheme"));
+    EXPECT_TRUE(mentions(diags, "70000"));
+    EXPECT_TRUE(mentions(diags, "nope"));
+}
+
+TEST(SweepLintTest, ReportsDuplicatesAndImpossibleGeometries)
+{
+    // Structurally clean, semantically wrong: duplicate axis values
+    // (which expand into duplicate cells) and a finite geometry that
+    // cannot hold the requested block size.
+    const std::vector<SweepDiagnostic> diags = lintSweepSpec(R"({
+      "name": "dups",
+      "schemes": ["Dir0B", "dir0b"],
+      "traces": [
+        {"profile": "pops"},
+        {"profile": "pops"}
+      ],
+      "block_bytes": [32, 32, 131072],
+      "geometries": [{"capacity_bytes": 65536, "ways": 2}]
+    })");
+    ASSERT_GE(diags.size(), 4u);
+    EXPECT_TRUE(mentions(diags, "schemes[1]"));     // dup scheme
+    EXPECT_TRUE(mentions(diags, "traces[1]"));      // dup trace
+    EXPECT_TRUE(mentions(diags, "block_bytes[1]")); // dup block
+    EXPECT_TRUE(mentions(diags, "geometries[0]"));  // impossible
+}
+
+TEST(SweepLintTest, MalformedJsonIsADiagnosticNotAThrow)
+{
+    const std::vector<SweepDiagnostic> diags =
+        lintSweepSpec("{\"name\": ");
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(diags[0].where, "(json)");
+}
+
+} // namespace
+} // namespace dirsim
