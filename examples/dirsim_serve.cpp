@@ -7,13 +7,19 @@
  * Daemon:
  *   dirsim_serve [--port P] [--queue N] [--jobs N]
  *                [--discipline fcfs|round-robin] [--hold]
+ *                [--journal DIR]
  *
  * Binds 127.0.0.1 (port 0 = ephemeral), prints one
  * "dirsim_serve listening on 127.0.0.1:<port>" line to stdout, and
  * serves until POST /shutdown. Defaults come from the
  * DIRSIM_SERVE_{PORT,QUEUE,JOBS,DISCIPLINE} environment; flags win.
  * DIRSIM_CACHE_DIR wires the shared cell cache, so re-submitted
- * sweeps replay instead of re-simulating.
+ * sweeps replay instead of re-simulating. --journal (or
+ * DIRSIM_JOURNAL_DIR) enables the persistent run journal: a
+ * restarted daemon replays it and lists its predecessors' runs,
+ * with in-flight ones marked "interrupted" (docs/journal.md).
+ * DIRSIM_LOG_LEVEL / DIRSIM_LOG_FILE control the structured JSONL
+ * log (docs/observability.md).
  *
  * Client subcommands (all take --port P):
  *   dirsim_serve submit <spec.json> [--client NAME]   -> prints id
@@ -21,7 +27,10 @@
  *   dirsim_serve get <id> [--out FILE]     fetch results.jsonl
  *   dirsim_serve diff <a> <b>     compare two finished runs
  *   dirsim_serve cancel <id>
- *   dirsim_serve status
+ *   dirsim_serve status           GET /status (active run, uptime,
+ *                                 queue depth, journal path)
+ *   dirsim_serve metrics          GET /metrics (Prometheus text)
+ *   dirsim_serve trace <id> [--out FILE]   GET /runs/{id}/trace
  *   dirsim_serve shutdown
  *
  * Exit status: 0 on success (wait: run finished "done"; diff:
@@ -47,7 +56,8 @@ usage()
 {
     std::cerr
         << "usage: dirsim_serve [--port P] [--queue N] [--jobs N] "
-           "[--discipline fcfs|round-robin] [--hold]\n"
+           "[--discipline fcfs|round-robin] [--hold] "
+           "[--journal DIR]\n"
            "       dirsim_serve submit <spec.json> --port P "
            "[--client NAME]\n"
            "       dirsim_serve wait <id> --port P\n"
@@ -55,6 +65,8 @@ usage()
            "       dirsim_serve diff <a> <b> --port P\n"
            "       dirsim_serve cancel <id> --port P\n"
            "       dirsim_serve status --port P\n"
+           "       dirsim_serve metrics --port P\n"
+           "       dirsim_serve trace <id> --port P [--out FILE]\n"
            "       dirsim_serve shutdown --port P\n";
     return 2;
 }
@@ -232,10 +244,42 @@ int
 statusCommand(const ClientArgs &args)
 {
     const HttpClientResponse response =
-        httpRequest(args.port, "GET", "/");
+        httpRequest(args.port, "GET", "/status");
     if (response.status != 200)
         return reportHttpError(response);
     std::cout << response.body << '\n';
+    return 0;
+}
+
+int
+metricsCommand(const ClientArgs &args)
+{
+    const HttpClientResponse response =
+        httpRequest(args.port, "GET", "/metrics");
+    if (response.status != 200)
+        return reportHttpError(response);
+    std::cout << response.body;
+    return 0;
+}
+
+int
+traceCommand(const ClientArgs &args)
+{
+    fatalIf(args.positional.size() != 1,
+            "trace takes exactly one <id>");
+    const HttpClientResponse response =
+        httpRequest(args.port, "GET",
+                    "/runs/" + args.positional[0] + "/trace");
+    if (response.status != 200)
+        return reportHttpError(response);
+    if (args.out.empty()) {
+        std::cout << response.body;
+        return 0;
+    }
+    std::ofstream out(args.out, std::ios::binary);
+    fatalIf(!out, "cannot write '", args.out, "'");
+    out << response.body;
+    fatalIf(!out.good(), "write to '", args.out, "' failed");
     return 0;
 }
 
@@ -273,6 +317,8 @@ daemonCommand(const std::vector<std::string> &args)
             config.discipline = next();
         } else if (arg == "--hold") {
             config.hold = true;
+        } else if (arg == "--journal") {
+            config.journalDir = next();
         } else {
             fatal("unknown option '", arg, "'");
         }
@@ -312,6 +358,10 @@ main(int argc, char **argv)
                 return cancelCommand(parseClientArgs(rest));
             if (command == "status")
                 return statusCommand(parseClientArgs(rest));
+            if (command == "metrics")
+                return metricsCommand(parseClientArgs(rest));
+            if (command == "trace")
+                return traceCommand(parseClientArgs(rest));
             if (command == "shutdown")
                 return shutdownCommand(parseClientArgs(rest));
             return usage();

@@ -1,0 +1,141 @@
+#!/usr/bin/env bash
+# The dirsim_serve kill-and-restart smoke (docs/journal.md):
+#
+#  1. Start the daemon with a run journal and a cell cache, submit a
+#     multi-cell sweep, and SIGKILL the daemon after the first
+#     progress event — no shutdown handshake, mid-sweep, exactly the
+#     crash the journal exists for.
+#  2. Restart the daemon on the same journal directory: the dead
+#     daemon's run must be listed, in state "interrupted".
+#  3. Resubmit the same spec: the completed cells replay from the
+#     cell cache (runner.cache.hits > 0 on /metrics) and the run
+#     finishes "done".
+#  4. The recovered artifacts diff clean against an uninterrupted
+#     local dirsim_sweep run, and render a byte-identical report.
+#
+# Usage: dirsim_serve_restart_test.sh <dirsim_serve> <dirsim_sweep>
+#                                     <dirsim_report> <workdir>
+set -u
+
+SERVE=$1
+SWEEP=$2
+REPORT=$3
+WORKDIR=$4
+
+work="$WORKDIR/serve_restart"
+rm -rf "$work"
+mkdir -p "$work"
+cd "$work"
+
+fail() {
+    echo "FAIL: $*" >&2
+    [ -n "${daemon_pid:-}" ] && kill -9 "$daemon_pid" 2>/dev/null
+    exit 1
+}
+
+# Big enough that the kill lands mid-sweep (8 cells, sequential
+# under --jobs 1), small enough to stay a smoke test.
+cat > spec.json <<'EOF'
+{
+  "name": "restart",
+  "schemes": ["Dir0B", "Dir1B", "Dir4NB", "WTI"],
+  "traces": [{"profile": "pops", "refs": 10000000, "seed": 7}],
+  "block_bytes": [16, 32]
+}
+EOF
+
+export DIRSIM_CACHE_DIR="$work/cache"
+
+start_daemon() { # <logfile> -> sets daemon_pid and port
+    "$SERVE" --port 0 --jobs 1 --journal "$work/journal" \
+        > "$1" 2>&1 &
+    daemon_pid=$!
+    port=""
+    for _ in $(seq 100); do
+        port=$(sed -n \
+            's/^dirsim_serve listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' \
+            "$1")
+        [ -n "$port" ] && break
+        kill -0 "$daemon_pid" 2>/dev/null \
+            || fail "daemon died at startup ($1)"
+        sleep 0.1
+    done
+    [ -n "$port" ] && [ "$port" -gt 0 ] \
+        || fail "no startup line in $1"
+}
+
+# 1. Submit, watch the journal (flushed per record), and SIGKILL the
+# daemon as soon as the first cell completes.
+journal_file="$work/journal/journal.jsonl"
+start_daemon daemon1.log
+id=$("$SERVE" submit spec.json --port "$port" 2>/dev/null) \
+    || fail "submit rejected the spec"
+[ "$id" = "1" ] || fail "first run should get id 1, got $id"
+# Generous timeout: sanitizer builds run the first cell 10-20x
+# slower; on a plain build the kill still lands within ~300 ms.
+progressed=""
+for _ in $(seq 1200); do
+    if grep -q '"kind":"cell"' "$journal_file" 2>/dev/null; then
+        progressed=1
+        break
+    fi
+    kill -0 "$daemon_pid" 2>/dev/null || fail "daemon died unprompted"
+    sleep 0.1
+done
+[ -n "$progressed" ] || fail "no cell record before the timeout"
+kill -9 "$daemon_pid" || fail "SIGKILL failed"
+wait "$daemon_pid" 2>/dev/null
+daemon_pid=""
+grep -q '"kind":"finished"' "$journal_file" \
+    && fail "run finished before the kill; spec is too small"
+
+# 2. A restarted daemon replays the journal and lists the run as
+# interrupted.
+start_daemon daemon2.log
+"$SERVE" status --port "$port" > status.json \
+    || fail "status failed after restart"
+grep -q '"runs_interrupted":1' status.json \
+    || fail "restart did not surface the interrupted run: $(cat status.json)"
+
+# 3. Resubmitting the same spec resumes from the cell cache.
+id2=$("$SERVE" submit spec.json --port "$port" 2>/dev/null) \
+    || fail "resubmit rejected the spec"
+[ "$id2" = "2" ] || fail "resubmit should get id 2, got $id2"
+"$SERVE" wait "$id2" --port "$port" > events2.jsonl 2>/dev/null \
+    || fail "resubmitted run did not finish done"
+"$SERVE" metrics --port "$port" > metrics.txt \
+    || fail "metrics scrape failed"
+hits=$(sed -n 's/^dirsim_sweep_runner_cache_hits \([0-9]*\)$/\1/p' \
+    metrics.txt)
+[ -n "$hits" ] && [ "$hits" -gt 0 ] \
+    || fail "resumed run reported no cache hits (got '${hits:-absent}')"
+
+# 4. The recovered artifacts equal an uninterrupted local run, down
+# to the rendered report bytes.
+"$SERVE" get "$id2" --port "$port" --out served.jsonl \
+    || fail "artifact fetch failed"
+DIRSIM_CACHE_DIR= "$SWEEP" run spec.json --out local > /dev/null 2>&1 \
+    || fail "local control sweep failed"
+"$REPORT" --diff-clean served.jsonl local/results.jsonl \
+    || fail "recovered artifacts diverge from the control run"
+"$REPORT" served.jsonl > served.report || fail "report render failed"
+"$REPORT" local/results.jsonl > local.report \
+    || fail "control report render failed"
+# The manifest header and per-cell timing table are wall-clock by
+# design; the paper tables in between must match byte for byte.
+tables() { awk '/^Table 4:/{go=1} /^Execution:/{go=0} go' "$1"; }
+tables served.report > served.tables
+tables local.report > local.tables
+[ -s served.tables ] || fail "rendered report carried no tables"
+cmp -s served.tables local.tables \
+    || fail "rendered report tables are not byte-identical"
+
+"$SERVE" shutdown --port "$port" > /dev/null \
+    || fail "shutdown request failed"
+for _ in $(seq 100); do
+    kill -0 "$daemon_pid" 2>/dev/null || break
+    sleep 0.1
+done
+kill -0 "$daemon_pid" 2>/dev/null && fail "daemon ignored /shutdown"
+daemon_pid=""
+echo "serve restart OK (interrupted run $id resumed as $id2, $hits cached cells)"

@@ -1,0 +1,229 @@
+#include "common/log.hh"
+
+#include <cstdio>
+#include <ctime>
+#include <fstream>
+#include <iostream>
+
+#include "common/env.hh"
+#include "common/json.hh"
+#include "common/logging.hh"
+#include "obs/phase.hh"
+
+namespace dirsim
+{
+
+const char *
+toString(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Debug:
+        return "debug";
+      case LogLevel::Info:
+        return "info";
+      case LogLevel::Warn:
+        return "warn";
+      case LogLevel::Error:
+        return "error";
+      case LogLevel::Off:
+        return "off";
+    }
+    return "?";
+}
+
+LogLevel
+parseLogLevel(std::string_view text)
+{
+    for (const LogLevel level :
+         {LogLevel::Debug, LogLevel::Info, LogLevel::Warn,
+          LogLevel::Error, LogLevel::Off}) {
+        if (text == toString(level))
+            return level;
+    }
+    fatal("unknown log level '", std::string(text),
+          "' (expected debug|info|warn|error|off)");
+}
+
+std::string
+logTimestampUtc()
+{
+    const std::time_t now = std::time(nullptr);
+    std::tm utc{};
+    gmtime_r(&now, &utc);
+    char buffer[32];
+    std::strftime(buffer, sizeof(buffer), "%Y-%m-%dT%H:%M:%SZ",
+                  &utc);
+    return buffer;
+}
+
+StructuredLog::StructuredLog()
+{
+    configureFromEnvironment();
+}
+
+StructuredLog &
+StructuredLog::global()
+{
+    static StructuredLog instance;
+    return instance;
+}
+
+void
+StructuredLog::setLevel(LogLevel level)
+{
+    threshold.store(static_cast<unsigned>(level),
+                    std::memory_order_relaxed);
+}
+
+void
+StructuredLog::setFile(const std::string &path)
+{
+    std::unique_lock<std::mutex> lock(sinkMutex);
+    if (path.empty()) {
+        owned.reset();
+        ownedPath.clear();
+        return;
+    }
+    auto file_stream = std::make_unique<std::ofstream>(
+        path, std::ios::app | std::ios::binary);
+    if (!*file_stream) {
+        // Throwing with the mutex held would be fine, but release
+        // first so the error path cannot deadlock a logging catch
+        // handler.
+        lock.unlock();
+        fatal("cannot open log file '", path, "' for append");
+    }
+    owned = std::move(file_stream);
+    ownedPath = path;
+}
+
+std::string
+StructuredLog::file() const
+{
+    std::lock_guard<std::mutex> lock(sinkMutex);
+    return ownedPath;
+}
+
+void
+StructuredLog::configureFromEnvironment()
+{
+    if (const std::optional<std::string> level =
+            envString("DIRSIM_LOG_LEVEL"))
+        setLevel(parseLogLevel(*level));
+    if (const std::optional<std::string> path =
+            envString("DIRSIM_LOG_FILE"))
+        setFile(*path);
+}
+
+void
+StructuredLog::writeLine(const std::string &line)
+{
+    std::lock_guard<std::mutex> lock(sinkMutex);
+    std::ostream &os = owned ? *owned : std::cerr;
+    os << line << '\n' << std::flush;
+}
+
+LogEvent::LogEvent(LogLevel level_arg, std::string_view event)
+    : active(StructuredLog::global().enabled(level_arg))
+{
+    if (!active)
+        return;
+    line << "{\"ts\":\"" << logTimestampUtc() << "\",\"mono_ns\":"
+         << PhaseTimer::nowNs() << ",\"level\":\""
+         << toString(level_arg) << "\",\"event\":\""
+         << jsonEscape(event) << '"';
+}
+
+LogEvent::~LogEvent()
+{
+    if (!active)
+        return;
+    line << '}';
+    StructuredLog::global().writeLine(line.str());
+}
+
+void
+LogEvent::keyPrefix(std::string_view key)
+{
+    line << ",\"" << jsonEscape(key) << "\":";
+}
+
+LogEvent &
+LogEvent::field(std::string_view key, std::string_view value)
+{
+    if (!active)
+        return *this;
+    keyPrefix(key);
+    line << '"' << jsonEscape(value) << '"';
+    return *this;
+}
+
+LogEvent &
+LogEvent::field(std::string_view key, const char *value)
+{
+    return field(key, std::string_view(value));
+}
+
+LogEvent &
+LogEvent::field(std::string_view key, std::uint64_t value)
+{
+    if (!active)
+        return *this;
+    keyPrefix(key);
+    line << value;
+    return *this;
+}
+
+LogEvent &
+LogEvent::field(std::string_view key, std::int64_t value)
+{
+    if (!active)
+        return *this;
+    keyPrefix(key);
+    line << value;
+    return *this;
+}
+
+LogEvent &
+LogEvent::field(std::string_view key, unsigned value)
+{
+    return field(key, static_cast<std::uint64_t>(value));
+}
+
+LogEvent &
+LogEvent::field(std::string_view key, int value)
+{
+    return field(key, static_cast<std::int64_t>(value));
+}
+
+LogEvent &
+LogEvent::field(std::string_view key, double value)
+{
+    if (!active)
+        return *this;
+    keyPrefix(key);
+    // Shortest round-trip representation, like JsonWriter: printf %g
+    // with enough precision for doubles, falling back to a fixed
+    // spelling for non-finite values (JSON has no Inf/NaN).
+    if (value != value || value > 1.7976931348623157e308
+        || value < -1.7976931348623157e308) {
+        line << "null";
+        return *this;
+    }
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+    line << buffer;
+    return *this;
+}
+
+LogEvent &
+LogEvent::field(std::string_view key, bool value)
+{
+    if (!active)
+        return *this;
+    keyPrefix(key);
+    line << (value ? "true" : "false");
+    return *this;
+}
+
+} // namespace dirsim

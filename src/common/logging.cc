@@ -1,6 +1,8 @@
 #include "common/logging.hh"
 
-#include <iostream>
+#include <string_view>
+
+#include "common/log.hh"
 
 namespace dirsim
 {
@@ -10,7 +12,15 @@ namespace detail
 void
 emitDiagnostic(const char *tag, const std::string &message)
 {
-    std::cerr << "dirsim: " << tag << ": " << message << '\n';
+    // warn()/inform() predate the structured logger; route them
+    // through it so every diagnostic a long-lived service emits is
+    // one parseable JSONL line (common/log.hh) honoring
+    // DIRSIM_LOG_LEVEL / DIRSIM_LOG_FILE.
+    const LogLevel level = std::string_view(tag) == "warn"
+        ? LogLevel::Warn
+        : LogLevel::Info;
+    logEvent(level, std::string("dirsim.") + tag)
+        .field("msg", message);
 }
 
 } // namespace detail

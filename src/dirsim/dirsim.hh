@@ -28,6 +28,7 @@
 #include "common/env.hh"
 #include "common/histogram.hh"
 #include "common/json.hh"
+#include "common/log.hh"
 #include "common/logging.hh"
 #include "common/random.hh"
 #include "common/stats.hh"
@@ -44,7 +45,9 @@
 #include "obs/artifacts.hh"
 #include "obs/cell_cache.hh"
 #include "obs/chrome_trace.hh"
+#include "obs/exposition.hh"
 #include "obs/histogram.hh"
+#include "obs/journal.hh"
 #include "obs/manifest.hh"
 #include "obs/metrics.hh"
 #include "obs/phase.hh"

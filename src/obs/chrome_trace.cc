@@ -85,6 +85,39 @@ writeThreadName(JsonWriter &writer, unsigned tid,
 } // namespace
 
 void
+writeChromeSpans(std::ostream &os,
+                 const std::vector<TraceSpan> &spans,
+                 std::uint64_t origin_ns,
+                 const std::vector<std::string> &lane_names)
+{
+    JsonWriter writer(os);
+    writer.beginObject();
+    writer.key("displayTimeUnit").value("ms");
+    writer.key("traceEvents").beginArray();
+
+    for (std::size_t lane = 0; lane < lane_names.size(); ++lane)
+        writeThreadName(writer, static_cast<unsigned>(lane),
+                        lane_names[lane]);
+
+    for (const TraceSpan &span : spans) {
+        writeSlice(writer, span.name, span.category.c_str(),
+                   span.lane, usSince(span.startNs, origin_ns),
+                   static_cast<double>(span.durationNs) / 1e3);
+        if (!span.args.empty()) {
+            writer.key("args").beginObject();
+            for (const auto &[key, value] : span.args)
+                writer.key(key).value(value);
+            writer.endObject();
+        }
+        writer.endObject();
+    }
+
+    writer.endArray();
+    writer.endObject();
+    os << '\n';
+}
+
+void
 writeChromeTrace(std::ostream &os, const GridResult &grid,
                  const EventTracer *tracer)
 {

@@ -21,8 +21,11 @@
 #ifndef DIRSIM_OBS_CHROME_TRACE_HH
 #define DIRSIM_OBS_CHROME_TRACE_HH
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "sim/runner.hh"
 
@@ -30,6 +33,35 @@ namespace dirsim
 {
 
 class EventTracer;
+
+/**
+ * One generic timeline slice for writeChromeSpans(): anything with a
+ * start and a duration on the PhaseTimer::nowNs() clock. The daemon
+ * uses these for its run-scoped traces (queue-wait, run execution,
+ * per-cell slices, HTTP requests) without needing a GridResult.
+ */
+struct TraceSpan
+{
+    std::string name;
+    std::string category;
+    /** Timeline lane ("tid" in the trace viewer). */
+    unsigned lane = 0;
+    /** PhaseTimer::nowNs() stamps. */
+    std::uint64_t startNs = 0;
+    std::uint64_t durationNs = 0;
+    /** Extra args rendered as strings under the slice. */
+    std::vector<std::pair<std::string, std::string>> args;
+};
+
+/**
+ * Write free-form spans as a Chrome trace_event document.
+ * Timestamps are emitted relative to @p origin_ns (a span starting
+ * before the origin clamps to 0); @p lane_names labels lanes 0..N-1.
+ */
+void writeChromeSpans(
+    std::ostream &os, const std::vector<TraceSpan> &spans,
+    std::uint64_t origin_ns,
+    const std::vector<std::string> &lane_names = {});
 
 /**
  * Write @p grid (and, optionally, @p tracer's sampled timelines) as

@@ -1,0 +1,204 @@
+#include "obs/journal.hh"
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "common/json.hh"
+#include "common/log.hh"
+#include "common/logging.hh"
+#include "obs/phase.hh"
+
+namespace dirsim
+{
+
+std::string
+JournalEvent::toJson() const
+{
+    std::ostringstream os;
+    JsonWriter writer(os);
+    writer.beginObject()
+        .key("kind").value(kind)
+        .key("run").value(runId)
+        .key("ts").value(wallTs)
+        .key("mono_ns").value(monoNs);
+    if (kind == "submitted") {
+        writer.key("name").value(name);
+        if (!client.empty())
+            writer.key("client").value(client);
+        writer.key("cells").value(cellsTotal);
+        writer.key("spec").value(spec);
+    } else if (kind == "cell") {
+        writer.key("cell").value(cellLabel)
+            .key("scheme").value(scheme)
+            .key("refs").value(refs)
+            .key("cache_hit").value(cacheHit);
+    } else if (kind == "finished") {
+        writer.key("state").value(state)
+            .key("cells").value(cellsTotal);
+        if (!error.empty())
+            writer.key("error").value(error);
+    }
+    writer.endObject();
+    return os.str();
+}
+
+JournalEvent
+JournalEvent::fromJson(const std::string &line)
+{
+    const JsonValue json = JsonValue::parse(line);
+    fatalIf(!json.isObject(), "journal record is not an object");
+    JournalEvent event;
+    event.kind = json.at("kind").asString();
+    event.runId = json.at("run").asU64();
+    fatalIf(event.runId == 0, "journal record has run id 0");
+    event.wallTs = json.at("ts").asString();
+    event.monoNs = json.at("mono_ns").asU64();
+    if (event.kind == "submitted") {
+        event.name = json.at("name").asString();
+        if (const JsonValue *client = json.find("client"))
+            event.client = client->asString();
+        event.cellsTotal = json.at("cells").asU64();
+        event.spec = json.at("spec").asString();
+    } else if (event.kind == "cell") {
+        event.cellLabel = json.at("cell").asString();
+        event.scheme = json.at("scheme").asString();
+        event.refs = json.at("refs").asU64();
+        event.cacheHit = json.at("cache_hit").asBool();
+    } else if (event.kind == "finished") {
+        event.state = json.at("state").asString();
+        event.cellsTotal = json.at("cells").asU64();
+        if (const JsonValue *error = json.find("error"))
+            event.error = error->asString();
+    } else if (event.kind != "started") {
+        fatal("journal record has unknown kind '", event.kind, "'");
+    }
+    return event;
+}
+
+RunJournal::RunJournal(std::string path_arg)
+    : journalPath(std::move(path_arg))
+{
+    const std::filesystem::path parent =
+        std::filesystem::path(journalPath).parent_path();
+    if (!parent.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(parent, ec);
+    }
+    file = std::fopen(journalPath.c_str(), "ab");
+    fatalIf(file == nullptr, "cannot open run journal '",
+            journalPath, "' for append");
+}
+
+RunJournal::~RunJournal()
+{
+    if (file != nullptr)
+        std::fclose(file);
+}
+
+void
+RunJournal::append(JournalEvent event)
+{
+    if (event.wallTs.empty())
+        event.wallTs = logTimestampUtc();
+    if (event.monoNs == 0)
+        event.monoNs = PhaseTimer::nowNs();
+    const std::string line = event.toJson();
+    // One fwrite per line: stdio appends of a single buffer are
+    // atomic enough for our single-writer journal, and the flush
+    // bounds crash loss to the line in flight.
+    std::fwrite(line.data(), 1, line.size(), file);
+    std::fputc('\n', file);
+    std::fflush(file);
+}
+
+JournalReplay
+replayJournal(const std::string &path)
+{
+    JournalReplay replay;
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return replay; // fresh journal directory: nothing to replay
+
+    // Read the whole file so we can tell a truncated final line (no
+    // trailing newline — the writer died mid-record) from a corrupt
+    // mid-file record.
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::string text = buffer.str();
+
+    std::map<std::uint64_t, JournalRun> runs;
+    std::size_t offset = 0;
+    std::size_t line_number = 0;
+    while (offset < text.size()) {
+        const std::size_t newline = text.find('\n', offset);
+        const bool has_newline = newline != std::string::npos;
+        const std::string line = text.substr(
+            offset, has_newline ? newline - offset : std::string::npos);
+        offset = has_newline ? newline + 1 : text.size();
+        ++line_number;
+        if (line.empty())
+            continue;
+
+        JournalEvent event;
+        try {
+            event = JournalEvent::fromJson(line);
+        } catch (const SimulationError &problem) {
+            if (!has_newline) {
+                // The final line never finished being written: the
+                // expected crash artifact, not corruption.
+                replay.truncatedTail = true;
+                break;
+            }
+            ++replay.corruptLines;
+            logEvent(LogLevel::Warn, "journal.corrupt_record")
+                .field("path", path)
+                .field("line", static_cast<std::uint64_t>(line_number))
+                .field("error", problem.what());
+            continue;
+        }
+
+        JournalRun &run = runs[event.runId];
+        run.id = event.runId;
+        replay.maxRunId = std::max(replay.maxRunId, event.runId);
+        if (event.kind == "submitted") {
+            run.name = event.name;
+            run.client = event.client;
+            run.spec = event.spec;
+            run.cellsTotal = event.cellsTotal;
+            run.submittedNs = event.monoNs;
+            run.submittedAt = event.wallTs;
+        } else if (event.kind == "started") {
+            run.started = true;
+            run.startedNs = event.monoNs;
+        } else if (event.kind == "cell") {
+            ++run.cellsDone;
+        } else if (event.kind == "finished") {
+            run.state = event.state;
+            run.error = event.error;
+            run.finishedNs = event.monoNs;
+        }
+    }
+
+    replay.runs.reserve(runs.size());
+    for (auto &[id, run] : runs)
+        replay.runs.push_back(std::move(run));
+    return replay;
+}
+
+std::string
+journalPathInDir(const std::string &dir)
+{
+    fatalIf(dir.empty(), "journal directory is empty");
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    fatalIf(static_cast<bool>(ec)
+                && !std::filesystem::is_directory(dir),
+            "cannot create journal directory '", dir, "': ",
+            ec.message());
+    return (std::filesystem::path(dir) / RunJournal::fileName)
+        .string();
+}
+
+} // namespace dirsim

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * The daemon's persistent run journal.
+ *
+ * dirsim_serve historically kept run state only in memory: a restart
+ * forgot every submitted sweep even though the finished cells
+ * survived in the cell cache. RunJournal closes that gap with an
+ * append-only JSONL file — one self-contained event per line, each
+ * stamped with both wall-clock UTC ("ts") and the monotonic
+ * PhaseTimer::nowNs() clock ("mono_ns") — recording every run state
+ * transition:
+ *
+ *   {"kind":"submitted","run":3,"name":"e2e","client":"alice",
+ *    "cells":4,"spec":"{...}","ts":...,"mono_ns":...}
+ *   {"kind":"started","run":3,...}
+ *   {"kind":"cell","run":3,"cell":"pops/Dir0B","scheme":"Dir0B",
+ *    "refs":20000,"cache_hit":false,...}
+ *   {"kind":"finished","run":3,"state":"done","cells":4,...}
+ *
+ * Appends are flushed per line, so a SIGKILL loses at most the line
+ * being written. replayJournal() folds the surviving events back
+ * into per-run states: runs with no terminal event were in flight
+ * when the daemon died and come back as "interrupted" — resubmitting
+ * the same spec replays their finished cells from the cell cache.
+ *
+ * Replay is deliberately forgiving (docs/journal.md): a truncated
+ * final line (the kill landed mid-write) is dropped silently into
+ * `truncatedTail`, and a corrupt mid-file record (disk fault, manual
+ * edit) is skipped and counted — the daemon always starts, recovering
+ * everything up to the last good record.
+ */
+
+#ifndef DIRSIM_OBS_JOURNAL_HH
+#define DIRSIM_OBS_JOURNAL_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace dirsim
+{
+
+/** One journal line: a run state transition. */
+struct JournalEvent
+{
+    /** "submitted", "started", "cell", or "finished". */
+    std::string kind;
+
+    std::uint64_t runId = 0;
+
+    /** Wall-clock UTC (logTimestampUtc()); stamped by append() when
+     *  empty. */
+    std::string wallTs;
+
+    /** PhaseTimer::nowNs(); stamped by append() when zero. */
+    std::uint64_t monoNs = 0;
+
+    // "submitted" payload.
+    std::string name;   ///< the spec's campaign name
+    std::string client; ///< X-Dirsim-Client identity ("" = anonymous)
+    std::string spec;   ///< full spec text, so a restart can resubmit
+    std::uint64_t cellsTotal = 0;
+
+    // "cell" payload.
+    std::string cellLabel;
+    std::string scheme;
+    std::uint64_t refs = 0;
+    bool cacheHit = false;
+
+    // "finished" payload.
+    std::string state; ///< "done", "failed", or "cancelled"
+    std::string error;
+
+    /** Serialize as one JSON object (no trailing newline). */
+    std::string toJson() const;
+
+    /** Parse one journal line. @throws UsageError when malformed */
+    static JournalEvent fromJson(const std::string &line);
+};
+
+/** Append-only writer over one journal file. */
+class RunJournal
+{
+  public:
+    /** Journal file name inside a journal directory. */
+    static constexpr const char *fileName = "journal.jsonl";
+
+    /**
+     * Open @p path_arg for append (created, along with its parent
+     * directory, when absent).
+     *
+     * @throws UsageError when the file cannot be opened
+     */
+    explicit RunJournal(std::string path_arg);
+    ~RunJournal();
+
+    RunJournal(const RunJournal &) = delete;
+    RunJournal &operator=(const RunJournal &) = delete;
+
+    /**
+     * Append one event, stamping wallTs/monoNs when the caller left
+     * them empty, and flush so a crash after return cannot lose it.
+     */
+    void append(JournalEvent event);
+
+    const std::string &path() const { return journalPath; }
+
+  private:
+    std::string journalPath;
+    std::FILE *file = nullptr;
+};
+
+/** One run reconstructed by replay. */
+struct JournalRun
+{
+    std::uint64_t id = 0;
+    std::string name;
+    std::string client;
+    std::string spec;
+    /**
+     * Final state: a terminal "finished" event's state, or
+     * "interrupted" when the journal ends with the run still queued
+     * or running (the daemon died mid-flight).
+     */
+    std::string state = "interrupted";
+    std::string error;
+    std::uint64_t cellsTotal = 0;
+    std::uint64_t cellsDone = 0;
+    bool started = false;
+
+    /** Monotonic stamps (0 = the event never happened). */
+    std::uint64_t submittedNs = 0;
+    std::uint64_t startedNs = 0;
+    std::uint64_t finishedNs = 0;
+    std::string submittedAt; ///< wall-clock UTC of submission
+};
+
+/** Everything replayJournal() recovers. */
+struct JournalReplay
+{
+    /** Replayed runs in id order. */
+    std::vector<JournalRun> runs;
+
+    /** Largest run id seen (0 when none) — the restarted daemon's id
+     *  allocator starts past it. */
+    std::uint64_t maxRunId = 0;
+
+    /** Mid-file records skipped as corrupt (each logged). */
+    std::size_t corruptLines = 0;
+
+    /** True when the final line was truncated mid-write and
+     *  dropped. */
+    bool truncatedTail = false;
+};
+
+/**
+ * Fold a journal file back into per-run states. A missing file is an
+ * empty replay (a fresh journal directory), not an error; corrupt
+ * records are skipped with a structured warning and never prevent
+ * startup.
+ */
+JournalReplay replayJournal(const std::string &path);
+
+/**
+ * The journal path inside @p dir (creating @p dir when absent).
+ * @throws UsageError when the directory cannot be created
+ */
+std::string journalPathInDir(const std::string &dir);
+
+} // namespace dirsim
+
+#endif // DIRSIM_OBS_JOURNAL_HH

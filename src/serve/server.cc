@@ -1,12 +1,19 @@
 #include "serve/server.hh"
 
+#include <algorithm>
+#include <bit>
+#include <cmath>
 #include <sstream>
+#include <utility>
 
 #include "common/env.hh"
 #include "common/json.hh"
+#include "common/log.hh"
 #include "common/logging.hh"
 #include "obs/artifacts.hh"
 #include "obs/cell_cache.hh"
+#include "obs/exposition.hh"
+#include "obs/phase.hh"
 #include "obs/sink.hh"
 #include "sweep/run.hh"
 #include "sweep/spec.hh"
@@ -16,6 +23,29 @@ namespace dirsim
 
 namespace
 {
+
+/** Regular buckets of the latency histograms: log2 milliseconds,
+ *  bucket b holding waits in [2^(b-1), 2^b - 1] ms (bucket 0 =
+ *  sub-millisecond). 2^31 ms ≈ 25 days — nothing overflows. */
+constexpr std::size_t latencyBuckets = 32;
+
+std::uint64_t
+latencyBucket(std::uint64_t duration_ns)
+{
+    return std::bit_width(duration_ns / 1000000);
+}
+
+/** Cumulative upper bounds of the latency buckets, in seconds. */
+std::vector<double>
+latencyBounds()
+{
+    std::vector<double> bounds;
+    bounds.reserve(latencyBuckets);
+    for (std::size_t b = 0; b < latencyBuckets; ++b)
+        bounds.push_back((std::pow(2.0, static_cast<double>(b)) - 1.0)
+                         / 1e3);
+    return bounds;
+}
 
 std::string
 errorJson(const std::string &message)
@@ -64,6 +94,53 @@ parseRunId(const std::string &text, std::uint64_t &id)
     return true;
 }
 
+/**
+ * Normalize a request path to its route pattern, so the request
+ * counters stay a bounded family ({endpoint, status} labels) no
+ * matter how many runs exist or what garbage paths arrive.
+ */
+std::string
+endpointPattern(const std::vector<std::string> &segments)
+{
+    if (segments.empty())
+        return "/";
+    if (segments[0] == "runs") {
+        if (segments.size() == 1)
+            return "/runs";
+        if (segments.size() == 2)
+            return "/runs/{id}";
+        if (segments.size() == 3
+            && (segments[2] == "events" || segments[2] == "artifacts"
+                || segments[2] == "cancel" || segments[2] == "trace"))
+            return "/runs/{id}/" + segments[2];
+        if (segments.size() == 4 && segments[2] == "diff")
+            return "/runs/{id}/diff/{id}";
+        return "(other)";
+    }
+    if (segments.size() == 1
+        && (segments[0] == "metrics" || segments[0] == "status"
+            || segments[0] == "shutdown"))
+        return "/" + segments[0];
+    if (segments.size() == 2 && segments[0] == "admin"
+        && segments[1] == "release")
+        return "/admin/release";
+    return "(other)";
+}
+
+/** The one synthetic event line replay gives a recovered run, so
+ *  streamers of recovered runs terminate like any finished run's. */
+std::string
+stateEventLine(const std::string &state)
+{
+    std::ostringstream os;
+    JsonWriter writer(os);
+    writer.beginObject()
+        .key("kind").value("state")
+        .key("state").value(state)
+        .endObject();
+    return os.str();
+}
+
 } // namespace
 
 ServeConfig
@@ -79,11 +156,15 @@ ServeConfig::fromEnvironment()
     config.discipline =
         envString("DIRSIM_SERVE_DISCIPLINE").value_or("fcfs");
     config.cache = FileCellCache::fromEnvironment();
+    config.journalDir =
+        envString("DIRSIM_JOURNAL_DIR").value_or("");
     return config;
 }
 
 SweepServer::SweepServer(ServeConfig config_arg)
-    : config(std::move(config_arg))
+    : config(std::move(config_arg)),
+      queueWaitHist(latencyBuckets),
+      runDurationHist(latencyBuckets)
 {
 }
 
@@ -93,15 +174,64 @@ SweepServer::~SweepServer()
 }
 
 void
+SweepServer::replayJournalLocked()
+{
+    const std::string path = journalPathInDir(config.journalDir);
+    const JournalReplay replay = replayJournal(path);
+    for (const JournalRun &run : replay.runs) {
+        auto entry = std::make_unique<RunEntry>();
+        entry->id = run.id;
+        entry->client = run.client;
+        entry->specText = run.spec;
+        entry->name = run.name;
+        entry->state = run.state;
+        entry->error = run.error;
+        entry->cellsTotal = run.cellsTotal;
+        entry->recovered = true;
+        entry->events.push_back(stateEventLine(run.state));
+        runs.emplace(run.id, std::move(entry));
+    }
+    nextId = replay.maxRunId + 1;
+    journal = std::make_unique<RunJournal>(path);
+    logEvent(LogLevel::Info, "serve.journal.replayed")
+        .field("path", path)
+        .field("runs",
+               static_cast<std::uint64_t>(replay.runs.size()))
+        .field("corrupt_lines",
+               static_cast<std::uint64_t>(replay.corruptLines))
+        .field("truncated_tail", replay.truncatedTail);
+}
+
+void
+SweepServer::journalAppend(JournalEvent event)
+{
+    if (journal)
+        journal->append(std::move(event));
+}
+
+void
 SweepServer::start()
 {
     fatalIf(started, "server already started");
     queue = makeDiscipline(config.discipline);
     holding = config.hold;
+    serverStartNs = PhaseTimer::nowNs();
+    if (!config.journalDir.empty()) {
+        std::lock_guard<std::mutex> lock(stateMutex);
+        replayJournalLocked();
+    }
     listener = std::make_unique<HttpListener>(config.port);
     started = true;
     acceptThread = std::thread(&SweepServer::acceptLoop, this);
     workerThread = std::thread(&SweepServer::workerLoop, this);
+    logEvent(LogLevel::Info, "serve.start")
+        .field("port", static_cast<unsigned>(listener->port()))
+        .field("discipline", config.discipline)
+        .field("queue_capacity",
+               static_cast<std::uint64_t>(config.queueCapacity))
+        .field("journal", config.journalDir.empty()
+                   ? std::string_view("")
+                   : std::string_view(journal->path()));
 }
 
 std::uint16_t
@@ -167,6 +297,33 @@ SweepServer::acceptLoop()
 }
 
 void
+SweepServer::recordRequest(const std::string &pattern, int status,
+                           std::uint64_t start_ns)
+{
+    const std::uint64_t now = PhaseTimer::nowNs();
+    const std::uint64_t duration_ns =
+        now > start_ns ? now - start_ns : 0;
+    {
+        std::lock_guard<std::mutex> lock(stateMutex);
+        ++requestCounts[{pattern, std::to_string(status)}];
+        TraceSpan span;
+        span.name = pattern;
+        span.category = "http";
+        span.startNs = start_ns;
+        span.durationNs = duration_ns;
+        span.args.emplace_back("status", std::to_string(status));
+        if (httpSpans.size() >= 512)
+            httpSpans.erase(httpSpans.begin());
+        httpSpans.push_back(std::move(span));
+    }
+    logEvent(LogLevel::Debug, "serve.http.request")
+        .field("endpoint", pattern)
+        .field("status", status)
+        .field("duration_ms",
+               static_cast<double>(duration_ns) / 1e6);
+}
+
+void
 SweepServer::handleConnection(int fd)
 {
     HttpConnection connection(fd);
@@ -179,6 +336,7 @@ SweepServer::handleConnection(int fd)
         return;
     }
 
+    const std::uint64_t start_ns = PhaseTimer::nowNs();
     bool responded = false;
     HttpResponse response;
     try {
@@ -188,6 +346,10 @@ SweepServer::handleConnection(int fd)
     } catch (const std::exception &error) {
         response = errorResponse(500, error.what());
     }
+    // Streamed responses (responded == true) committed a 200 before
+    // streaming.
+    recordRequest(endpointPattern(pathSegments(request.path())),
+                  responded ? 200 : response.status, start_ns);
     if (!responded)
         connection.sendResponse(response);
 }
@@ -221,6 +383,18 @@ SweepServer::handle(const HttpRequest &request,
         return response;
     }
 
+    if (segments.size() == 1 && segments[0] == "status") {
+        if (request.method != "GET")
+            return errorResponse(405, "use GET /status");
+        return handleServiceStatus();
+    }
+
+    if (segments.size() == 1 && segments[0] == "metrics") {
+        if (request.method != "GET")
+            return errorResponse(405, "use GET /metrics");
+        return handleMetrics();
+    }
+
     if (segments[0] == "runs") {
         if (segments.size() == 1) {
             if (request.method == "POST")
@@ -251,6 +425,12 @@ SweepServer::handle(const HttpRequest &request,
                 return errorResponse(
                     405, "use GET /runs/{id}/artifacts");
             return handleArtifacts(id);
+        }
+        if (segments.size() == 3 && segments[2] == "trace") {
+            if (request.method != "GET")
+                return errorResponse(405,
+                                     "use GET /runs/{id}/trace");
+            return handleTrace(id);
         }
         if (segments.size() == 3 && segments[2] == "cancel") {
             if (request.method != "POST")
@@ -295,6 +475,7 @@ SweepServer::handle(const HttpRequest &request,
             for (auto &[id, entry] : runs)
                 entry->cancel.store(true);
         }
+        logEvent(LogLevel::Info, "serve.shutdown");
         stopCv.notify_all();
         workCv.notify_all();
         eventsCv.notify_all();
@@ -343,13 +524,29 @@ SweepServer::handleSubmit(const HttpRequest &request)
         entry->client = client;
         entry->specText = request.body;
         entry->name = spec.name;
+        entry->cellsTotal = cells;
+        entry->submittedNs = PhaseTimer::nowNs();
         entry->events.push_back("{\"kind\":\"state\",\"state\":"
                                 "\"queued\"}");
         runs.emplace(id, std::move(entry));
         queue->enqueue({id, client});
+
+        JournalEvent event;
+        event.kind = "submitted";
+        event.runId = id;
+        event.name = spec.name;
+        event.client = client;
+        event.spec = request.body;
+        event.cellsTotal = cells;
+        journalAppend(std::move(event));
     }
     workCv.notify_one();
     eventsCv.notify_all();
+    logEvent(LogLevel::Info, "serve.run.submitted")
+        .field("run", id)
+        .field("name", spec.name)
+        .field("client", client)
+        .field("cells", static_cast<std::uint64_t>(cells));
 
     std::ostringstream os;
     JsonWriter writer(os);
@@ -418,6 +615,246 @@ SweepServer::handleList()
                      entry->client, entry->error,
                      entry->events.size());
     writer.endArray().endObject();
+    HttpResponse response;
+    response.body = os.str();
+    return response;
+}
+
+HttpResponse
+SweepServer::handleServiceStatus()
+{
+    const std::uint64_t now = PhaseTimer::nowNs();
+    std::lock_guard<std::mutex> lock(stateMutex);
+    std::size_t interrupted = 0;
+    for (const auto &[id, entry] : runs)
+        if (entry->state == "interrupted")
+            ++interrupted;
+    std::ostringstream os;
+    JsonWriter writer(os);
+    writer.beginObject()
+        .key("service").value("dirsim_serve")
+        .key("discipline").value(queue->name())
+        .key("queue_depth").value(
+            static_cast<std::uint64_t>(queue->size()))
+        .key("queue_capacity").value(
+            static_cast<std::uint64_t>(config.queueCapacity))
+        .key("holding").value(holding)
+        .key("active_run").value(activeRunId)
+        .key("uptime_seconds").value(
+            static_cast<double>(now - serverStartNs) / 1e9)
+        .key("journal").value(journal ? journal->path()
+                                      : std::string())
+        .key("runs").value(static_cast<std::uint64_t>(runs.size()))
+        .key("runs_interrupted").value(
+            static_cast<std::uint64_t>(interrupted))
+        .endObject();
+    HttpResponse response;
+    response.body = os.str();
+    return response;
+}
+
+HttpResponse
+SweepServer::handleMetrics()
+{
+    const std::uint64_t now = PhaseTimer::nowNs();
+    const std::vector<double> bounds = latencyBounds();
+    std::ostringstream os;
+    PromWriter prom(os);
+    std::lock_guard<std::mutex> lock(stateMutex);
+
+    prom.help("dirsim_serve_uptime_seconds",
+              "Seconds since the daemon started");
+    prom.type("dirsim_serve_uptime_seconds", "gauge");
+    prom.sample("dirsim_serve_uptime_seconds", {},
+                static_cast<double>(now - serverStartNs) / 1e9);
+
+    prom.help("dirsim_serve_queue_depth",
+              "Runs waiting in the service queue");
+    prom.type("dirsim_serve_queue_depth", "gauge");
+    prom.sample("dirsim_serve_queue_depth",
+                {{"discipline", queue->name()}},
+                static_cast<std::uint64_t>(queue->size()));
+
+    prom.help("dirsim_serve_queue_capacity",
+              "Queued-run bound; submissions past it get 429");
+    prom.type("dirsim_serve_queue_capacity", "gauge");
+    prom.sample("dirsim_serve_queue_capacity", {},
+                static_cast<std::uint64_t>(config.queueCapacity));
+
+    std::map<std::string, std::uint64_t> by_state;
+    for (const auto &[id, entry] : runs)
+        ++by_state[entry->state];
+    prom.help("dirsim_serve_runs",
+              "Known runs by lifecycle state");
+    prom.type("dirsim_serve_runs", "gauge");
+    for (const auto &[state, count] : by_state)
+        prom.sample("dirsim_serve_runs", {{"state", state}}, count);
+
+    prom.help("dirsim_serve_requests_total",
+              "HTTP requests served, by endpoint pattern and "
+              "status");
+    prom.type("dirsim_serve_requests_total", "counter");
+    for (const auto &[key, count] : requestCounts)
+        prom.sample("dirsim_serve_requests_total",
+                    {{"endpoint", key.first},
+                     {"status", key.second}},
+                    count);
+
+    prom.help("dirsim_serve_queue_wait_seconds",
+              "Submission-to-dispatch wait per run");
+    prom.type("dirsim_serve_queue_wait_seconds", "histogram");
+    prom.histogram("dirsim_serve_queue_wait_seconds",
+                   {{"discipline", queue->name()}}, queueWaitHist,
+                   bounds, queueWaitSumSeconds);
+
+    prom.help("dirsim_serve_run_duration_seconds",
+              "Sweep execution wall time per run");
+    prom.type("dirsim_serve_run_duration_seconds", "histogram");
+    prom.histogram("dirsim_serve_run_duration_seconds",
+                   {{"discipline", queue->name()}}, runDurationHist,
+                   bounds, runDurationSumSeconds);
+
+    prom.help("dirsim_serve_cells_completed_total",
+              "Sweep cells finished across all runs");
+    prom.type("dirsim_serve_cells_completed_total", "counter");
+    prom.sample("dirsim_serve_cells_completed_total", {},
+                totalCellsCompleted);
+
+    prom.help("dirsim_serve_cache_hits_total",
+              "Cells replayed from the cell cache");
+    prom.type("dirsim_serve_cache_hits_total", "counter");
+    prom.sample("dirsim_serve_cache_hits_total", {},
+                totalCacheHits);
+
+    prom.help("dirsim_serve_cache_misses_total",
+              "Cells simulated (not in the cell cache)");
+    prom.type("dirsim_serve_cache_misses_total", "counter");
+    prom.sample("dirsim_serve_cache_misses_total", {},
+                totalCacheMisses);
+
+    prom.help("dirsim_serve_simulated_refs_total",
+              "Trace references simulated across all runs");
+    prom.type("dirsim_serve_simulated_refs_total", "counter");
+    prom.sample("dirsim_serve_simulated_refs_total", {},
+                totalSimulatedRefs);
+
+    prom.help("dirsim_serve_refs_per_second",
+              "Aggregate simulation throughput over finished runs");
+    prom.type("dirsim_serve_refs_per_second", "gauge");
+    prom.sample("dirsim_serve_refs_per_second", {},
+                totalRunWallSeconds > 0.0
+                    ? static_cast<double>(totalSimulatedRefs)
+                        / totalRunWallSeconds
+                    : 0.0);
+
+    writePrometheus(os, sweepMetrics, "dirsim.sweep");
+
+    HttpResponse response;
+    response.contentType = "text/plain; version=0.0.4";
+    response.body = os.str();
+    return response;
+}
+
+HttpResponse
+SweepServer::handleTrace(std::uint64_t id)
+{
+    const std::uint64_t now = PhaseTimer::nowNs();
+    std::lock_guard<std::mutex> lock(stateMutex);
+    const auto it = runs.find(id);
+    if (it == runs.end())
+        return errorResponse(404,
+                             "unknown run " + std::to_string(id));
+    const RunEntry &entry = *it->second;
+    if (entry.recovered || entry.submittedNs == 0)
+        return errorResponse(
+            409, "run " + std::to_string(id)
+                + " predates this daemon process; its timeline was "
+                  "not recorded");
+
+    // Lane 0: the run's own lifecycle. Workers get lanes 1..N in
+    // order of first cell start; HTTP requests share the last lane.
+    std::vector<TraceSpan> spans;
+    const std::uint64_t started_mark =
+        entry.startedNs != 0 ? entry.startedNs : now;
+    const std::uint64_t finished_mark =
+        entry.finishedNs != 0 ? entry.finishedNs : now;
+
+    {
+        TraceSpan wait;
+        wait.name = "queue-wait";
+        wait.category = "queue";
+        wait.lane = 0;
+        wait.startNs = entry.submittedNs;
+        wait.durationNs = started_mark > entry.submittedNs
+            ? started_mark - entry.submittedNs : 0;
+        wait.args.emplace_back("state", entry.state);
+        spans.push_back(std::move(wait));
+    }
+    if (entry.startedNs != 0) {
+        TraceSpan run;
+        run.name = "run " + std::to_string(entry.id) + " ("
+            + entry.name + ")";
+        run.category = "run";
+        run.lane = 0;
+        run.startNs = entry.startedNs;
+        run.durationNs = finished_mark > entry.startedNs
+            ? finished_mark - entry.startedNs : 0;
+        run.args.emplace_back("state", entry.state);
+        run.args.emplace_back(
+            "cells", std::to_string(entry.timings.size()));
+        spans.push_back(std::move(run));
+    }
+
+    std::vector<const CellTiming *> cells;
+    cells.reserve(entry.timings.size());
+    for (const CellTiming &cell : entry.timings)
+        cells.push_back(&cell);
+    std::sort(cells.begin(), cells.end(),
+              [](const CellTiming *a, const CellTiming *b) {
+                  return a->startNs < b->startNs;
+              });
+    std::map<std::uint64_t, unsigned> lanes;
+    for (const CellTiming *cell : cells)
+        if (!lanes.contains(cell->threadTag))
+            lanes.emplace(cell->threadTag,
+                          static_cast<unsigned>(lanes.size() + 1));
+    for (const CellTiming *cell : cells) {
+        TraceSpan span;
+        span.name = cell->scheme + "/" + cell->traceName;
+        span.category = "cell";
+        span.lane = lanes.at(cell->threadTag);
+        span.startNs = cell->startNs;
+        span.durationNs = static_cast<std::uint64_t>(
+            cell->wallSeconds * 1e9);
+        span.args.emplace_back("refs", std::to_string(cell->refs));
+        span.args.emplace_back("cache_hit",
+                               cell->cacheHit ? "true" : "false");
+        spans.push_back(std::move(span));
+    }
+
+    const unsigned http_lane =
+        static_cast<unsigned>(lanes.size() + 1);
+    for (const TraceSpan &request : httpSpans) {
+        // Keep requests overlapping the run's window; the submitting
+        // POST itself starts a hair before submittedNs is stamped,
+        // so the window is judged by each request's end.
+        if (request.startNs + request.durationNs < entry.submittedNs
+            || (entry.finishedNs != 0
+                && request.startNs > entry.finishedNs))
+            continue;
+        TraceSpan span = request;
+        span.lane = http_lane;
+        spans.push_back(std::move(span));
+    }
+
+    std::vector<std::string> lane_names;
+    lane_names.push_back("run");
+    for (unsigned lane = 1; lane <= lanes.size(); ++lane)
+        lane_names.push_back("worker " + std::to_string(lane));
+    lane_names.push_back("http");
+
+    std::ostringstream os;
+    writeChromeSpans(os, spans, entry.submittedNs, lane_names);
     HttpResponse response;
     response.body = os.str();
     return response;
@@ -504,8 +941,14 @@ SweepServer::handleCancel(std::uint64_t id)
     if (entry.state == "queued") {
         queue->remove(id);
         entry.state = "cancelled";
+        entry.finishedNs = PhaseTimer::nowNs();
         entry.events.push_back("{\"kind\":\"state\",\"state\":"
                                "\"cancelled\"}");
+        JournalEvent event;
+        event.kind = "finished";
+        event.runId = id;
+        event.state = "cancelled";
+        journalAppend(std::move(event));
         eventsCv.notify_all();
     } else if (entry.state == "running") {
         entry.cancel.store(true);
@@ -582,11 +1025,32 @@ SweepServer::workerLoop()
                 continue;
             entry = runs.at(next->id).get();
             entry->state = "running";
+            entry->startedNs = PhaseTimer::nowNs();
             entry->events.push_back("{\"kind\":\"state\",\"state\":"
                                     "\"running\"}");
+            activeRunId = entry->id;
+
+            const std::uint64_t wait_ns =
+                entry->startedNs > entry->submittedNs
+                    ? entry->startedNs - entry->submittedNs : 0;
+            queueWaitHist.add(latencyBucket(wait_ns));
+            queueWaitSumSeconds +=
+                static_cast<double>(wait_ns) / 1e9;
+
+            JournalEvent event;
+            event.kind = "started";
+            event.runId = entry->id;
+            journalAppend(std::move(event));
         }
         eventsCv.notify_all();
+        logEvent(LogLevel::Info, "serve.run.started")
+            .field("run", entry->id)
+            .field("name", entry->name);
         executeRun(*entry);
+        {
+            std::lock_guard<std::mutex> lock(stateMutex);
+            activeRunId = 0;
+        }
     }
 }
 
@@ -597,6 +1061,7 @@ SweepServer::executeRun(RunEntry &entry)
     std::string error;
     std::string artifacts;
     std::size_t executed_cells = 0;
+    SweepOutcome outcome;
     try {
         const SweepSpec spec = parseSweepSpec(entry.specText);
         const SweepPlan plan = expandSweep(spec);
@@ -605,6 +1070,7 @@ SweepServer::executeRun(RunEntry &entry)
         options.jobs = config.jobs;
         options.cache = config.cache;
         options.cancel = &entry.cancel;
+        options.runLabel = "run " + std::to_string(entry.id);
         options.onProgress = [&](const GridProgress &progress) {
             std::ostringstream os;
             JsonWriter writer(os);
@@ -620,9 +1086,19 @@ SweepServer::executeRun(RunEntry &entry)
                 .key("cache_hit").value(progress.cell.cacheHit)
                 .endObject();
             appendEvent(entry, os.str());
+
+            std::lock_guard<std::mutex> lock(stateMutex);
+            JournalEvent event;
+            event.kind = "cell";
+            event.runId = entry.id;
+            event.cellLabel = progress.cell.traceName;
+            event.scheme = progress.cell.scheme;
+            event.refs = progress.cell.refs;
+            event.cacheHit = progress.cell.cacheHit;
+            journalAppend(std::move(event));
         };
 
-        const SweepOutcome outcome = runSweep(plan, options);
+        outcome = runSweep(plan, options);
         executed_cells = outcome.records.size();
         if (outcome.completed) {
             std::ostringstream os;
@@ -645,6 +1121,22 @@ SweepServer::executeRun(RunEntry &entry)
         entry.state = final_state;
         entry.error = error;
         entry.artifacts = std::move(artifacts);
+        entry.timings = std::move(outcome.timings);
+        entry.finishedNs = PhaseTimer::nowNs();
+
+        const std::uint64_t duration_ns =
+            entry.finishedNs > entry.startedNs
+                ? entry.finishedNs - entry.startedNs : 0;
+        runDurationHist.add(latencyBucket(duration_ns));
+        runDurationSumSeconds +=
+            static_cast<double>(duration_ns) / 1e9;
+        totalCacheHits += outcome.cacheHits;
+        totalCacheMisses += outcome.cacheMisses;
+        totalSimulatedRefs += outcome.simulatedRefs;
+        totalCellsCompleted += executed_cells;
+        totalRunWallSeconds += outcome.wallSeconds;
+        sweepMetrics.merge(outcome.metrics);
+
         std::ostringstream os;
         JsonWriter writer(os);
         writer.beginObject()
@@ -656,8 +1148,23 @@ SweepServer::executeRun(RunEntry &entry)
             writer.key("error").value(error);
         writer.endObject();
         entry.events.push_back(os.str());
+
+        JournalEvent event;
+        event.kind = "finished";
+        event.runId = entry.id;
+        event.state = final_state;
+        event.error = error;
+        event.cellsTotal = executed_cells;
+        journalAppend(std::move(event));
     }
     eventsCv.notify_all();
+    logEvent(LogLevel::Info, "serve.run.finished")
+        .field("run", entry.id)
+        .field("state", final_state)
+        .field("cells",
+               static_cast<std::uint64_t>(executed_cells))
+        .field("cache_hits", outcome.cacheHits)
+        .field("wall_seconds", outcome.wallSeconds);
 }
 
 } // namespace dirsim

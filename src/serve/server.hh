@@ -10,6 +10,11 @@
  * (docs/sweep.md, "The HTTP surface"):
  *
  *   GET  /                      service status + queue depth
+ *   GET  /status                operational detail: active run,
+ *                               uptime, journal path, run counts
+ *   GET  /metrics               Prometheus text exposition
+ *                               (obs/exposition.hh): daemon self-
+ *                               metrics + merged sweep metrics
  *   POST /runs                  submit a spec (body = spec JSON);
  *                               202 {"id",...} | 400 | 429
  *   GET  /runs                  all runs, oldest first
@@ -17,16 +22,26 @@
  *   GET  /runs/{id}/events      JSONL progress stream until the run
  *                               finishes (Connection: close framing)
  *   GET  /runs/{id}/artifacts   the finished results.jsonl
+ *   GET  /runs/{id}/trace       Chrome trace_event timeline of the
+ *                               run: queue wait, execution, per-cell
+ *                               slices, HTTP requests
  *   GET  /runs/{id}/diff/{id2}  diffArtifacts() of two finished runs
  *   POST /runs/{id}/cancel      cancel (queued or running)
  *   POST /admin/release         release a --hold'ed worker
  *   POST /shutdown              stop the daemon
  *
+ * With a journal directory configured (--journal /
+ * DIRSIM_JOURNAL_DIR), every run state transition is appended to a
+ * persistent JSONL journal (obs/journal.hh) and replayed on startup,
+ * so a restarted daemon lists its predecessors' runs — runs that were
+ * in flight when the process died come back as "interrupted", and
+ * resubmitting their spec resumes from the cell cache.
+ *
  * Degradation is graceful by construction: a malformed spec is a 400
  * with the parser's diagnostic, a full queue is a 429 (the submitter
  * retries later; the daemon keeps serving), a cancelled run stops at
- * the next cell boundary, and every handler failure is a response,
- * never a crash.
+ * the next cell boundary, a corrupt journal record is skipped with a
+ * warning, and every handler failure is a response, never a crash.
  *
  * Identity for the round-robin discipline comes from the
  * X-Dirsim-Client request header (absent = one shared anonymous
@@ -46,9 +61,14 @@
 #include <thread>
 #include <vector>
 
+#include "obs/chrome_trace.hh"
+#include "obs/histogram.hh"
+#include "obs/journal.hh"
+#include "obs/metrics.hh"
 #include "serve/discipline.hh"
 #include "serve/http.hh"
 #include "sim/job.hh"
+#include "sim/runner.hh"
 
 namespace dirsim
 {
@@ -79,8 +99,13 @@ struct ServeConfig
     /** Cell cache shared by every run; nullptr = simulate always. */
     std::shared_ptr<CellCache> cache;
 
+    /** Journal directory (obs/journal.hh); empty = no persistence.
+     *  Created on start when absent. */
+    std::string journalDir;
+
     /** Apply DIRSIM_SERVE_{PORT,QUEUE,JOBS,DISCIPLINE} over the
-     *  defaults, and wire DIRSIM_CACHE_DIR as the cache. */
+     *  defaults, wire DIRSIM_CACHE_DIR as the cache, and
+     *  DIRSIM_JOURNAL_DIR as the journal directory. */
     static ServeConfig fromEnvironment();
 };
 
@@ -95,7 +120,8 @@ class SweepServer
     SweepServer(const SweepServer &) = delete;
     SweepServer &operator=(const SweepServer &) = delete;
 
-    /** Bind the port and start the accept + worker threads.
+    /** Replay the journal (when configured), bind the port, and
+     *  start the accept + worker threads.
      *  @throws UsageError when the port cannot be bound */
     void start();
 
@@ -118,12 +144,28 @@ class SweepServer
         std::string client;
         std::string specText;
         std::string name;  ///< the spec's campaign name
-        std::string state = "queued"; ///< queued|running|done|
-                                      ///< failed|cancelled
+        std::string state = "queued"; ///< queued|running|done|failed|
+                                      ///< cancelled|interrupted
         std::string error;
         std::string artifacts; ///< results.jsonl once done
         std::vector<std::string> events; ///< JSONL progress lines
         std::atomic<bool> cancel{false};
+
+        std::uint64_t cellsTotal = 0;
+
+        /** Lifecycle stamps on the PhaseTimer::nowNs() clock (0 =
+         *  the transition never happened this process). */
+        std::uint64_t submittedNs = 0;
+        std::uint64_t startedNs = 0;
+        std::uint64_t finishedNs = 0;
+
+        /** Wall-clock layout of the executed cells, for
+         *  GET /runs/{id}/trace. */
+        std::vector<CellTiming> timings;
+
+        /** True when this entry was reconstructed from the journal
+         *  by a restarted daemon. */
+        bool recovered = false;
 
         bool finished() const
         {
@@ -136,6 +178,10 @@ class SweepServer
     void workerLoop();
     void executeRun(RunEntry &entry);
     void appendEvent(RunEntry &entry, std::string line);
+    void replayJournalLocked();
+    void journalAppend(JournalEvent event);
+    void recordRequest(const std::string &pattern, int status,
+                       std::uint64_t start_ns);
 
     HttpResponse handle(const HttpRequest &request,
                         HttpConnection &connection,
@@ -146,6 +192,9 @@ class SweepServer
     HttpResponse handleArtifacts(std::uint64_t id);
     HttpResponse handleDiff(std::uint64_t a, std::uint64_t b);
     HttpResponse handleCancel(std::uint64_t id);
+    HttpResponse handleServiceStatus();
+    HttpResponse handleMetrics();
+    HttpResponse handleTrace(std::uint64_t id);
     void streamEvents(std::uint64_t id, HttpConnection &connection);
 
     ServeConfig config;
@@ -165,6 +214,37 @@ class SweepServer
     bool holding = false;
     bool stopping = false;
     bool started = false;
+
+    // --- persistence + telemetry (all guarded by stateMutex) ---
+
+    std::unique_ptr<RunJournal> journal;
+    std::uint64_t serverStartNs = 0;
+    std::uint64_t activeRunId = 0; ///< 0 = worker idle
+
+    /** Request counters keyed by (endpoint pattern, status). */
+    std::map<std::pair<std::string, std::string>, std::uint64_t>
+        requestCounts;
+
+    /** Queue-wait / run-duration distributions, log2-millisecond
+     *  buckets (serve/server.cc latencyBucket()). */
+    FixedHistogram queueWaitHist;
+    FixedHistogram runDurationHist;
+    double queueWaitSumSeconds = 0.0;
+    double runDurationSumSeconds = 0.0;
+
+    /** Aggregate sweep effort across finished runs. */
+    std::uint64_t totalCacheHits = 0;
+    std::uint64_t totalCacheMisses = 0;
+    std::uint64_t totalSimulatedRefs = 0;
+    std::uint64_t totalCellsCompleted = 0;
+    double totalRunWallSeconds = 0.0;
+
+    /** Per-run sweep metrics merged across finished runs. */
+    MetricRegistry sweepMetrics;
+
+    /** Recent HTTP request spans for GET /runs/{id}/trace (bounded
+     *  ring, oldest dropped). */
+    std::vector<TraceSpan> httpSpans;
 };
 
 } // namespace dirsim

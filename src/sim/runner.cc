@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "common/env.hh"
+#include "common/log.hh"
 #include "common/logging.hh"
 #include "common/thread_pool.hh"
 #include "sim/decoded.hh"
@@ -118,6 +119,10 @@ ExperimentRunner::runGridCells(
 
     const auto start = Clock::now();
     grid.startNs = PhaseTimer::nowNs();
+    logEvent(LogLevel::Debug, "runner.grid.start")
+        .field("schemes", static_cast<std::uint64_t>(num_schemes))
+        .field("traces", static_cast<std::uint64_t>(num_traces))
+        .field("planned_refs", planned_refs);
 
     std::mutex progress_mutex;
     std::size_t completed = 0;
@@ -165,6 +170,12 @@ ExperimentRunner::runGridCells(
 
     grid.wallSeconds = secondsSince(start);
     grid.jobs = jobs;
+    logEvent(LogLevel::Debug, "runner.grid.finished")
+        .field("cells", static_cast<std::uint64_t>(num_cells))
+        .field("jobs", jobs)
+        .field("cache_hits",
+               static_cast<std::uint64_t>(grid.cacheHits()))
+        .field("wall_seconds", grid.wallSeconds);
     return grid;
 }
 

@@ -2,11 +2,15 @@
 
 #include <algorithm>
 #include <chrono>
+#include <functional>
 #include <mutex>
 #include <optional>
+#include <thread>
 
+#include "common/log.hh"
 #include "common/logging.hh"
 #include "common/thread_pool.hh"
+#include "obs/phase.hh"
 
 namespace dirsim
 {
@@ -55,11 +59,22 @@ captureSweepManifest(const SweepPlan &plan,
     return manifest;
 }
 
+/** Opaque identity of the calling thread for timeline lanes
+ *  (mirrors the runner's tag so traces compose). */
+std::uint64_t
+workerThreadTag()
+{
+    return static_cast<std::uint64_t>(
+        std::hash<std::thread::id>{}(std::this_thread::get_id()));
+}
+
 /** Mutable run state shared by the workers (mutex-guarded). */
 struct RunState
 {
     std::mutex mutex;
     std::vector<std::optional<CellOutcome>> outcomes;
+    std::vector<std::uint64_t> cellStartNs;
+    std::vector<std::uint64_t> cellThreadTags;
     std::size_t executedCells = 0;
     std::uint64_t simulatedCells = 0;
     std::uint64_t completedRefs = 0;
@@ -125,9 +140,21 @@ runSweep(const SweepPlan &plan, const SweepOptions &options)
 
     const std::uint64_t planned_refs = sim_plan.plannedRefs();
     const Clock::time_point start = Clock::now();
+    outcome.startNs = PhaseTimer::nowNs();
 
     RunState state;
     state.outcomes.resize(plan.cells.size());
+    state.cellStartNs.resize(plan.cells.size(), 0);
+    state.cellThreadTags.resize(plan.cells.size(), 0);
+
+    const std::string run_label = options.runLabel.empty()
+        ? plan.spec.name
+        : options.runLabel;
+    logEvent(LogLevel::Info, "sweep.run.start")
+        .field("run", run_label)
+        .field("name", plan.spec.name)
+        .field("cells", static_cast<std::uint64_t>(plan.cells.size()))
+        .field("jobs", resolved_jobs);
 
     // Pre-dispatch gate (under state.mutex): budget and cancellation
     // stop *dispatching*; in-flight cells always finish and are
@@ -145,8 +172,18 @@ runSweep(const SweepPlan &plan, const SweepOptions &options)
     };
 
     const auto record_outcome = [&](std::size_t index,
+                                    std::uint64_t start_ns,
                                     CellOutcome cell_outcome) {
+        logEvent(LogLevel::Debug, "sweep.cell.finished")
+            .field("run", run_label)
+            .field("cell", plan.cells[index].label)
+            .field("scheme", plan.cells[index].scheme.name())
+            .field("refs", cell_outcome.records)
+            .field("cache_hit", cell_outcome.cacheHit)
+            .field("wall_seconds", cell_outcome.wallSeconds);
         std::lock_guard<std::mutex> lock(state.mutex);
+        state.cellStartNs[index] = start_ns;
+        state.cellThreadTags[index] = workerThreadTag();
         ++state.executedCells;
         if (cell_outcome.cacheHit)
             ++state.cacheHits;
@@ -181,7 +218,8 @@ runSweep(const SweepPlan &plan, const SweepOptions &options)
                 if (should_stop())
                     break;
             }
-            record_outcome(i, runPlannedCell(sim_plan, i));
+            const std::uint64_t start_ns = PhaseTimer::nowNs();
+            record_outcome(i, start_ns, runPlannedCell(sim_plan, i));
         }
     } else {
         ThreadPool pool(resolved_jobs);
@@ -192,7 +230,9 @@ runSweep(const SweepPlan &plan, const SweepOptions &options)
                     if (should_stop())
                         return;
                 }
-                record_outcome(i, runPlannedCell(sim_plan, i));
+                const std::uint64_t start_ns = PhaseTimer::nowNs();
+                record_outcome(i, start_ns,
+                               runPlannedCell(sim_plan, i));
             });
         }
         pool.wait();
@@ -215,6 +255,9 @@ runSweep(const SweepPlan &plan, const SweepOptions &options)
         timing.cacheHit = cell_outcome.cacheHit;
         timing.shards = cell_outcome.shardsUsed;
         timing.simulatedRefs = cell_outcome.simulatedRefs;
+        timing.startNs = state.cellStartNs[i];
+        timing.threadTag = state.cellThreadTags[i];
+        outcome.timings.push_back(timing);
         const SweepTraceInstance &instance =
             plan.traces[plan.cells[i].traceIndex];
         CellRecord record = CellRecord::fromCell(
@@ -264,6 +307,14 @@ runSweep(const SweepPlan &plan, const SweepOptions &options)
     outcome.metrics.add("sweep.cells.skipped",
                         plan.cells.size() - outcome.records.size());
     outcome.metrics.add("sweep.traces", plan.traces.size());
+    logEvent(LogLevel::Info, "sweep.run.finished")
+        .field("run", run_label)
+        .field("completed", outcome.completed)
+        .field("cells",
+               static_cast<std::uint64_t>(outcome.records.size()))
+        .field("cache_hits", outcome.cacheHits)
+        .field("simulated_refs", outcome.simulatedRefs)
+        .field("wall_seconds", outcome.wallSeconds);
     return outcome;
 }
 

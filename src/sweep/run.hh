@@ -62,6 +62,14 @@ struct SweepOptions
     /** Per-finished-cell hook (sim/runner.hh semantics: serialized,
      *  completion order). */
     ProgressCallback onProgress;
+
+    /**
+     * Caller-scoped run identity ("run 3" in the daemon, a campaign
+     * name in a CLI) threaded into every structured log line this
+     * run emits, so one journal/log stream interleaving many runs
+     * stays attributable. Empty = the spec's name.
+     */
+    std::string runLabel;
 };
 
 /** Everything one sweep run produces. */
@@ -77,6 +85,17 @@ struct SweepOutcome
 
     /** Plan indices of the executed cells (parallel to records). */
     std::vector<std::size_t> cellIndices;
+
+    /**
+     * Wall-clock layout of the executed cells (parallel to records):
+     * start stamps on the PhaseTimer::nowNs() clock plus worker
+     * tags, enough for a Chrome timeline of the run
+     * (obs/chrome_trace.hh writeChromeSpans) without a GridResult.
+     */
+    std::vector<CellTiming> timings;
+
+    /** PhaseTimer::nowNs() at run start (the trace origin). */
+    std::uint64_t startNs = 0;
 
     RunManifest manifest;
     MetricRegistry metrics;

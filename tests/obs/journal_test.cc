@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Tests for the persistent run journal (obs/journal.hh): event
+ * round-trips, replay folding, and the forgiving recovery paths —
+ * a truncated final line (SIGKILL mid-write) and corrupt mid-file
+ * records must never prevent the daemon from starting.
+ */
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "obs/journal.hh"
+
+namespace dirsim
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+
+/** Fresh per-test journal directory under the gtest temp root. */
+std::string
+freshDir(const char *name)
+{
+    const fs::path dir =
+        fs::path(testing::TempDir()) / "dirsim_journal" / name;
+    fs::remove_all(dir);
+    return dir.string();
+}
+
+JournalEvent
+submittedEvent(std::uint64_t id, const std::string &name)
+{
+    JournalEvent event;
+    event.kind = "submitted";
+    event.runId = id;
+    event.name = name;
+    event.client = "alice";
+    event.spec = R"({"name":")" + name + R"("})";
+    event.cellsTotal = 4;
+    return event;
+}
+
+TEST(JournalEventTest, EveryKindRoundTrips)
+{
+    JournalEvent submitted = submittedEvent(3, "e2e");
+    submitted.wallTs = "2026-08-08T12:00:00Z";
+    submitted.monoNs = 17;
+    const JournalEvent back =
+        JournalEvent::fromJson(submitted.toJson());
+    EXPECT_EQ(back.kind, "submitted");
+    EXPECT_EQ(back.runId, 3u);
+    EXPECT_EQ(back.name, "e2e");
+    EXPECT_EQ(back.client, "alice");
+    EXPECT_EQ(back.spec, submitted.spec);
+    EXPECT_EQ(back.cellsTotal, 4u);
+    EXPECT_EQ(back.wallTs, "2026-08-08T12:00:00Z");
+    EXPECT_EQ(back.monoNs, 17u);
+
+    JournalEvent cell;
+    cell.kind = "cell";
+    cell.runId = 3;
+    cell.wallTs = "2026-08-08T12:00:01Z";
+    cell.monoNs = 18;
+    cell.cellLabel = "pops/Dir0B";
+    cell.scheme = "Dir0B";
+    cell.refs = 20000;
+    cell.cacheHit = true;
+    const JournalEvent cell_back =
+        JournalEvent::fromJson(cell.toJson());
+    EXPECT_EQ(cell_back.cellLabel, "pops/Dir0B");
+    EXPECT_EQ(cell_back.scheme, "Dir0B");
+    EXPECT_EQ(cell_back.refs, 20000u);
+    EXPECT_TRUE(cell_back.cacheHit);
+
+    JournalEvent finished;
+    finished.kind = "finished";
+    finished.runId = 3;
+    finished.wallTs = "2026-08-08T12:00:02Z";
+    finished.monoNs = 19;
+    finished.state = "failed";
+    finished.error = "boom";
+    const JournalEvent fin_back =
+        JournalEvent::fromJson(finished.toJson());
+    EXPECT_EQ(fin_back.state, "failed");
+    EXPECT_EQ(fin_back.error, "boom");
+}
+
+TEST(JournalEventTest, MalformedRecordsThrow)
+{
+    EXPECT_THROW(JournalEvent::fromJson("not json"), UsageError);
+    EXPECT_THROW(JournalEvent::fromJson("[1,2]"), UsageError);
+    EXPECT_THROW(JournalEvent::fromJson(
+                     R"({"kind":"teleported","run":1,"ts":"t",)"
+                     R"("mono_ns":1})"),
+                 UsageError);
+    // Run id 0 is reserved (the daemon's ids start at 1).
+    EXPECT_THROW(JournalEvent::fromJson(
+                     R"({"kind":"started","run":0,"ts":"t",)"
+                     R"("mono_ns":1})"),
+                 UsageError);
+}
+
+TEST(RunJournalTest, AppendStampsAndReplayFolds)
+{
+    const std::string path =
+        journalPathInDir(freshDir("append_replay"));
+    {
+        RunJournal journal(path);
+        journal.append(submittedEvent(1, "alpha"));
+        JournalEvent started;
+        started.kind = "started";
+        started.runId = 1;
+        journal.append(started);
+        JournalEvent cell;
+        cell.kind = "cell";
+        cell.runId = 1;
+        cell.cellLabel = "pops/Dir0B";
+        cell.scheme = "Dir0B";
+        cell.refs = 100;
+        journal.append(cell);
+        journal.append(cell);
+        JournalEvent finished;
+        finished.kind = "finished";
+        finished.runId = 1;
+        finished.state = "done";
+        finished.cellsTotal = 2;
+        journal.append(finished);
+
+        journal.append(submittedEvent(2, "beta"));
+    }
+
+    const JournalReplay replay = replayJournal(path);
+    EXPECT_EQ(replay.maxRunId, 2u);
+    EXPECT_EQ(replay.corruptLines, 0u);
+    EXPECT_FALSE(replay.truncatedTail);
+    ASSERT_EQ(replay.runs.size(), 2u);
+
+    const JournalRun &done = replay.runs[0];
+    EXPECT_EQ(done.id, 1u);
+    EXPECT_EQ(done.name, "alpha");
+    EXPECT_EQ(done.client, "alice");
+    EXPECT_EQ(done.state, "done");
+    EXPECT_TRUE(done.started);
+    EXPECT_EQ(done.cellsDone, 2u);
+    EXPECT_GT(done.submittedNs, 0u);
+    EXPECT_GE(done.finishedNs, done.startedNs);
+    EXPECT_FALSE(done.submittedAt.empty());
+
+    // Run 2 never started: the daemon died with it queued.
+    const JournalRun &interrupted = replay.runs[1];
+    EXPECT_EQ(interrupted.id, 2u);
+    EXPECT_EQ(interrupted.state, "interrupted");
+    EXPECT_FALSE(interrupted.started);
+    EXPECT_EQ(interrupted.spec, R"({"name":"beta"})");
+}
+
+TEST(RunJournalTest, MissingFileIsAnEmptyReplay)
+{
+    const std::string path =
+        journalPathInDir(freshDir("missing"));
+    const JournalReplay replay = replayJournal(path);
+    EXPECT_TRUE(replay.runs.empty());
+    EXPECT_EQ(replay.maxRunId, 0u);
+    EXPECT_EQ(replay.corruptLines, 0u);
+    EXPECT_FALSE(replay.truncatedTail);
+}
+
+TEST(RunJournalTest, TruncatedFinalLineIsDroppedNotFatal)
+{
+    const std::string path =
+        journalPathInDir(freshDir("truncated"));
+    {
+        RunJournal journal(path);
+        journal.append(submittedEvent(1, "alpha"));
+        JournalEvent started;
+        started.kind = "started";
+        started.runId = 1;
+        journal.append(started);
+    }
+    // Simulate a SIGKILL mid-write: a partial record, no newline.
+    {
+        std::ofstream out(path, std::ios::app | std::ios::binary);
+        out << R"({"kind":"finished","run":1,"st)";
+    }
+
+    const JournalReplay replay = replayJournal(path);
+    EXPECT_TRUE(replay.truncatedTail);
+    EXPECT_EQ(replay.corruptLines, 0u);
+    ASSERT_EQ(replay.runs.size(), 1u);
+    // The finished record was lost, so the run replays interrupted.
+    EXPECT_EQ(replay.runs[0].state, "interrupted");
+    EXPECT_TRUE(replay.runs[0].started);
+}
+
+TEST(RunJournalTest, CorruptMidFileRecordIsSkippedAndCounted)
+{
+    const std::string path =
+        journalPathInDir(freshDir("corrupt"));
+    {
+        RunJournal journal(path);
+        journal.append(submittedEvent(1, "alpha"));
+    }
+    {
+        std::ofstream out(path, std::ios::app | std::ios::binary);
+        out << "garbage that is not json\n";
+        out << R"({"kind":"zap","run":9,"ts":"t","mono_ns":1})"
+            << "\n";
+    }
+    {
+        RunJournal journal(path);
+        JournalEvent finished;
+        finished.kind = "finished";
+        finished.runId = 1;
+        finished.state = "done";
+        journal.append(finished);
+        journal.append(submittedEvent(2, "beta"));
+    }
+
+    // Recovery reaches past the corruption to the good records.
+    const JournalReplay replay = replayJournal(path);
+    EXPECT_EQ(replay.corruptLines, 2u);
+    EXPECT_FALSE(replay.truncatedTail);
+    ASSERT_EQ(replay.runs.size(), 2u);
+    EXPECT_EQ(replay.runs[0].state, "done");
+    EXPECT_EQ(replay.runs[1].state, "interrupted");
+    EXPECT_EQ(replay.maxRunId, 2u);
+}
+
+TEST(RunJournalTest, JournalPathCreatesTheDirectory)
+{
+    const std::string dir = freshDir("create") + "/nested/deeper";
+    const std::string path = journalPathInDir(dir);
+    EXPECT_TRUE(fs::is_directory(dir));
+    EXPECT_EQ(fs::path(path).filename().string(),
+              std::string(RunJournal::fileName));
+}
+
+} // namespace
+} // namespace dirsim
