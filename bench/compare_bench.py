@@ -77,8 +77,9 @@ def gauge(metrics, name, path):
 
 
 def compare(baseline, candidate, threshold, base_path, cand_path):
-    """Print one grid's comparison; return the regressed gauge names."""
-    regressions = []
+    """Print one grid's comparison; return (name, ratio, regressed)
+    per compared throughput gauge (ratio = candidate / baseline)."""
+    compared = []
     for name in THROUGHPUT_GAUGES:
         base = gauge(baseline, name, base_path)
         cand = gauge(candidate, name, cand_path)
@@ -98,9 +99,10 @@ def compare(baseline, candidate, threshold, base_path, cand_path):
             continue
         delta = (cand - base) / base
         verdict = "ok"
-        if delta < -threshold:
+        regressed = delta < -threshold
+        if regressed:
             verdict = "REGRESSION"
-            regressions.append(name)
+        compared.append((name, cand / base, regressed))
         print(f"  {name}: {base:,.0f} -> {cand:,.0f} "
               f"({delta:+.1%})  {verdict}")
     for name in CONTEXT_GAUGES:
@@ -109,7 +111,7 @@ def compare(baseline, candidate, threshold, base_path, cand_path):
         if base is None or cand is None:
             continue
         print(f"  {name}: {base:g} -> {cand:g}  (context only)")
-    return regressions
+    return compared
 
 
 def main():
@@ -132,17 +134,25 @@ def main():
             f"error: grid count mismatch: {args.baseline} has "
             f"{len(base_grids)}, {args.candidate} has {len(cand_grids)}")
 
-    regressions = []
+    compared = []
     for index, (base, cand) in enumerate(zip(base_grids, cand_grids)):
         print(f"grid {index}:")
-        regressions += compare(base, cand, args.threshold,
-                               args.baseline, args.candidate)
+        compared += [(f"grid{index} {name}", ratio, regressed)
+                     for name, ratio, regressed
+                     in compare(base, cand, args.threshold,
+                                args.baseline, args.candidate)]
 
-    if regressions:
-        print(f"FAIL: {len(regressions)} metric(s) regressed by more "
-              f"than {args.threshold:.0%}")
+    # The summary line carries every old -> new ratio so a one-line
+    # CI log still names each benchmark and its factor.
+    ratios = ", ".join(f"{name} {ratio:.2f}x"
+                       for name, ratio, _ in compared)
+    regressed = [name for name, _, flagged in compared if flagged]
+    if regressed:
+        print(f"FAIL: {', '.join(regressed)} regressed by more than "
+              f"{args.threshold:.0%} ({ratios})")
         return 1
-    print(f"OK: no throughput regression beyond {args.threshold:.0%}")
+    print(f"OK: no throughput regression beyond "
+          f"{args.threshold:.0%} ({ratios})")
     return 0
 
 

@@ -14,20 +14,34 @@
  * BM_SimulateSharded (one large cell at several shard counts) and
  * BM_RunGridSharded (the paper grid with intra-cell sharding).
  *
- * After the microbenchmarks, one timed paper grid is recorded as
+ * The machine-size axis gets BM_ScalingGrid: the 8-scheme scaling
+ * grid (sim/scaling.hh) over one N-cache trace at N in
+ * {64, 256, 1024}, exercising the flat SharerStore arenas that keep
+ * large-N throughput off the per-block-allocation cliff.
+ *
+ * After the microbenchmarks, two timed grids are recorded as
  * structured artifacts (manifest + per-cell throughput metrics,
- * obs/sink.hh) to BENCH_6.json — the repo's perf trajectory file —
- * along with two engine measurements: the sequential-vs-8-shard
- * throughput of the largest suite trace under Dir4NB
- * (perf.shard.*, bit-identity asserted), and a cold-then-warm
- * cell-cache grid replay (perf.cache.*, zero simulated references
- * asserted). DIRSIM_BENCH_JSON overrides the destination; set it to
- * an empty string to skip the grid entirely.
+ * obs/sink.hh) to BENCH_8.json — the repo's perf trajectory file —
+ * compared record-by-record by bench/compare_bench.py:
+ *
+ *  - the paper grid, along with two engine measurements: the
+ *    sequential-vs-8-shard throughput of the largest suite trace
+ *    under Dir4NB (perf.shard.*, bit-identity asserted) and a
+ *    cold-then-warm cell-cache grid replay (perf.cache.*, zero
+ *    simulated references asserted);
+ *
+ *  - the N=1024 scaling grid (the BENCH_7 workload: 8 schemes x
+ *    600k refs), along with its shard-scaling curve at 1, 4, and 16
+ *    shards (perf.scaling.shard<K>.*, bit-identity asserted).
+ *
+ * DIRSIM_BENCH_JSON overrides the destination; set it to an empty
+ * string to skip the grids entirely.
  */
 
 #include <chrono>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
 
 #include <benchmark/benchmark.h>
@@ -216,6 +230,57 @@ BENCHMARK(BM_RunGridSharded)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
+/**
+ * The N=1024 workload of the committed BENCH_7 grid: one scale-N
+ * trace (600k refs, default scaling seed), run below against
+ * scalingSchemes() and recorded as the trajectory file's second
+ * metrics record.
+ */
+const std::vector<Trace> &
+scalingGridSuite()
+{
+    static const std::vector<Trace> traces = [] {
+        std::vector<Trace> out;
+        out.push_back(scalingTrace(1024, ScalingParams{}));
+        return out;
+    }();
+    return traces;
+}
+
+/**
+ * The 8-scheme scaling grid over one N-cache trace (Arg = N). The
+ * large-N points stress the sharer storage itself: with per-block
+ * heap sharer sets the N=1024 grid ran ~22x slower per reference
+ * than the paper grid; the flat SharerStore arena is what this
+ * benchmark watches.
+ */
+void
+BM_ScalingGrid(benchmark::State &state)
+{
+    const auto n = static_cast<unsigned>(state.range(0));
+    ScalingParams params;
+    std::vector<Trace> traces;
+    traces.push_back(scalingTrace(n, params));
+    RunnerConfig config;
+    config.jobs = 1;
+    config.decode = true;
+    const ExperimentRunner runner(config);
+    std::uint64_t grid_refs = 0;
+    for (auto _ : state) {
+        const GridResult grid =
+            runner.run(scalingSchemes(), traces);
+        grid_refs = grid.totalRefs();
+        benchmark::DoNotOptimize(grid.schemes.size());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(grid_refs));
+}
+BENCHMARK(BM_ScalingGrid)
+    ->Arg(64)->Arg(256)->Arg(1024)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
 void
 BM_TraceStats(benchmark::State &state)
 {
@@ -294,6 +359,62 @@ measureShardSpeedup(MetricRegistry &metrics)
 }
 
 /**
+ * The N=1024 grid driven through intra-cell block sharding at 1, 4,
+ * and 16 shards (the DIRSIM_SHARDS axis). Every shard count must
+ * reproduce the sequential grid's deterministic results exactly; the
+ * throughput of each point lands in the trajectory file as
+ * perf.scaling.shard<K>.refs_per_second, with the 16-shard speedup
+ * over sequential as perf.scaling.shard16.speedup. Like
+ * perf.shard.*, the measured ratio scales with free cores.
+ */
+void
+measureScalingShardCurve(MetricRegistry &metrics)
+{
+    const std::vector<Trace> &traces = scalingGridSuite();
+    const std::vector<SchemeSpec> schemes = scalingSchemes();
+
+    GridResult sequential;
+    double seq_seconds = 0.0;
+    for (const unsigned shards : {1u, 4u, 16u}) {
+        RunnerConfig config;
+        config.jobs = 1;
+        config.decode = true;
+        config.shards.shards = shards;
+        const ExperimentRunner runner(config);
+        GridResult grid;
+        const double seconds = secondsOf([&] {
+            grid = runner.run(schemes, traces);
+        });
+        if (shards == 1) {
+            sequential = grid;
+            seq_seconds = seconds;
+        } else {
+            for (std::size_t s = 0; s < grid.schemes.size(); ++s) {
+                const SimResult &a = sequential.schemes[s].perTrace[0];
+                const SimResult &b = grid.schemes[s].perTrace[0];
+                fatalIf(!(a.events == b.events) || !(a.ops == b.ops)
+                            || !(a.cleanWriteHolders
+                                 == b.cleanWriteHolders),
+                        "scale1024/", sequential.schemes[s].scheme,
+                        " diverged at ", shards, " shards");
+            }
+        }
+        const double refs = static_cast<double>(grid.totalRefs());
+        metrics.set("perf.scaling.shard"
+                        + std::to_string(shards)
+                        + ".refs_per_second",
+                    seconds > 0.0 ? refs / seconds : 0.0);
+        if (shards == 16) {
+            metrics.set("perf.scaling.shard16.speedup",
+                        seconds > 0.0 ? seq_seconds / seconds : 0.0);
+        }
+        std::cerr << "scaling grid: N=1024 x " << shards
+                  << " shard(s) = " << refs / seconds
+                  << " refs/s\n";
+    }
+}
+
+/**
  * Cold-then-warm cell-cache replay of the paper grid. The warm run
  * must simulate nothing; its wall time and hit counts land in the
  * trajectory file as perf.cache.*.
@@ -347,20 +468,41 @@ main(int argc, char **argv)
 
     const char *override_path = std::getenv("DIRSIM_BENCH_JSON");
     const std::string out =
-        override_path ? override_path : "BENCH_6.json";
+        override_path ? override_path : "BENCH_8.json";
     if (out.empty())
         return 0;
     try {
+        // One stream, two artifact records (paper grid, then the
+        // N=1024 scaling grid) — compare_bench.py diffs them in file
+        // order against the committed baseline.
+        std::ofstream stream(out, std::ios::trunc);
+        fatalIf(!stream, "cannot write ", out);
+
         MetricRegistry engine_metrics;
         measureShardSpeedup(engine_metrics);
         measureWarmCacheReplay(engine_metrics);
-        JsonlSink sink(out);
-        const ExperimentRunner runner;
-        runWithArtifacts(runner, paperSchemes(), gridSuite(), {},
-                         sink,
-                         [&engine_metrics](MetricRegistry &metrics) {
-                             metrics.merge(engine_metrics);
-                         });
+        {
+            JsonlSink sink(stream);
+            const ExperimentRunner runner;
+            runWithArtifacts(
+                runner, paperSchemes(), gridSuite(), {}, sink,
+                [&engine_metrics](MetricRegistry &metrics) {
+                    metrics.merge(engine_metrics);
+                });
+        }
+
+        MetricRegistry scaling_metrics;
+        measureScalingShardCurve(scaling_metrics);
+        {
+            JsonlSink sink(stream);
+            const ExperimentRunner runner;
+            runWithArtifacts(
+                runner, scalingSchemes(), scalingGridSuite(), {},
+                sink,
+                [&scaling_metrics](MetricRegistry &metrics) {
+                    metrics.merge(scaling_metrics);
+                });
+        }
     } catch (const SimulationError &error) {
         std::cerr << "error: " << error.what() << '\n';
         return 1;

@@ -1,7 +1,8 @@
-# Perf-smoke regression gate: run the perf_simulator paper grid once
-# (a never-matching --benchmark_filter skips the microbenchmarks) and
-# compare the measured runner.grid.refs_per_second against the
-# committed baseline via bench/compare_bench.py. The threshold is
+# Perf-smoke regression gate: run the perf_simulator grids once — the
+# paper grid and the N=1024 scaling grid (a never-matching
+# --benchmark_filter skips the microbenchmarks) — and compare each
+# record's runner.grid.refs_per_second against the committed baseline
+# via bench/compare_bench.py. The threshold is
 # deliberately generous — the gate exists to catch hot-path
 # regressions (an accidental sparse fallback, a per-reference
 # allocation), not scheduler noise on a loaded host.
@@ -23,5 +24,5 @@ if(NOT rc EQUAL 0)
     message(FATAL_ERROR
         "grid throughput regressed vs the committed baseline "
         "(rc=${rc}); rerun on an idle host, then investigate the "
-        "decode/dense hot path before updating BENCH_5.json")
+        "decode/dense hot path before updating BENCH_8.json")
 endif()

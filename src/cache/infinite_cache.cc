@@ -9,7 +9,7 @@ CacheBlockState
 InfiniteCache::lookup(BlockNum block) const
 {
     if (denseMode)
-        return block < dense.size() ? dense[block] : stateNotPresent;
+        return block < denseSize ? dense[block] : stateNotPresent;
     const auto it = blocks.find(block);
     return it == blocks.end() ? stateNotPresent : it->second;
 }
@@ -20,10 +20,10 @@ InfiniteCache::set(BlockNum block, CacheBlockState state)
     panicIfNot(state != stateNotPresent,
                "InfiniteCache::set with the reserved not-present state");
     if (denseMode) {
-        panicIfNot(block < dense.size(),
+        panicIfNot(block < denseSize,
                    "InfiniteCache::set: block ", block,
                    " outside the reserved dense arena of ",
-                   dense.size(), " blocks");
+                   denseSize, " blocks");
         CacheBlockState &slot = dense[block];
         const bool inserted = slot == stateNotPresent;
         slot = state;
@@ -39,7 +39,7 @@ CacheBlockState
 InfiniteCache::invalidate(BlockNum block)
 {
     if (denseMode) {
-        if (block >= dense.size())
+        if (block >= denseSize)
             return stateNotPresent;
         const CacheBlockState old = dense[block];
         dense[block] = stateNotPresent;
@@ -64,7 +64,8 @@ void
 InfiniteCache::clear()
 {
     if (denseMode) {
-        std::fill(dense.begin(), dense.end(), stateNotPresent);
+        // Fresh calloc instead of a fill: the zeroing stays lazy.
+        allocDense(denseSize);
         denseResident = 0;
         return;
     }
@@ -76,7 +77,7 @@ InfiniteCache::forEach(
     const std::function<void(BlockNum, CacheBlockState)> &fn) const
 {
     if (denseMode) {
-        for (BlockNum block = 0; block < dense.size(); ++block) {
+        for (BlockNum block = 0; block < denseSize; ++block) {
             if (dense[block] != stateNotPresent)
                 fn(block, dense[block]);
         }
@@ -87,11 +88,25 @@ InfiniteCache::forEach(
 }
 
 void
+InfiniteCache::allocDense(std::uint64_t block_count)
+{
+    // calloc so untouched pages never materialize; see the header.
+    auto *arena = static_cast<CacheBlockState *>(
+        std::calloc(block_count > 0 ? block_count : 1,
+                    sizeof(CacheBlockState)));
+    panicIfNot(arena != nullptr,
+               "InfiniteCache: cannot allocate a dense arena of ",
+               block_count, " blocks");
+    dense.reset(arena);
+    denseSize = block_count;
+}
+
+void
 InfiniteCache::reserveBlocks(std::uint64_t block_count)
 {
     panicIfNot(blocks.empty() && denseResident == 0,
                "InfiniteCache::reserveBlocks on a non-empty cache");
-    dense.assign(block_count, stateNotPresent);
+    allocDense(block_count);
     denseMode = true;
 }
 

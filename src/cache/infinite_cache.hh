@@ -8,8 +8,9 @@
 #ifndef DIRSIM_CACHE_INFINITE_CACHE_HH
 #define DIRSIM_CACHE_INFINITE_CACHE_HH
 
+#include <cstdlib>
+#include <memory>
 #include <unordered_map>
-#include <vector>
 
 #include "cache/cache_if.hh"
 
@@ -44,9 +45,27 @@ class InfiniteCache : public CacheModel
     bool denseStorage() const { return denseMode; }
 
   private:
+    struct FreeDeleter
+    {
+        void operator()(CacheBlockState *p) const { std::free(p); }
+    };
+
+    /** (Re)claim a zeroed dense arena of @p block_count states. */
+    void allocDense(std::uint64_t block_count);
+
     std::unordered_map<BlockNum, CacheBlockState> blocks;
-    /** Dense backend: state per block index, 0 = not resident. */
-    std::vector<CacheBlockState> dense;
+    /**
+     * Dense backend: state per block index, 0 = not resident. A
+     * calloc'd buffer rather than a std::vector: a grid at large N
+     * builds one arena per cache per cell, and zero-filling them all
+     * eagerly (numCaches × blockCount bytes) costs more than the
+     * simulation itself when each cache only ever touches a sliver of
+     * the block space. calloc leaves untouched pages on the kernel's
+     * zero page, so setup cost follows the blocks a cache actually
+     * uses.
+     */
+    std::unique_ptr<CacheBlockState[], FreeDeleter> dense;
+    std::size_t denseSize = 0;
     std::size_t denseResident = 0;
     bool denseMode = false;
 };

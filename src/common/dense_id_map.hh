@@ -1,0 +1,99 @@
+/**
+ * @file
+ * DenseIdMap: append-only assignment of dense 32-bit ids to 64-bit
+ * keys in order of first appearance.
+ */
+
+#ifndef DIRSIM_COMMON_DENSE_ID_MAP_HH
+#define DIRSIM_COMMON_DENSE_ID_MAP_HH
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace dirsim
+{
+
+/**
+ * The decode pass (sim/decoded.cc) calls insert-or-find once per
+ * trace record to densify block numbers and cache keys, so the map it
+ * uses *is* the decode hot path. std::unordered_map spends most of
+ * that time in node allocation and bucket chasing; this table is a
+ * flat open-addressed array with linear probing, a power-of-two
+ * capacity grown at 50% load, and a multiplicative hash that spreads
+ * the near-sequential block numbers traces produce. Ids are handed
+ * out as 0, 1, 2, ... by first appearance — exactly the densification
+ * contract — and the map never erases.
+ */
+class DenseIdMap
+{
+  public:
+    DenseIdMap() { slots.resize(initialCapacity); }
+
+    /**
+     * The id for @p key, assigning `size()` on first sight.
+     *
+     * @return the id and whether this call inserted it
+     */
+    std::pair<std::uint32_t, bool> idFor(std::uint64_t key)
+    {
+        if ((count + 1) * 2 > slots.size())
+            grow();
+        Slot &slot = probe(slots, key);
+        if (slot.id != emptySlot)
+            return {slot.id, false};
+        if (count == maxIds) [[unlikely]]
+            panic("DenseIdMap: more than 2^32 - 1 distinct keys");
+        slot.key = key;
+        slot.id = static_cast<std::uint32_t>(count++);
+        return {slot.id, true};
+    }
+
+    /** Distinct keys seen so far. */
+    std::size_t size() const { return count; }
+
+  private:
+    /** An unoccupied slot; ids stop one short of it (maxIds). */
+    static constexpr std::uint32_t emptySlot = 0xffffffffu;
+    static constexpr std::size_t maxIds = emptySlot;
+    static constexpr std::size_t initialCapacity = 1024;
+
+    struct Slot
+    {
+        std::uint64_t key = 0;
+        std::uint32_t id = emptySlot;
+    };
+
+    /** The slot holding @p key, or the free slot it belongs in. */
+    static Slot &probe(std::vector<Slot> &table, std::uint64_t key)
+    {
+        const std::size_t mask = table.size() - 1;
+        std::size_t index =
+            static_cast<std::size_t>((key * 0x9e3779b97f4a7c15ull)
+                                     >> 32)
+            & mask;
+        while (table[index].id != emptySlot
+               && table[index].key != key)
+            index = (index + 1) & mask;
+        return table[index];
+    }
+
+    void grow()
+    {
+        std::vector<Slot> next(slots.size() * 2);
+        for (const Slot &slot : slots) {
+            if (slot.id != emptySlot)
+                probe(next, slot.key) = slot;
+        }
+        slots.swap(next);
+    }
+
+    std::vector<Slot> slots;
+    std::size_t count = 0;
+};
+
+} // namespace dirsim
+
+#endif // DIRSIM_COMMON_DENSE_ID_MAP_HH

@@ -25,10 +25,13 @@ digitCount(unsigned num_caches, unsigned region_size)
 CoarseVector::CoarseVector(unsigned num_caches_arg,
                            unsigned region_size_arg)
     : numCaches(num_caches_arg), regionGranularity(region_size_arg),
-      numDigits(digitCount(num_caches_arg, region_size_arg)),
-      code(numDigits, Digit::Zero)
+      numDigits(digitCount(num_caches_arg, region_size_arg))
 {
     fatalIf(numCaches == 0, "CoarseVector over an empty domain");
+    const unsigned words =
+        (numDigits + digitsPerWord - 1) / digitsPerWord;
+    if (words > inlineWords)
+        heapCode.assign(words, 0);
 }
 
 void
@@ -38,20 +41,21 @@ CoarseVector::add(CacheId cache)
                "CoarseVector::add: cache ", cache, " out of domain ",
                numCaches);
     if (regionGranularity != 0) {
-        code[cache / regionGranularity] = Digit::One;
+        setDigit(cache / regionGranularity, Digit::One);
         hasMember = true;
         return;
     }
     if (!hasMember) {
         for (unsigned d = 0; d < numDigits; ++d)
-            code[d] = ((cache >> d) & 1) ? Digit::One : Digit::Zero;
+            setDigit(d, ((cache >> d) & 1) ? Digit::One : Digit::Zero);
         hasMember = true;
         return;
     }
     for (unsigned d = 0; d < numDigits; ++d) {
         const Digit bit = ((cache >> d) & 1) ? Digit::One : Digit::Zero;
-        if (code[d] != Digit::Both && code[d] != bit)
-            code[d] = Digit::Both;
+        const Digit cur = digitAt(d);
+        if (cur != Digit::Both && cur != bit)
+            setDigit(d, Digit::Both);
     }
 }
 
@@ -59,15 +63,19 @@ void
 CoarseVector::clear()
 {
     hasMember = false;
-    std::fill(code.begin(), code.end(), Digit::Zero);
+    // Digit::Zero packs to 0, so the code word array just zero-fills.
+    if (heapCode.empty())
+        inlineCode.fill(0);
+    else
+        std::fill(heapCode.begin(), heapCode.end(), 0);
 }
 
 unsigned
 CoarseVector::bothDigits() const
 {
     unsigned n = 0;
-    for (const Digit d : code)
-        n += d == Digit::Both ? 1 : 0;
+    for (unsigned d = 0; d < numDigits; ++d)
+        n += digitAt(d) == Digit::Both ? 1 : 0;
     return n;
 }
 
@@ -97,40 +105,31 @@ CoarseVector::flaggedRegions() const
     panicIfNot(regionGranularity != 0,
                "flaggedRegions() on a ternary CoarseVector");
     unsigned n = 0;
-    for (const Digit d : code)
-        n += d == Digit::One ? 1 : 0;
+    for (unsigned r = 0; r < numDigits; ++r)
+        n += digitAt(r) == Digit::One ? 1 : 0;
     return n;
+}
+
+void
+CoarseVector::fixedBits(unsigned &mask, unsigned &val) const
+{
+    mask = 0;
+    val = 0;
+    for (unsigned d = 0; d < numDigits; ++d) {
+        const Digit dig = digitAt(d);
+        if (dig == Digit::Both)
+            continue;
+        mask |= 1u << d;
+        if (dig == Digit::One)
+            val |= 1u << d;
+    }
 }
 
 SharerSet
 CoarseVector::decode() const
 {
     SharerSet result(numCaches);
-    if (!hasMember)
-        return result;
-    if (regionGranularity != 0) {
-        for (unsigned r = 0; r < numDigits; ++r) {
-            if (code[r] != Digit::One)
-                continue;
-            const CacheId begin = r * regionGranularity;
-            const CacheId end = begin + regionWidth(r);
-            for (CacheId cache = begin; cache < end; ++cache)
-                result.add(cache);
-        }
-        return result;
-    }
-    for (CacheId cache = 0; cache < numCaches; ++cache) {
-        bool match = true;
-        for (unsigned d = 0; d < numDigits && match; ++d) {
-            if (code[d] == Digit::Both)
-                continue;
-            const Digit bit =
-                ((cache >> d) & 1) ? Digit::One : Digit::Zero;
-            match = code[d] == bit;
-        }
-        if (match)
-            result.add(cache);
-    }
+    forEachMember([&](CacheId cache) { result.add(cache); });
     return result;
 }
 
@@ -145,11 +144,17 @@ CoarseVector::supersetSize() const
         // divide n.
         unsigned size = 0;
         for (unsigned r = 0; r < numDigits; ++r)
-            if (code[r] == Digit::One)
+            if (digitAt(r) == Digit::One)
                 size += regionWidth(r);
         return size;
     }
-    return decode().count();
+    unsigned mask = 0;
+    unsigned val = 0;
+    fixedBits(mask, val);
+    unsigned size = 0;
+    for (CacheId cache = 0; cache < numCaches; ++cache)
+        size += (cache & mask) == val ? 1 : 0;
+    return size;
 }
 
 std::string
@@ -161,14 +166,14 @@ CoarseVector::toString() const
         for (unsigned r = 0; r < numDigits; ++r) {
             if (r != 0)
                 out += '.';
-            out += code[r] == Digit::One ? '1' : '0';
+            out += digitAt(r) == Digit::One ? '1' : '0';
         }
         return hasMember ? out : std::string("(empty)");
     }
     // Most-significant digit first, matching the paper's description
     // of the word as an index.
     for (unsigned d = numDigits; d-- > 0;) {
-        switch (code[d]) {
+        switch (digitAt(d)) {
           case Digit::Zero:
             out += '0';
             break;

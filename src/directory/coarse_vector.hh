@@ -10,6 +10,7 @@
 #ifndef DIRSIM_DIRECTORY_COARSE_VECTOR_HH
 #define DIRSIM_DIRECTORY_COARSE_VECTOR_HH
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <unordered_map>
@@ -32,6 +33,13 @@ namespace dirsim
  *    caches [r*K, min((r+1)*K, n)); when K does not divide n the
  *    last region is narrower — regionWidth() is the clipped width,
  *    and every fan-out count uses it, never a blanket r*K.
+ *
+ * Digits are packed two bits each into words held inline (up to 128
+ * digits — every configuration the scaling suite runs, including
+ * region mode at N=1024 with K=12), falling back to a heap word array
+ * sized once at construction. A dense arena of directory entries is
+ * therefore a single flat allocation, and probing the code via
+ * forEachMember()/supersetSize() never materializes a SharerSet.
  *
  * Invariants (property-tested):
  *  - decode() is always a superset of the exact sharer set encoded;
@@ -85,13 +93,46 @@ class CoarseVector
     /** Region mode: number of regions currently flagged. */
     unsigned flaggedRegions() const;
 
+    /**
+     * Visit the denoted superset in ascending cache order without
+     * materializing it — the alloc-free decode used by the
+     * invalidation fan-out. Region mode walks the flagged regions'
+     * clipped ranges; ternary mode matches each index against the
+     * mask/value the non-BOTH digits pin down.
+     */
+    template <typename Fn>
+    void forEachMember(Fn &&fn) const
+    {
+        if (!hasMember)
+            return;
+        if (regionGranularity != 0) {
+            for (unsigned r = 0; r < numDigits; ++r) {
+                if (digitAt(r) != Digit::One)
+                    continue;
+                const CacheId begin = r * regionGranularity;
+                const CacheId end = begin + regionWidth(r);
+                for (CacheId cache = begin; cache < end; ++cache)
+                    fn(cache);
+            }
+            return;
+        }
+        unsigned mask = 0;
+        unsigned val = 0;
+        fixedBits(mask, val);
+        for (CacheId cache = 0; cache < numCaches; ++cache) {
+            if ((cache & mask) == val)
+                fn(cache);
+        }
+    }
+
     /** The denoted superset of caches (clipped to the domain). */
     SharerSet decode() const;
 
     /**
      * Size of the denoted superset — the invalidation fan-out when
-     * the code is probed. Region mode computes it as the sum of the
-     * flagged regions' clipped widths (O(regions), no decode).
+     * the code is probed. Region mode sums the flagged regions'
+     * clipped widths (O(regions)); ternary mode counts the matching
+     * indices. Neither allocates.
      */
     unsigned supersetSize() const;
 
@@ -108,13 +149,48 @@ class CoarseVector
   private:
     enum class Digit : std::uint8_t { Zero, One, Both };
 
+    /** Two bits per digit. */
+    static constexpr unsigned digitsPerWord = 32;
+    /** Inline code words: 128 digits before the heap fallback. */
+    static constexpr unsigned inlineWords = 4;
+
+    const std::uint64_t *codeWords() const
+    {
+        return heapCode.empty() ? inlineCode.data() : heapCode.data();
+    }
+    std::uint64_t *codeWords()
+    {
+        return heapCode.empty() ? inlineCode.data() : heapCode.data();
+    }
+
+    Digit digitAt(unsigned digit) const
+    {
+        const std::uint64_t word = codeWords()[digit / digitsPerWord];
+        return static_cast<Digit>(
+            (word >> (2 * (digit % digitsPerWord))) & 3);
+    }
+
+    void setDigit(unsigned digit, Digit value)
+    {
+        std::uint64_t &word = codeWords()[digit / digitsPerWord];
+        const unsigned shift = 2 * (digit % digitsPerWord);
+        word = (word & ~(std::uint64_t{3} << shift))
+               | (static_cast<std::uint64_t>(value) << shift);
+    }
+
+    /** Ternary: the index mask/value the non-BOTH digits pin down. */
+    void fixedBits(unsigned &mask, unsigned &val) const;
+
     unsigned numCaches;
     /** Region granularity K; 0 selects the ternary code. */
     unsigned regionGranularity;
     /** Ternary digits, or region presence bits (Zero/One). */
     unsigned numDigits;
     bool hasMember = false;
-    std::vector<Digit> code;
+    /** Packed digits, 2 bits each (Zero = 0, so clear() zero-fills). */
+    std::array<std::uint64_t, inlineWords> inlineCode{};
+    /** Heap fallback when the code needs more than 128 digits. */
+    std::vector<std::uint64_t> heapCode;
 };
 
 /**

@@ -14,13 +14,15 @@ FullMapDirectory::FullMapDirectory(unsigned num_caches_arg)
 FullMapEntry &
 FullMapDirectory::entry(BlockNum block)
 {
-    if (denseMode) {
-        panicIfNot(block < dense.size(),
-                   "FullMapDirectory: block ", block,
-                   " outside the dense arena of ", dense.size(),
-                   " blocks");
-        return dense[block];
-    }
+    panicIfNot(!denseMode,
+               "FullMapDirectory::entry: dense mode has no per-block "
+               "entry objects; use the block-keyed accessors");
+    return sparseEntry(block);
+}
+
+FullMapEntry &
+FullMapDirectory::sparseEntry(BlockNum block)
+{
     const auto it = entries.find(block);
     if (it != entries.end())
         return it->second;
@@ -30,10 +32,108 @@ FullMapDirectory::entry(BlockNum block)
 const FullMapEntry *
 FullMapDirectory::find(BlockNum block) const
 {
-    if (denseMode)
-        return block < dense.size() ? &dense[block] : nullptr;
+    panicIfNot(!denseMode,
+               "FullMapDirectory::find: dense mode has no per-block "
+               "entry objects; use the block-keyed accessors");
     const auto it = entries.find(block);
     return it == entries.end() ? nullptr : &it->second;
+}
+
+void
+FullMapDirectory::addSharer(BlockNum block, CacheId cache)
+{
+    if (denseMode) {
+        denseSharers.add(block, cache);
+        return;
+    }
+    sparseEntry(block).sharers.add(cache);
+}
+
+void
+FullMapDirectory::removeSharer(BlockNum block, CacheId cache)
+{
+    if (denseMode) {
+        denseSharers.remove(block, cache);
+        return;
+    }
+    sparseEntry(block).sharers.remove(cache);
+}
+
+bool
+FullMapDirectory::isSharer(BlockNum block, CacheId cache) const
+{
+    if (denseMode)
+        return denseSharers.contains(block, cache);
+    const auto it = entries.find(block);
+    return it != entries.end() && it->second.sharers.contains(cache);
+}
+
+unsigned
+FullMapDirectory::sharerCount(BlockNum block) const
+{
+    if (denseMode)
+        return denseSharers.count(block);
+    const auto it = entries.find(block);
+    return it == entries.end() ? 0 : it->second.sharers.count();
+}
+
+bool
+FullMapDirectory::dirty(BlockNum block) const
+{
+    if (denseMode) {
+        panicIfNot(block < denseDirty.size(),
+                   "FullMapDirectory: block ", block,
+                   " outside the dense arena of ", denseDirty.size(),
+                   " blocks");
+        return denseDirty[block] != 0;
+    }
+    const auto it = entries.find(block);
+    return it != entries.end() && it->second.dirty;
+}
+
+void
+FullMapDirectory::setDirty(BlockNum block, bool dirty_arg)
+{
+    if (denseMode) {
+        panicIfNot(block < denseDirty.size(),
+                   "FullMapDirectory: block ", block,
+                   " outside the dense arena of ", denseDirty.size(),
+                   " blocks");
+        denseDirty[block] = dirty_arg ? 1 : 0;
+        return;
+    }
+    sparseEntry(block).dirty = dirty_arg;
+}
+
+bool
+FullMapDirectory::tracked(BlockNum block) const
+{
+    if (denseMode)
+        return block < denseSharers.blockCount();
+    return entries.find(block) != entries.end();
+}
+
+void
+FullMapDirectory::appendSharers(BlockNum block, CacheIdList &out) const
+{
+    if (denseMode) {
+        denseSharers.appendTo(block, out);
+        return;
+    }
+    const auto it = entries.find(block);
+    if (it != entries.end()) {
+        it->second.sharers.forEach(
+            [&out](CacheId cache) { out.push(cache); });
+    }
+}
+
+SharerSet
+FullMapDirectory::sharerSnapshot(BlockNum block) const
+{
+    if (denseMode)
+        return denseSharers.snapshot(block);
+    const auto it = entries.find(block);
+    return it == entries.end() ? SharerSet(caches) : it->second.sharers;
 }
 
 void
@@ -54,7 +154,8 @@ FullMapDirectory::reserveDense(std::uint64_t block_count)
 {
     panicIfNot(entries.empty() && !denseMode,
                "FullMapDirectory::reserveDense on a touched directory");
-    dense.assign(block_count, FullMapEntry(caches));
+    denseSharers.reset(caches, block_count);
+    denseDirty.assign(block_count, 0);
     denseMode = true;
 }
 

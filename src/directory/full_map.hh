@@ -16,7 +16,7 @@
 namespace dirsim
 {
 
-/** One full-map entry: dirty bit + present-bit vector. */
+/** One sparse full-map entry: dirty bit + present-bit vector. */
 struct FullMapEntry
 {
     explicit FullMapEntry(unsigned num_caches)
@@ -41,10 +41,14 @@ struct FullMapEntry
  * simulation time (the storage calculators in directory/storage.hh
  * account for the real per-block hardware cost).
  *
- * reserveDense() switches to a dense arena indexed directly by block
- * number, for decode-once simulation streams whose block keys are
- * densified indices in [0, block_count) (sim/decoded.hh): entry
- * access then costs one array load instead of a hash probe.
+ * reserveDense() switches to dense storage for decode-once streams
+ * whose block keys are densified indices in [0, block_count)
+ * (sim/decoded.hh): the present bits of every block then live in one
+ * SharerStore arena (hybrid inline/spill sharer sets, a single
+ * allocation) beside a flat dirty-bit array. Dense mode has no
+ * per-block FullMapEntry objects, so protocols address the directory
+ * through the block-keyed accessors below, which work in both modes;
+ * entry()/find() remain for the sparse map (and panic once dense).
  */
 class FullMapDirectory
 {
@@ -52,26 +56,52 @@ class FullMapDirectory
     /** @param num_caches_arg number of caches in the system */
     explicit FullMapDirectory(unsigned num_caches_arg);
 
-    /** Entry for @p block, created clean/uncached on first use. */
+    /** Sparse mode: entry for @p block, created clean on first use. */
     FullMapEntry &entry(BlockNum block);
 
-    /** Entry lookup without creation; nullptr when never touched. */
+    /** Sparse mode: lookup without creation; nullptr if untouched. */
     const FullMapEntry *find(BlockNum block) const;
+
+    /** Record @p cache's present bit for @p block. */
+    void addSharer(BlockNum block, CacheId cache);
+
+    /** Clear @p cache's present bit for @p block. */
+    void removeSharer(BlockNum block, CacheId cache);
+
+    /** True iff @p cache's present bit is set for @p block. */
+    bool isSharer(BlockNum block, CacheId cache) const;
+
+    /** Number of present bits set for @p block. */
+    unsigned sharerCount(BlockNum block) const;
+
+    /** The dirty bit of @p block (clear when untouched). */
+    bool dirty(BlockNum block) const;
+
+    void setDirty(BlockNum block, bool dirty_arg);
+
+    /** True when the directory has state for @p block. */
+    bool tracked(BlockNum block) const;
+
+    /** Append @p block's sharers to @p out in ascending order. */
+    void appendSharers(BlockNum block, CacheIdList &out) const;
+
+    /** @p block's present bits materialized (invariant checks). */
+    SharerSet sharerSnapshot(BlockNum block) const;
 
     unsigned numCaches() const { return caches; }
 
     /** Number of blocks with directory state materialized. */
     std::size_t trackedBlocks() const
     {
-        return denseMode ? dense.size() : entries.size();
+        return denseMode ? denseSharers.blockCount() : entries.size();
     }
 
     /** Drop empty (uncached, clean) entries to bound memory. */
     void compact();
 
     /**
-     * Switch to dense storage: pre-materialize one clean/uncached
-     * entry per block in [0, @p block_count). Must be called before
+     * Switch to dense storage: pre-materialize clean/uncached state
+     * for every block in [0, @p block_count). Must be called before
      * any entry is touched.
      */
     void reserveDense(std::uint64_t block_count);
@@ -80,9 +110,14 @@ class FullMapDirectory
     bool denseStorage() const { return denseMode; }
 
   private:
+    FullMapEntry &sparseEntry(BlockNum block);
+
     unsigned caches;
     std::unordered_map<BlockNum, FullMapEntry> entries;
-    std::vector<FullMapEntry> dense;
+    /** Dense present bits: the hybrid inline/spill arena. */
+    SharerStore denseSharers;
+    /** Dense dirty bits, indexed by block. */
+    std::vector<std::uint8_t> denseDirty;
     bool denseMode = false;
 };
 

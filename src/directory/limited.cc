@@ -1,7 +1,5 @@
 #include "directory/limited.hh"
 
-#include <algorithm>
-
 #include "common/logging.hh"
 
 namespace dirsim
@@ -15,7 +13,8 @@ LimitedEntry::LimitedEntry(unsigned num_pointers_arg,
             "Dir_0 entries keep no pointers; Dir_0 NB cannot grant "
             "exclusive access (see the paper) and Dir_0 B is the "
             "two-bit directory (directory/two_bit.hh)");
-    pointers.reserve(numPointers);
+    if (numPointers > inlineCap)
+        heapPtrs.resize(numPointers);
 }
 
 LimitedAddOutcome
@@ -25,33 +24,40 @@ LimitedEntry::addSharer(CacheId cache, CacheId *victim)
         return LimitedAddOutcome::AlreadyBroadcast;
     if (pointsTo(cache))
         return LimitedAddOutcome::Recorded;
-    if (pointers.size() < numPointers) {
-        pointers.push_back(cache);
+    if (used < numPointers) {
+        data()[used++] = cache;
         return LimitedAddOutcome::Recorded;
     }
     if (allowBroadcast) {
         broadcast = true;
-        pointers.clear();
+        used = 0;
         return LimitedAddOutcome::BroadcastSet;
     }
     panicIfNot(victim != nullptr,
                "Dir_i NB overflow requires a victim out-parameter");
-    *victim = pointers.front();
+    *victim = data()[0];
     return LimitedAddOutcome::EvictionRequired;
 }
 
 void
 LimitedEntry::removeSharer(CacheId cache)
 {
-    const auto it = std::find(pointers.begin(), pointers.end(), cache);
-    if (it != pointers.end())
-        pointers.erase(it);
+    CacheId *ptrs = data();
+    for (std::uint32_t i = 0; i < used; ++i) {
+        if (ptrs[i] != cache)
+            continue;
+        // Close the gap, preserving FIFO order.
+        for (std::uint32_t j = i + 1; j < used; ++j)
+            ptrs[j - 1] = ptrs[j];
+        --used;
+        return;
+    }
 }
 
 void
 LimitedEntry::reset()
 {
-    pointers.clear();
+    used = 0;
     broadcast = false;
     dirty = false;
 }
@@ -59,8 +65,12 @@ LimitedEntry::reset()
 bool
 LimitedEntry::pointsTo(CacheId cache) const
 {
-    return std::find(pointers.begin(), pointers.end(), cache)
-        != pointers.end();
+    const CacheId *ptrs = data();
+    for (std::uint32_t i = 0; i < used; ++i) {
+        if (ptrs[i] == cache)
+            return true;
+    }
+    return false;
 }
 
 LimitedDirectory::LimitedDirectory(unsigned num_pointers_arg,

@@ -9,6 +9,7 @@
 #ifndef DIRSIM_DIRECTORY_LIMITED_HH
 #define DIRSIM_DIRECTORY_LIMITED_HH
 
+#include <array>
 #include <unordered_map>
 #include <vector>
 
@@ -39,6 +40,11 @@ enum class LimitedAddOutcome
  * Pointer order is FIFO: on Dir_i NB overflow the oldest pointer is
  * offered as the eviction victim, a deterministic stand-in for the
  * arbitrary choice the paper leaves open.
+ *
+ * Pointers are stored inline (no heap) for budgets up to 8 — every
+ * Dir_i the paper evaluates — so a dense arena of entries is a single
+ * flat allocation; larger budgets fall back to a heap array sized
+ * once at construction.
  */
 class LimitedEntry
 {
@@ -76,22 +82,36 @@ class LimitedEntry
     bool pointsTo(CacheId cache) const;
 
     /** Exact pointer count (meaningless when broadcastRequired()). */
-    unsigned pointerCount() const
-    {
-        return static_cast<unsigned>(pointers.size());
-    }
+    unsigned pointerCount() const { return used; }
 
     /** Pointers in FIFO order (oldest first). */
-    const std::vector<CacheId> &pointerList() const { return pointers; }
+    CacheIdSpan pointerList() const { return {data(), used}; }
 
     unsigned capacity() const { return numPointers; }
     bool broadcastAllowed() const { return allowBroadcast; }
 
   private:
+    static constexpr unsigned inlineCap = 8;
+
+    const CacheId *data() const
+    {
+        return numPointers <= inlineCap ? inlinePtrs.data()
+                                        : heapPtrs.data();
+    }
+    CacheId *data()
+    {
+        return numPointers <= inlineCap ? inlinePtrs.data()
+                                        : heapPtrs.data();
+    }
+
     unsigned numPointers;
     bool allowBroadcast;
     bool broadcast = false;
-    std::vector<CacheId> pointers; // FIFO, oldest first
+    std::uint32_t used = 0;
+    /** FIFO, oldest first; valid prefix of length @c used. */
+    std::array<CacheId, inlineCap> inlinePtrs;
+    /** Overflow storage when the budget exceeds inlineCap. */
+    std::vector<CacheId> heapPtrs;
 };
 
 /**

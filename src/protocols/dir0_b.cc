@@ -26,11 +26,12 @@ Dir0B::broadcastInvalidate(CacheId keeper, BlockNum block, bool costed)
 {
     if (costed)
         ++opCounts.broadcastInvals;
-    const SharerSet sharers = holders(block);
-    sharers.forEach([&](CacheId holder) {
+    CacheIdList sharers;
+    snapshotHolders(block, sharers);
+    for (const CacheId holder : sharers) {
         if (holder != keeper)
             invalidateIn(holder, block);
-    });
+    }
 }
 
 void

@@ -36,6 +36,10 @@ class Dir1NB : public CoherenceProtocol
     {
         return state == stDirty;
     }
+    std::optional<OracleStates> oracleStates() const override
+    {
+        return OracleStates{stClean, stDirty};
+    }
     void checkInvariants(BlockNum block) const override;
 
   protected:

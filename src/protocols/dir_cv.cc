@@ -34,7 +34,7 @@ DirCV::invalidateSuperset(CacheId keeper, BlockNum block, bool costed)
     CoarseVectorDirectory::Entry &entry = dir.entry(block);
     // One message per denoted cache: holders are invalidated, the
     // spurious members of the superset cost a wasted message each.
-    entry.sharers.decode().forEach([&](CacheId target) {
+    entry.sharers.forEachMember([&](CacheId target) {
         if (target == keeper)
             return;
         if (costed)

@@ -42,6 +42,10 @@ class DirCV : public CoherenceProtocol
     {
         return state == stDirty;
     }
+    std::optional<OracleStates> oracleStates() const override
+    {
+        return OracleStates{stClean, stDirty};
+    }
     void checkInvariants(BlockNum block) const override;
 
     /** The coarse-vector directory (exposed for tests). */

@@ -41,17 +41,18 @@ void
 DirIB::invalidateOthers(CacheId keeper, BlockNum block, bool costed)
 {
     LimitedEntry &entry = dir.entry(block);
-    const SharerSet sharers = holders(block);
-    if (entry.broadcastRequired()) {
-        if (costed)
-            ++opCounts.broadcastInvals;
-    } else if (costed) {
-        opCounts.invalMsgs += sharers.countExcluding(keeper);
+    CacheIdList sharers;
+    snapshotHolders(block, sharers);
+    const bool broadcast = entry.broadcastRequired();
+    if (broadcast && costed)
+        ++opCounts.broadcastInvals;
+    for (const CacheId holder : sharers) {
+        if (holder == keeper)
+            continue;
+        if (costed && !broadcast)
+            ++opCounts.invalMsgs;
+        invalidateIn(holder, block);
     }
-    sharers.forEach([&](CacheId holder) {
-        if (holder != keeper)
-            invalidateIn(holder, block);
-    });
     // After the invalidation the keeper is the only (known) sharer.
     entry.reset();
     if (keeper != invalidCacheId)

@@ -42,15 +42,18 @@ DirINB::recordSharer(BlockNum block, CacheId cache, bool costed)
         entry.removeSharer(victim);
         outcome = entry.addSharer(cache, &victim);
     }
-    panicIfNot(outcome == LimitedAddOutcome::Recorded,
-               name(), ": sharer could not be recorded after eviction");
+    if (outcome != LimitedAddOutcome::Recorded) [[unlikely]]
+        panic(name(), ": sharer could not be recorded after eviction");
 }
 
 void
 DirINB::invalidateOthers(CacheId keeper, BlockNum block, bool costed)
 {
     LimitedEntry &entry = dir.entry(block);
-    const std::vector<CacheId> victims = entry.pointerList();
+    // Snapshot: the loop removes pointers while it walks them.
+    CacheIdList victims;
+    for (const CacheId victim : entry.pointerList())
+        victims.push(victim);
     for (const CacheId victim : victims) {
         if (victim == keeper)
             continue;

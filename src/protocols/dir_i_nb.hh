@@ -39,6 +39,10 @@ class DirINB : public CoherenceProtocol
     {
         return state == stDirty;
     }
+    std::optional<OracleStates> oracleStates() const override
+    {
+        return OracleStates{stClean, stDirty};
+    }
     void checkInvariants(BlockNum block) const override;
 
     unsigned pointerBudget() const { return dir.pointerBudget(); }

@@ -13,24 +13,23 @@ DirNNB::DirNNB(unsigned num_caches_arg, const CacheFactory &factory)
 void
 DirNNB::onEviction(CacheId cache, BlockNum block, CacheBlockState state)
 {
-    FullMapEntry &entry = dir.entry(block);
-    entry.sharers.remove(cache);
+    dir.removeSharer(block, cache);
     if (isDirtyState(state))
-        entry.dirty = false;
+        dir.setDirty(block, false);
 }
 
 void
 DirNNB::invalidateOthers(CacheId keeper, BlockNum block, bool costed)
 {
-    FullMapEntry &entry = dir.entry(block);
-    const std::vector<CacheId> victims = entry.sharers.toVector();
+    CacheIdList victims;
+    dir.appendSharers(block, victims);
     for (const CacheId victim : victims) {
         if (victim == keeper)
             continue;
         if (costed)
             ++opCounts.invalMsgs; // one directed message per copy
         invalidateIn(victim, block);
-        entry.sharers.remove(victim);
+        dir.removeSharer(block, victim);
     }
 }
 
@@ -38,7 +37,6 @@ void
 DirNNB::handleReadMiss(CacheId cache, BlockNum block,
                        const Others &others, bool first)
 {
-    FullMapEntry &entry = dir.entry(block);
     if (others.anyDirty) {
         // A directed write-back request reaches the owner; memory and
         // the requester receive the data in the same transfer.
@@ -47,14 +45,14 @@ DirNNB::handleReadMiss(CacheId cache, BlockNum block,
             ++opCounts.dirtySupplies;
         }
         setState(others.dirtyOwner, block, stClean);
-        entry.dirty = false;
+        dir.setDirty(block, false);
     } else if (!first) {
         ++opCounts.memSupplies;
     }
     if (!first)
         ++opCounts.busTransactions;
     install(cache, block, stClean);
-    entry.sharers.add(cache);
+    dir.addSharer(block, cache);
 }
 
 void
@@ -74,14 +72,13 @@ DirNNB::handleWriteHit(CacheId cache, BlockNum block,
     ++opCounts.busTransactions;
     invalidateOthers(cache, block, /* costed */ true);
     setState(cache, block, stDirty);
-    dir.entry(block).dirty = true;
+    dir.setDirty(block, true);
 }
 
 void
 DirNNB::handleWriteMiss(CacheId cache, BlockNum block,
                         const Others &others, bool first)
 {
-    FullMapEntry &entry = dir.entry(block);
     if (others.anyDirty) {
         // Flush the dirty copy to memory and invalidate it there.
         if (!first) {
@@ -89,7 +86,7 @@ DirNNB::handleWriteMiss(CacheId cache, BlockNum block,
             ++opCounts.invalMsgs;
         }
         invalidateIn(others.dirtyOwner, block);
-        entry.sharers.remove(others.dirtyOwner);
+        dir.removeSharer(block, others.dirtyOwner);
     } else if (others.numOthers > 0) {
         if (!first)
             sampleCleanWrite(others.numOthers);
@@ -102,8 +99,8 @@ DirNNB::handleWriteMiss(CacheId cache, BlockNum block,
     if (!first)
         ++opCounts.busTransactions;
     install(cache, block, stDirty);
-    entry.sharers.add(cache);
-    entry.dirty = true;
+    dir.addSharer(block, cache);
+    dir.setDirty(block, true);
 }
 
 void
@@ -111,24 +108,23 @@ DirNNB::checkInvariants(BlockNum block) const
 {
     CoherenceProtocol::checkInvariants(block);
     const SharerSet sharers = holders(block);
-    const FullMapEntry *entry = dir.find(block);
-    if (entry == nullptr) {
+    if (!dir.tracked(block)) {
         panicIfNot(sharers.empty(),
                    "DirNNB: caches hold block ", block,
                    " the directory never saw");
         return;
     }
-    panicIfNot(entry->sharers == sharers,
+    panicIfNot(dir.sharerSnapshot(block) == sharers,
                "DirNNB: directory present bits disagree with the caches "
                "for block ", block);
-    panicIfNot(entry->valid(),
+    panicIfNot(!dir.dirty(block) || dir.sharerCount(block) <= 1,
                "DirNNB: dirty block ", block, " has multiple sharers");
     if (!sharers.empty()) {
         bool any_dirty = false;
         sharers.forEach([&](CacheId holder) {
             any_dirty |= isDirtyState(cacheState(holder, block));
         });
-        panicIfNot(entry->dirty == any_dirty,
+        panicIfNot(dir.dirty(block) == any_dirty,
                    "DirNNB: directory dirty bit stale for block ", block);
     }
 }

@@ -35,6 +35,10 @@ class DirNNB : public CoherenceProtocol
     {
         return state == stDirty;
     }
+    std::optional<OracleStates> oracleStates() const override
+    {
+        return OracleStates{stClean, stDirty};
+    }
     void checkInvariants(BlockNum block) const override;
 
   protected:

@@ -13,29 +13,31 @@ Dragon::Dragon(unsigned num_caches_arg, const CacheFactory &factory)
 void
 Dragon::applyUpdate(CacheId writer, BlockNum block)
 {
-    const SharerSet sharers = holders(block);
-    sharers.forEach([&](CacheId holder) {
+    CacheIdList sharers;
+    snapshotHolders(block, sharers);
+    for (const CacheId holder : sharers) {
         if (holder == writer)
-            return;
+            continue;
         // Copies are updated in place; a previous owner loses
         // ownership to the writer.
         setState(holder, block, stSharedClean);
-    });
+    }
 }
 
 void
 Dragon::demoteToShared(CacheId requester, BlockNum block)
 {
-    const SharerSet sharers = holders(block);
-    sharers.forEach([&](CacheId holder) {
+    CacheIdList sharers;
+    snapshotHolders(block, sharers);
+    for (const CacheId holder : sharers) {
         if (holder == requester)
-            return;
+            continue;
         const CacheBlockState state = cacheState(holder, block);
         if (state == stExclusive)
             setState(holder, block, stSharedClean);
         else if (state == stDirty)
             setState(holder, block, stSharedDirty);
-    });
+    }
 }
 
 void

@@ -38,12 +38,21 @@ CoherenceProtocol::reserveBlocks(std::uint32_t block_count,
     panicIfNot(holderMap.empty(),
                name(), ": reserveBlocks on a protocol that already "
                "processed references");
-    denseHolders.assign(block_count, SharerSet(numCaches()));
+    denseHolders.reset(numCaches(), block_count);
     denseDirtyOwner.assign(block_count, invalidCacheId);
     blockLabels = block_labels;
     denseMode = true;
-    for (const auto &cache : caches)
-        cache->reserveBlocks(block_count);
+    if (const auto states = oracleStates()) {
+        // Two-state scheme: cache state is derived from the oracle
+        // from here on, so no per-cache arena is ever allocated (see
+        // oracleStates() in the header).
+        oracleMode = true;
+        oracleClean = states->clean;
+        oracleDirty = states->dirty;
+    } else {
+        for (const auto &cache : caches)
+            cache->reserveBlocks(block_count);
+    }
     onReserveBlocks(block_count);
 }
 
@@ -58,8 +67,8 @@ CoherenceProtocol::handleEviction(CacheId cache, BlockNum block,
 {
     // The cache already dropped the line; mirror that in the oracle.
     if (denseMode) {
-        if (block < denseHolders.size()) {
-            denseHolders[block].remove(cache);
+        if (block < denseHolders.blockCount()) {
+            denseHolders.remove(block, cache);
             if (denseDirtyOwner[block] == cache)
                 denseDirtyOwner[block] = invalidCacheId;
         }
@@ -125,7 +134,7 @@ CoherenceProtocol::tracedRef(CacheId cache, BlockNum block,
     // Dense runs key blocks by densified index; label sink events
     // with the original block numbers so traces stay meaningful.
     const BlockNum label =
-        blockLabels != nullptr && block < denseHolders.size()
+        blockLabels != nullptr && block < denseHolders.blockCount()
             ? blockLabels[block]
             : block;
     traceSink->dataRef(label, cache, is_write);
@@ -150,7 +159,7 @@ CoherenceProtocol::tracedRef(CacheId cache, BlockNum block,
     event.block = label;
     event.cache = cache;
     event.firstRef = first_ref;
-    event.stateBefore = caches[cache]->lookup(block);
+    event.stateBefore = stateOf(cache, block);
     event.othersBefore = classifyOthers(cache, block).numOthers;
     const EventCounts events_before = eventCounts;
     const OpCounts ops_before = opCounts;
@@ -160,7 +169,7 @@ CoherenceProtocol::tracedRef(CacheId cache, BlockNum block,
     else
         processRead(cache, block, first_ref);
 
-    event.stateAfter = caches[cache]->lookup(block);
+    event.stateAfter = stateOf(cache, block);
     event.othersAfter = classifyOthers(cache, block).numOthers;
     event.type = mostSpecificNewEvent(events_before, eventCounts);
     event.ops = opCounts;
@@ -178,9 +187,11 @@ CoherenceProtocol::processRead(CacheId cache, BlockNum block,
     panicIfNot(cache < caches.size(), "cache id out of range");
     eventCounts.add(EventType::Read);
 
-    if (caches[cache]->contains(block)) {
+    if (oracleMode ? denseHolders.contains(block, cache)
+                   : caches[cache]->contains(block)) {
         eventCounts.add(EventType::RdHit);
-        caches[cache]->touch(block);
+        if (!oracleMode)
+            caches[cache]->touch(block);
         return;
     }
 
@@ -206,10 +217,11 @@ CoherenceProtocol::processWrite(CacheId cache, BlockNum block,
     panicIfNot(cache < caches.size(), "cache id out of range");
     eventCounts.add(EventType::Write);
 
-    const CacheBlockState state = caches[cache]->lookup(block);
+    const CacheBlockState state = stateOf(cache, block);
     if (state != stateNotPresent) {
         eventCounts.add(EventType::WrtHit);
-        caches[cache]->touch(block);
+        if (!oracleMode)
+            caches[cache]->touch(block);
         handleWriteHit(cache, block, state);
         return;
     }
@@ -230,18 +242,31 @@ CoherenceProtocol::processWrite(CacheId cache, BlockNum block,
 }
 
 CacheBlockState
+CoherenceProtocol::stateOf(CacheId cache, BlockNum block) const
+{
+    if (oracleMode) {
+        if (block >= denseHolders.blockCount()
+            || !denseHolders.contains(block, cache))
+            return stateNotPresent;
+        return denseDirtyOwner[block] == cache ? oracleDirty
+                                               : oracleClean;
+    }
+    return caches[cache]->lookup(block);
+}
+
+CacheBlockState
 CoherenceProtocol::cacheState(CacheId cache, BlockNum block) const
 {
     panicIfNot(cache < caches.size(), "cache id out of range");
-    return caches[cache]->lookup(block);
+    return stateOf(cache, block);
 }
 
 SharerSet
 CoherenceProtocol::holders(BlockNum block) const
 {
     if (denseMode) {
-        if (block < denseHolders.size())
-            return denseHolders[block];
+        if (block < denseHolders.blockCount())
+            return denseHolders.snapshot(block);
         return SharerSet(numCaches());
     }
     const auto it = holderMap.find(block);
@@ -250,13 +275,51 @@ CoherenceProtocol::holders(BlockNum block) const
     return it->second;
 }
 
+void
+CoherenceProtocol::snapshotHolders(BlockNum block, CacheIdList &out) const
+{
+    out.clear();
+    if (denseMode) {
+        if (block < denseHolders.blockCount())
+            denseHolders.appendTo(block, out);
+        return;
+    }
+    const auto it = holderMap.find(block);
+    if (it != holderMap.end())
+        it->second.forEach([&out](CacheId holder) { out.push(holder); });
+}
+
+unsigned
+CoherenceProtocol::holderCount(BlockNum block) const
+{
+    if (denseMode) {
+        return block < denseHolders.blockCount()
+                   ? denseHolders.count(block)
+                   : 0;
+    }
+    const auto it = holderMap.find(block);
+    return it == holderMap.end() ? 0 : it->second.count();
+}
+
+CacheId
+CoherenceProtocol::firstHolder(BlockNum block) const
+{
+    if (denseMode)
+        return denseHolders.first(block);
+    const auto it = holderMap.find(block);
+    panicIfNot(it != holderMap.end(),
+               name(), ": firstHolder on untracked block ", block);
+    return it->second.first();
+}
+
 std::vector<BlockNum>
 CoherenceProtocol::residentBlocks() const
 {
     std::vector<BlockNum> blocks;
     if (denseMode) {
-        for (BlockNum block = 0; block < denseHolders.size(); ++block) {
-            if (!denseHolders[block].empty())
+        for (BlockNum block = 0; block < denseHolders.blockCount();
+             ++block) {
+            if (!denseHolders.empty(block))
                 blocks.push_back(block);
         }
         return blocks;
@@ -278,7 +341,7 @@ CoherenceProtocol::checkInvariants(BlockNum block) const
     unsigned holder_count = 0;
     unsigned dirty_count = 0;
     for (CacheId cache = 0; cache < caches.size(); ++cache) {
-        const CacheBlockState state = caches[cache]->lookup(block);
+        const CacheBlockState state = stateOf(cache, block);
         const bool resident = state != stateNotPresent;
         panicIfNot(resident == sharers.contains(cache),
                    name(), ": holder oracle out of sync for block ",
@@ -308,7 +371,7 @@ CoherenceProtocol::checkInvariants(BlockNum block) const
         } else {
             panicIfNot(owner != invalidCacheId
                            && sharers.contains(owner)
-                           && isDirtyState(caches[owner]->lookup(block)),
+                           && isDirtyState(stateOf(owner, block)),
                        name(), ": dirty owner out of sync for block ",
                        block);
         }
@@ -321,7 +384,8 @@ CoherenceProtocol::checkAllInvariants() const
     if (denseMode) {
         // The arena covers every block the trace can touch, so check
         // all of it: absent blocks assert that no cache holds them.
-        for (BlockNum block = 0; block < denseHolders.size(); ++block)
+        for (BlockNum block = 0; block < denseHolders.blockCount();
+             ++block)
             checkInvariants(block);
         return;
     }
@@ -334,20 +398,18 @@ CoherenceProtocol::classifyOthers(CacheId cache, BlockNum block) const
 {
     Others others;
     if (denseMode) {
-        if (block >= denseHolders.size())
+        if (block >= denseHolders.blockCount())
             return others;
-        // The holder oracle answers directly: popcount for the count,
-        // a reverse bit scan for a representative holder (the same
-        // cache the legacy per-cache survey ends on), and the tracked
+        // The holder oracle answers directly: an O(1) count, a
+        // reverse scan for a representative holder (the same cache
+        // the legacy per-cache survey ends on), and the tracked
         // dirty owner instead of a state probe per holder.
-        const SharerSet &sharers = denseHolders[block];
-        unsigned num_others = sharers.count();
-        if (sharers.contains(cache))
-            --num_others;
+        const unsigned num_others =
+            denseHolders.countExcluding(block, cache);
         if (num_others == 0)
             return others;
         others.numOthers = num_others;
-        others.anyHolder = sharers.lastExcluding(cache);
+        others.anyHolder = denseHolders.lastExcluding(block, cache);
         const CacheId owner = denseDirtyOwner[block];
         if (owner != invalidCacheId && owner != cache) {
             others.anyDirty = true;
@@ -378,14 +440,20 @@ CoherenceProtocol::install(CacheId cache, BlockNum block,
 {
     // Order matters with finite caches: the insertion may trigger an
     // eviction whose hook edits the holder oracle, so the oracle
-    // entry for the new block is added afterwards.
-    caches[cache]->set(block, state);
+    // entry for the new block is added afterwards. In oracle mode
+    // the oracle *is* the cache state, so there is nothing else to
+    // write.
+    if (!oracleMode)
+        caches[cache]->set(block, state);
     if (denseMode) {
-        panicIfNot(block < denseHolders.size(),
-                   name(), ": block ", block,
-                   " outside the dense arena of ", denseHolders.size(),
-                   " blocks");
-        denseHolders[block].add(cache);
+        // Branch-then-panic: panicIfNot would build the message (a
+        // name() string concatenation) on every install, and this
+        // runs once per cache fill.
+        if (block >= denseHolders.blockCount()) [[unlikely]]
+            panic(name(), ": block ", block,
+                  " outside the dense arena of ",
+                  denseHolders.blockCount(), " blocks");
+        denseHolders.add(block, cache);
         if (isDirtyState(state))
             denseDirtyOwner[block] = cache;
         else if (denseDirtyOwner[block] == cache)
@@ -406,10 +474,16 @@ void
 CoherenceProtocol::setState(CacheId cache, BlockNum block,
                             CacheBlockState state)
 {
-    panicIfNot(caches[cache]->contains(block),
-               name(), ": setState for a block cache ", cache,
-               " does not hold");
-    caches[cache]->set(block, state);
+    if (oracleMode) {
+        if (!denseHolders.contains(block, cache)) [[unlikely]]
+            panic(name(), ": setState for a block cache ", cache,
+                  " does not hold");
+    } else {
+        if (!caches[cache]->contains(block)) [[unlikely]]
+            panic(name(), ": setState for a block cache ", cache,
+                  " does not hold");
+        caches[cache]->set(block, state);
+    }
     if (denseMode) {
         if (isDirtyState(state))
             denseDirtyOwner[block] = cache;
@@ -421,10 +495,11 @@ CoherenceProtocol::setState(CacheId cache, BlockNum block,
 void
 CoherenceProtocol::invalidateIn(CacheId cache, BlockNum block)
 {
-    caches[cache]->invalidate(block);
+    if (!oracleMode)
+        caches[cache]->invalidate(block);
     if (denseMode) {
-        if (block < denseHolders.size()) {
-            denseHolders[block].remove(cache);
+        if (block < denseHolders.blockCount()) {
+            denseHolders.remove(block, cache);
             if (denseDirtyOwner[block] == cache)
                 denseDirtyOwner[block] = invalidCacheId;
         }

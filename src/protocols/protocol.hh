@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -113,7 +114,7 @@ class CoherenceProtocol
     /**
      * Switch the engine to dense block arenas: every future block key
      * is a densified index in [0, @p block_count) (sim/decoded.hh),
-     * so the holder oracle becomes a flat vector of SharerSets, each
+     * so the holder oracle becomes a flat SharerStore arena, each
      * InfiniteCache a flat state array, and each scheme's directory a
      * pre-materialized entry arena (via onReserveBlocks()). The
      * per-reference hot path is then hash-free: every probe is an
@@ -134,6 +135,34 @@ class CoherenceProtocol
 
     /** True once reserveBlocks() switched to dense arenas. */
     bool denseBlocks() const { return denseMode; }
+
+    /** A two-state scheme's {clean, dirty} cache-state constants. */
+    struct OracleStates
+    {
+        CacheBlockState clean;
+        CacheBlockState dirty;
+    };
+
+    /**
+     * Dense-mode fast-path opt-in for two-state schemes. A protocol
+     * whose per-cache state is fully determined by the holder oracle
+     * — resident means `clean` unless the cache is the tracked dirty
+     * owner, in which case `dirty` — returns its state pair here. In
+     * dense mode the engine then derives every cache-state query
+     * from the oracle and maintains *no* per-cache block arenas: at
+     * large N those arenas are numCaches × blockCount bytes of
+     * working set whose every probe is a cache miss, while the
+     * oracle entry is already hot from classifyOthers(). Sparse mode
+     * and finite caches always keep real caches, so the
+     * DIRSIM_DECODE=0 identity suites diff a wrong opt-in loudly.
+     */
+    virtual std::optional<OracleStates> oracleStates() const
+    {
+        return std::nullopt;
+    }
+
+    /** True when dense cache state is derived from the oracle. */
+    bool oracleDerivedState() const { return oracleMode; }
 
     /** Protocol state of @p block in @p cache (stateNotPresent if out). */
     CacheBlockState cacheState(CacheId cache, BlockNum block) const;
@@ -170,6 +199,19 @@ class CoherenceProtocol
 
     /** Survey all caches except @p cache for @p block. */
     Others classifyOthers(CacheId cache, BlockNum block) const;
+
+    /**
+     * Replace @p out with the holders of @p block in ascending order.
+     * The allocation-free holders(): invalidation loops iterate the
+     * snapshot while invalidateIn() edits the live oracle.
+     */
+    void snapshotHolders(BlockNum block, CacheIdList &out) const;
+
+    /** Number of caches holding @p block (0 when untracked). */
+    unsigned holderCount(BlockNum block) const;
+
+    /** Lowest-numbered holder of @p block; panics when none. */
+    CacheId firstHolder(BlockNum block) const;
 
     /**
      * Apply a read miss.
@@ -249,11 +291,17 @@ class CoherenceProtocol
                    bool is_write);
 #endif
 
+    /** cacheState() body without the cache-id range check. */
+    CacheBlockState stateOf(CacheId cache, BlockNum block) const;
+
     std::vector<std::unique_ptr<CacheModel>> caches;
     /** block -> exact holder set, kept in sync by the helpers. */
     std::unordered_map<BlockNum, SharerSet> holderMap;
-    /** Dense holder oracle, indexed by block (reserveBlocks()). */
-    std::vector<SharerSet> denseHolders;
+    /**
+     * Dense holder oracle (reserveBlocks()): the hybrid inline/spill
+     * arena, one allocation for every block's sharer set.
+     */
+    SharerStore denseHolders;
     /**
      * Dense mode only: the cache holding each block dirty (or
      * invalidCacheId), maintained by install/setState/invalidateIn so
@@ -265,6 +313,10 @@ class CoherenceProtocol
     Histogram cleanWriteHist;
     bool finiteMode = false;
     bool denseMode = false;
+    /** Dense + oracleStates(): cache state derived, no arenas. */
+    bool oracleMode = false;
+    CacheBlockState oracleClean = stateNotPresent;
+    CacheBlockState oracleDirty = stateNotPresent;
 
     /** Attached trace sink; nullptr (the default) costs one branch. */
     ProtocolTraceSink *traceSink = nullptr;

@@ -13,11 +13,12 @@ WTI::WTI(unsigned num_caches_arg, const CacheFactory &factory)
 void
 WTI::snoopInvalidate(CacheId writer, BlockNum block)
 {
-    const SharerSet sharers = holders(block);
-    sharers.forEach([&](CacheId holder) {
+    CacheIdList sharers;
+    snapshotHolders(block, sharers);
+    for (const CacheId holder : sharers) {
         if (holder != writer)
             invalidateIn(holder, block);
-    });
+    }
 }
 
 void

@@ -13,25 +13,24 @@ YenFu::YenFu(unsigned num_caches_arg, const CacheFactory &factory)
 void
 YenFu::invalidateOthers(CacheId keeper, BlockNum block, bool costed)
 {
-    FullMapEntry &entry = dir.entry(block);
-    const std::vector<CacheId> victims = entry.sharers.toVector();
+    CacheIdList victims;
+    dir.appendSharers(block, victims);
     for (const CacheId victim : victims) {
         if (victim == keeper)
             continue;
         if (costed)
             ++opCounts.invalMsgs;
         invalidateIn(victim, block);
-        entry.sharers.remove(victim);
+        dir.removeSharer(block, victim);
     }
 }
 
 void
 YenFu::restoreSingleBit(BlockNum block, bool costed)
 {
-    const SharerSet sharers = holders(block);
-    if (sharers.count() != 1)
+    if (holderCount(block) != 1)
         return;
-    const CacheId survivor = sharers.first();
+    const CacheId survivor = firstHolder(block);
     if (cacheState(survivor, block) != stClean)
         return;
     // The maintenance signal the paper charges the scheme for.
@@ -44,7 +43,6 @@ void
 YenFu::handleReadMiss(CacheId cache, BlockNum block,
                       const Others &others, bool first)
 {
-    FullMapEntry &entry = dir.entry(block);
     if (others.anyDirty) {
         // Directed write-back request, as in Censier & Feautrier. The
         // owner's single bit is cleared by the same transaction.
@@ -53,7 +51,7 @@ YenFu::handleReadMiss(CacheId cache, BlockNum block,
             ++opCounts.dirtySupplies;
         }
         setState(others.dirtyOwner, block, stClean);
-        entry.dirty = false;
+        dir.setDirty(block, false);
         install(cache, block, stClean);
     } else if (others.numOthers == 0) {
         if (!first)
@@ -74,7 +72,7 @@ YenFu::handleReadMiss(CacheId cache, BlockNum block,
     }
     if (!first)
         ++opCounts.busTransactions;
-    entry.sharers.add(cache);
+    dir.addSharer(block, cache);
 }
 
 void
@@ -95,7 +93,7 @@ YenFu::handleWriteHit(CacheId cache, BlockNum block,
         ++opCounts.writeUpdates;
         ++opCounts.busTransactions;
         setState(cache, block, stDirty);
-        dir.entry(block).dirty = true;
+        dir.setDirty(block, true);
         return;
     }
 
@@ -106,21 +104,20 @@ YenFu::handleWriteHit(CacheId cache, BlockNum block,
     ++opCounts.busTransactions;
     invalidateOthers(cache, block, /* costed */ true);
     setState(cache, block, stDirty);
-    dir.entry(block).dirty = true;
+    dir.setDirty(block, true);
 }
 
 void
 YenFu::handleWriteMiss(CacheId cache, BlockNum block,
                        const Others &others, bool first)
 {
-    FullMapEntry &entry = dir.entry(block);
     if (others.anyDirty) {
         if (!first) {
             ++opCounts.dirtySupplies;
             ++opCounts.invalMsgs;
         }
         invalidateIn(others.dirtyOwner, block);
-        entry.sharers.remove(others.dirtyOwner);
+        dir.removeSharer(block, others.dirtyOwner);
     } else if (others.numOthers > 0) {
         if (!first)
             sampleCleanWrite(others.numOthers);
@@ -133,17 +130,16 @@ YenFu::handleWriteMiss(CacheId cache, BlockNum block,
     if (!first)
         ++opCounts.busTransactions;
     install(cache, block, stDirty);
-    entry.sharers.add(cache);
-    entry.dirty = true;
+    dir.addSharer(block, cache);
+    dir.setDirty(block, true);
 }
 
 void
 YenFu::onEviction(CacheId cache, BlockNum block, CacheBlockState state)
 {
-    FullMapEntry &entry = dir.entry(block);
-    entry.sharers.remove(cache);
+    dir.removeSharer(block, cache);
     if (isDirtyState(state))
-        entry.dirty = false;
+        dir.setDirty(block, false);
     // If exactly one clean copy survives, its single bit is set.
     restoreSingleBit(block, /* costed */ true);
 }
@@ -153,9 +149,8 @@ YenFu::checkInvariants(BlockNum block) const
 {
     CoherenceProtocol::checkInvariants(block);
     const SharerSet sharers = holders(block);
-    const FullMapEntry *entry = dir.find(block);
-    if (entry != nullptr) {
-        panicIfNot(entry->sharers == sharers,
+    if (dir.tracked(block)) {
+        panicIfNot(dir.sharerSnapshot(block) == sharers,
                    "YenFu: directory present bits disagree for block ",
                    block);
     } else {

@@ -1,10 +1,7 @@
 #include "sim/decoded.hh"
 
-#include <limits>
-#include <unordered_map>
-#include <unordered_set>
-
 #include "common/bitops.hh"
+#include "common/dense_id_map.hh"
 #include "common/env.hh"
 #include "common/logging.hh"
 #include "protocols/registry.hh"
@@ -47,16 +44,18 @@ decodeTrace(TraceSource &source, unsigned block_bytes,
     // Sizing state mirrors scanTraceFile(): distinct pids over *all*
     // records / the maximum CPU index. The mapping state mirrors the
     // simulation loop: dense ids handed out in order of first
-    // appearance over *data* records only.
-    std::unordered_set<std::uint64_t> sizing_pids;
+    // appearance over *data* records only. DenseIdMap rather than
+    // std::unordered_map: these three insert-or-finds per record are
+    // the whole decode pass, and the flat table halves its cost.
+    DenseIdMap sizing_pids;
     unsigned max_cpu = 0;
-    std::unordered_map<std::uint64_t, CacheId> cache_ids;
-    std::unordered_map<BlockNum, std::uint32_t> block_ids;
+    DenseIdMap cache_ids;
+    DenseIdMap block_ids;
 
     TraceRecord record;
     while (source.next(record)) {
         if (sharing == SharingModel::ByProcess)
-            sizing_pids.insert(record.pid);
+            sizing_pids.idFor(record.pid);
         else if (record.cpu > max_cpu)
             max_cpu = record.cpu;
 
@@ -72,31 +71,20 @@ decodeTrace(TraceSource &source, unsigned block_bytes,
         const std::uint64_t key = sharing == SharingModel::ByProcess
             ? static_cast<std::uint64_t>(record.pid)
             : static_cast<std::uint64_t>(record.cpu);
-        const CacheId next_cache =
-            static_cast<CacheId>(cache_ids.size());
-        const CacheId cache =
-            cache_ids.emplace(key, next_cache).first->second;
+        const CacheId cache = cache_ids.idFor(key).first;
 
         const BlockNum block =
             blockNumber(record.addr, block_bytes);
-        const auto next_block =
-            static_cast<std::uint32_t>(block_ids.size());
-        const auto [block_it, first_ref] =
-            block_ids.emplace(block, next_block);
-        if (first_ref) {
-            fatalIf(block_ids.size()
-                        > std::numeric_limits<std::uint32_t>::max(),
-                    "trace '", source.name(), "' touches more than 2^32 "
-                    "distinct blocks; densified indices overflow");
+        const auto [dense_block, first_ref] = block_ids.idFor(block);
+        if (first_ref)
             out.denseToBlock.push_back(block);
-        }
 
         std::uint8_t op = record.isRead() ? decodedOpRead
                                           : decodedOpWrite;
         if (first_ref)
             op |= decodedOpFirstRef;
         out.ops.push_back(op);
-        out.blocks.push_back(block_it->second);
+        out.blocks.push_back(dense_block);
         out.caches.push_back(cache);
         ++out.dataRefs;
     }

@@ -70,16 +70,66 @@ TEST(FullMapTest, DenseArenaMirrorsSparseSemantics)
     dir.reserveDense(8);
     EXPECT_TRUE(dir.denseStorage());
 
-    dir.entry(3).sharers.add(1);
-    const FullMapEntry *found = dir.find(3);
-    ASSERT_NE(found, nullptr);
-    EXPECT_TRUE(found->sharers.contains(1));
+    dir.addSharer(3, 1);
+    EXPECT_TRUE(dir.tracked(3));
+    EXPECT_TRUE(dir.isSharer(3, 1));
+    EXPECT_EQ(dir.sharerCount(3), 1u);
+    EXPECT_FALSE(dir.dirty(3));
+    dir.setDirty(3, true);
+    EXPECT_TRUE(dir.dirty(3));
 
-    EXPECT_EQ(dir.find(8), nullptr); // outside the arena
-    EXPECT_THROW(dir.entry(8), LogicError);
+    CacheIdList sharers;
+    dir.appendSharers(3, sharers);
+    ASSERT_EQ(sharers.size(), 1u);
+    EXPECT_EQ(sharers.front(), 1u);
+    EXPECT_EQ(dir.sharerSnapshot(3).toVector(),
+              (std::vector<CacheId>{1}));
+
+    dir.removeSharer(3, 1);
+    EXPECT_FALSE(dir.isSharer(3, 1));
+    EXPECT_EQ(dir.sharerCount(3), 0u);
+
+    EXPECT_THROW(dir.addSharer(8, 0), LogicError); // outside the arena
 
     dir.compact(); // no-op: the arena is the memory bound
-    EXPECT_TRUE(dir.find(3)->sharers.contains(1));
+    EXPECT_TRUE(dir.dirty(3));
+}
+
+TEST(FullMapTest, DenseModeHasNoEntryObjects)
+{
+    // The dense arena stores sharers in a flat SharerStore, so the
+    // per-block FullMapEntry accessors are sparse-only.
+    FullMapDirectory dir(4);
+    dir.reserveDense(8);
+    EXPECT_THROW(dir.entry(3), LogicError);
+    EXPECT_THROW(dir.find(3), LogicError);
+}
+
+TEST(FullMapTest, BlockKeyedAccessorsWorkSparse)
+{
+    // The block-keyed API is mode-agnostic: protocols written against
+    // it behave identically before and after reserveDense().
+    FullMapDirectory dir(4);
+    EXPECT_FALSE(dir.tracked(9));
+    EXPECT_FALSE(dir.isSharer(9, 2));
+    EXPECT_EQ(dir.sharerCount(9), 0u);
+    EXPECT_FALSE(dir.dirty(9));
+
+    dir.addSharer(9, 2);
+    dir.addSharer(9, 0);
+    dir.setDirty(9, true);
+    EXPECT_TRUE(dir.tracked(9));
+    EXPECT_EQ(dir.sharerCount(9), 2u);
+    EXPECT_TRUE(dir.dirty(9));
+
+    CacheIdList sharers;
+    dir.appendSharers(9, sharers);
+    EXPECT_EQ(std::vector<CacheId>(sharers.begin(), sharers.end()),
+              (std::vector<CacheId>{0, 2})); // ascending
+
+    dir.removeSharer(9, 0);
+    EXPECT_EQ(dir.sharerSnapshot(9).toVector(),
+              (std::vector<CacheId>{2}));
 }
 
 TEST(FullMapTest, DenseReservationRejectsTouchedDirectory)

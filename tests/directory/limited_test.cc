@@ -72,7 +72,8 @@ TEST(LimitedEntryTest, RemoveSharerKeepsOrder)
     entry.addSharer(6);
     entry.addSharer(7);
     entry.removeSharer(6);
-    EXPECT_EQ(entry.pointerList(),
+    const CacheIdSpan ptrs = entry.pointerList();
+    EXPECT_EQ(std::vector<CacheId>(ptrs.begin(), ptrs.end()),
               (std::vector<CacheId>{5, 7}));
 }
 

@@ -40,19 +40,37 @@ TEST(SharerSetTest, AddIsIdempotent)
     EXPECT_EQ(set.count(), 1u);
 }
 
-TEST(SharerSetTest, RemoveMissingIsNoop)
+TEST(SharerSetTest, RemoveMissingMemberIsNoop)
 {
     SharerSet set(4);
     set.add(1);
-    set.remove(3);
-    set.remove(100); // out of domain: silently ignored
+    set.remove(3); // in-domain non-member: a no-op
     EXPECT_EQ(set.count(), 1u);
 }
 
-TEST(SharerSetTest, AddOutOfDomainPanics)
+TEST(SharerSetTest, OutOfDomainPanics)
 {
+    // add/remove/contains all reject ids outside the domain: a silent
+    // no-op would mask an id-mapping bug in the caller.
     SharerSet set(4);
+    set.add(1);
     EXPECT_THROW(set.add(4), LogicError);
+    EXPECT_THROW(set.remove(4), LogicError);
+    EXPECT_THROW(set.contains(4), LogicError);
+    EXPECT_THROW(set.remove(100), LogicError);
+    EXPECT_THROW(set.contains(invalidCacheId), LogicError);
+    EXPECT_EQ(set.count(), 1u);
+}
+
+TEST(SharerSetTest, CountExcludingToleratesOutOfDomainId)
+{
+    // Protocols pass invalidCacheId as the "keeper" when nobody is
+    // spared; the exclusion id is the one id allowed out of domain.
+    SharerSet set(4);
+    set.add(0);
+    set.add(2);
+    EXPECT_EQ(set.countExcluding(invalidCacheId), 2u);
+    EXPECT_EQ(set.lastExcluding(invalidCacheId), 2u);
 }
 
 TEST(SharerSetTest, IsOnly)
@@ -273,6 +291,33 @@ TEST_P(SharerSetBoundary, EdgeMembersRoundTrip)
     EXPECT_EQ(set.countExcluding(edges.front()), edges.size() - 1);
     EXPECT_EQ(set.countExcluding(static_cast<CacheId>(n - 1)),
               edges.size() - 1);
+    // Excluding a non-member (or an out-of-domain id) excludes nothing.
+    if (n > 2)
+        EXPECT_EQ(set.countExcluding(2), edges.size());
+    EXPECT_EQ(set.countExcluding(invalidCacheId), edges.size());
+}
+
+TEST_P(SharerSetBoundary, IsOnlySinglePassAtWordEdges)
+{
+    const unsigned n = GetParam();
+    const std::vector<CacheId> probes{
+        0, static_cast<CacheId>(n / 2), static_cast<CacheId>(n - 1)};
+    for (const CacheId sole : probes) {
+        SharerSet set(n);
+        EXPECT_FALSE(set.isOnly(sole)) << "n=" << n;
+        set.add(sole);
+        EXPECT_TRUE(set.isOnly(sole)) << "n=" << n << " " << sole;
+        for (const CacheId other : probes) {
+            if (other != sole)
+                EXPECT_FALSE(set.isOnly(other))
+                    << "n=" << n << " " << other;
+        }
+        // A second member in any word breaks soleness.
+        const CacheId extra = sole == 0 ? 1 : 0;
+        set.add(extra);
+        EXPECT_FALSE(set.isOnly(sole)) << "n=" << n;
+        EXPECT_FALSE(set.isOnly(extra)) << "n=" << n;
+    }
 }
 
 TEST_P(SharerSetBoundary, LastExcludingScansBackAcrossWords)

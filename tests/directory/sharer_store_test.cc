@@ -1,0 +1,268 @@
+/**
+ * @file
+ * Property and unit tests for SharerStore, the flat dense-arena
+ * sharer representation. The property suite drives random
+ * add/remove/clear streams against a std::set reference so every
+ * block crosses inline -> spilled -> inline repeatedly, at domains on
+ * both sides of the word-mode boundary and at the N=1024 scaling
+ * point.
+ */
+
+#include <algorithm>
+#include <random>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "directory/sharer_set.hh"
+
+namespace dirsim
+{
+namespace
+{
+
+std::vector<CacheId>
+members(const SharerStore &store, std::uint64_t block)
+{
+    std::vector<CacheId> out;
+    store.forEach(block, [&](CacheId cache) { out.push_back(cache); });
+    return out;
+}
+
+TEST(SharerStoreTest, StartsEmpty)
+{
+    SharerStore store;
+    store.reset(4, 8);
+    EXPECT_EQ(store.numCaches(), 4u);
+    EXPECT_EQ(store.blockCount(), 8u);
+    for (std::uint64_t block = 0; block < 8; ++block) {
+        EXPECT_TRUE(store.empty(block));
+        EXPECT_EQ(store.count(block), 0u);
+    }
+    EXPECT_EQ(store.spilledBlocks(), 0u);
+}
+
+TEST(SharerStoreTest, WordModeAddRemoveContains)
+{
+    SharerStore store;
+    store.reset(64, 4);
+    store.add(1, 0);
+    store.add(1, 63);
+    EXPECT_TRUE(store.contains(1, 0));
+    EXPECT_TRUE(store.contains(1, 63));
+    EXPECT_FALSE(store.contains(1, 32));
+    EXPECT_EQ(store.count(1), 2u);
+    EXPECT_EQ(members(store, 1), (std::vector<CacheId>{0, 63}));
+    store.remove(1, 0);
+    EXPECT_EQ(members(store, 1), (std::vector<CacheId>{63}));
+    // Other blocks are untouched.
+    EXPECT_TRUE(store.empty(0));
+    EXPECT_TRUE(store.empty(2));
+}
+
+TEST(SharerStoreTest, HybridInlineStaysSortedAscending)
+{
+    SharerStore store;
+    store.reset(1024, 2);
+    // Insert out of order; iteration must come back ascending, like
+    // SharerSet's bit scan.
+    for (const CacheId cache : {900u, 5u, 64u, 1023u, 0u, 511u, 63u})
+        store.add(0, cache);
+    EXPECT_EQ(store.count(0), 7u);
+    EXPECT_EQ(store.spilledBlocks(), 0u); // 7 ids still fit inline
+    EXPECT_EQ(members(store, 0),
+              (std::vector<CacheId>{0, 5, 63, 64, 511, 900, 1023}));
+    EXPECT_EQ(store.first(0), 0u);
+    store.remove(0, 0);
+    store.remove(0, 1023);
+    EXPECT_EQ(members(store, 0),
+              (std::vector<CacheId>{5, 63, 64, 511, 900}));
+}
+
+TEST(SharerStoreTest, EighthSharerSpillsAndRemovalRepacks)
+{
+    SharerStore store;
+    store.reset(100, 3);
+    for (CacheId cache = 0; cache < 7; ++cache)
+        store.add(1, cache * 14);
+    EXPECT_EQ(store.spilledBlocks(), 0u);
+    store.add(1, 99); // the 8th sharer forces the wide form
+    EXPECT_EQ(store.spilledBlocks(), 1u);
+    EXPECT_EQ(store.count(1), 8u);
+    std::vector<CacheId> expect{0, 14, 28, 42, 56, 70, 84, 99};
+    EXPECT_EQ(members(store, 1), expect);
+    for (const CacheId cache : expect)
+        EXPECT_TRUE(store.contains(1, cache));
+
+    // Dropping back to 7 sharers repacks inline and frees the slice.
+    store.remove(1, 42);
+    EXPECT_EQ(store.spilledBlocks(), 0u);
+    expect.erase(std::find(expect.begin(), expect.end(), 42));
+    EXPECT_EQ(members(store, 1), expect);
+    EXPECT_EQ(store.count(1), 7u);
+}
+
+TEST(SharerStoreTest, SpillSlicesAreRecycled)
+{
+    SharerStore store;
+    store.reset(200, 8);
+    const auto spillBlock = [&](std::uint64_t block) {
+        for (CacheId cache = 0; cache < 8; ++cache)
+            store.add(block, cache);
+    };
+    spillBlock(0);
+    spillBlock(1);
+    EXPECT_EQ(store.spilledBlocks(), 2u);
+    store.clear(0);
+    EXPECT_TRUE(store.empty(0));
+    EXPECT_EQ(store.spilledBlocks(), 1u);
+    // A fresh spill reuses the freed slice and must see it zeroed.
+    spillBlock(2);
+    EXPECT_EQ(store.spilledBlocks(), 2u);
+    EXPECT_EQ(store.count(2), 8u);
+    EXPECT_EQ(members(store, 2),
+              (std::vector<CacheId>{0, 1, 2, 3, 4, 5, 6, 7}));
+    // Block 1 was never disturbed.
+    EXPECT_EQ(store.count(1), 8u);
+}
+
+TEST(SharerStoreTest, CountExcludingAndLastExcluding)
+{
+    SharerStore store;
+    store.reset(1024, 2);
+    store.add(0, 3);
+    store.add(0, 700);
+    EXPECT_EQ(store.countExcluding(0, 3), 1u);
+    EXPECT_EQ(store.countExcluding(0, 5), 2u);
+    EXPECT_EQ(store.countExcluding(0, invalidCacheId), 2u);
+    EXPECT_EQ(store.lastExcluding(0, 700), 3u);
+    EXPECT_EQ(store.lastExcluding(0, 3), 700u);
+    EXPECT_EQ(store.lastExcluding(0, invalidCacheId), 700u);
+    EXPECT_EQ(store.lastExcluding(1, 0), invalidCacheId);
+    store.remove(0, 700);
+    EXPECT_EQ(store.lastExcluding(0, 3), invalidCacheId);
+}
+
+TEST(SharerStoreTest, FirstOnEmptyPanics)
+{
+    SharerStore store;
+    store.reset(128, 2);
+    EXPECT_THROW(store.first(0), LogicError);
+}
+
+TEST(SharerStoreTest, OutOfRangePanics)
+{
+    SharerStore store;
+    store.reset(100, 4);
+    EXPECT_THROW(store.add(4, 0), LogicError);    // block out of range
+    EXPECT_THROW(store.add(0, 100), LogicError);  // cache out of domain
+    EXPECT_THROW(store.remove(0, 100), LogicError);
+    EXPECT_THROW(store.contains(0, invalidCacheId), LogicError);
+    EXPECT_THROW(store.remove(4, 0), LogicError);
+}
+
+TEST(SharerStoreTest, DomainAboveSixteenBitsRejected)
+{
+    // Hybrid inline slots hold 16-bit ids; reset() must refuse domains
+    // they cannot represent rather than truncate.
+    SharerStore store;
+    EXPECT_THROW(store.reset(0x10000, 1), LogicError);
+}
+
+TEST(SharerStoreTest, SnapshotMatchesForEach)
+{
+    SharerStore store;
+    store.reset(300, 2);
+    for (const CacheId cache : {7u, 123u, 255u, 299u})
+        store.add(0, cache);
+    const SharerSet snap = store.snapshot(0);
+    EXPECT_EQ(snap.numCaches(), 300u);
+    EXPECT_EQ(snap.toVector(), members(store, 0));
+
+    CacheIdList list;
+    store.appendTo(0, list);
+    EXPECT_EQ(std::vector<CacheId>(list.begin(), list.end()),
+              members(store, 0));
+}
+
+/**
+ * The property suite: a random operation stream checked against
+ * std::set, driving blocks through inline -> spilled -> inline
+ * transitions. Domains cover word mode (33, 64), the first hybrid
+ * width (65), and the scaling grid's N=1024.
+ */
+class SharerStoreProperty : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(SharerStoreProperty, RandomStreamMatchesReferenceSet)
+{
+    const unsigned domain = GetParam();
+    constexpr std::uint64_t kBlocks = 6;
+    SharerStore store;
+    store.reset(domain, kBlocks);
+    std::array<std::set<CacheId>, kBlocks> ref;
+
+    std::mt19937 rng(0xd1f5u + domain);
+    std::uniform_int_distribution<unsigned> pickOp(0, 99);
+    std::uniform_int_distribution<std::uint64_t> pickBlock(
+        0, kBlocks - 1);
+    std::uniform_int_distribution<CacheId> pickCache(0, domain - 1);
+
+    for (int step = 0; step < 20000; ++step) {
+        const std::uint64_t block = pickBlock(rng);
+        const CacheId cache = pickCache(rng);
+        const unsigned op = pickOp(rng);
+        if (op < 55) {
+            store.add(block, cache);
+            ref[block].insert(cache);
+        } else if (op < 97) {
+            store.remove(block, cache);
+            ref[block].erase(cache);
+        } else {
+            store.clear(block);
+            ref[block].clear();
+        }
+
+        // Cheap invariants every step; full sweep periodically.
+        ASSERT_EQ(store.count(block), ref[block].size());
+        ASSERT_EQ(store.contains(block, cache),
+                  ref[block].count(cache) != 0);
+        if (step % 500 != 0)
+            continue;
+        for (std::uint64_t b = 0; b < kBlocks; ++b) {
+            const std::vector<CacheId> expect(ref[b].begin(),
+                                              ref[b].end());
+            ASSERT_EQ(members(store, b), expect)
+                << "domain=" << domain << " block=" << b;
+            ASSERT_EQ(store.empty(b), expect.empty());
+            if (!expect.empty()) {
+                ASSERT_EQ(store.first(b), expect.front());
+                ASSERT_EQ(store.lastExcluding(b, expect.back()),
+                          expect.size() > 1
+                              ? expect[expect.size() - 2]
+                              : invalidCacheId);
+            }
+            ASSERT_EQ(store.lastExcluding(b, invalidCacheId),
+                      expect.empty() ? invalidCacheId : expect.back());
+            const CacheId probe = pickCache(rng);
+            ASSERT_EQ(store.countExcluding(b, probe),
+                      expect.size()
+                          - (ref[b].count(probe) != 0 ? 1 : 0));
+            ASSERT_EQ(store.snapshot(b).toVector(), expect);
+        }
+    }
+
+    // Drain everything: all spill slices must come back.
+    for (std::uint64_t b = 0; b < kBlocks; ++b)
+        store.clear(b);
+    EXPECT_EQ(store.spilledBlocks(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Domains, SharerStoreProperty,
+                         ::testing::Values(33, 64, 65, 1024));
+
+} // namespace
+} // namespace dirsim

@@ -235,8 +235,10 @@ TEST(ServeTelemetryTest, TraceRendersTheRunTimeline)
     EXPECT_EQ(queue_spans, 1u);
     EXPECT_EQ(run_spans, 1u);
     EXPECT_EQ(cell_spans, 2u); // 2 schemes x 1 trace
-    // At least the submit and events requests land in the window.
-    EXPECT_GE(http_spans, 2u);
+    // The submitting POST always overlaps the run's window. The
+    // events request is only guaranteed to when the run outlives it,
+    // which a fast simulator on a small spec does not promise.
+    EXPECT_GE(http_spans, 1u);
 
     const HttpClientResponse missing =
         httpRequest(daemon.port(), "GET", "/runs/999/trace");

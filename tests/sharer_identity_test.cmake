@@ -1,0 +1,39 @@
+# End-to-end sharer-storage identity check: the flat SharerStore
+# arena (dense engine, DIRSIM_DECODE=1) must be a pure optimization
+# over the per-block SharerSet maps of the legacy sparse engine
+# (DIRSIM_DECODE=0). Run the scaling suite on both sides of the
+# word-mode boundary and at the N=1024 hybrid/spill point, then
+# require `dirsim_report --diff` to exit 0 for every cache count — it
+# compares every deterministic per-cell metric (events, ops, the
+# Figure 1 histogram, derived costs, trace distributions) and ignores
+# wall-clock fields.
+function(run)
+    execute_process(COMMAND ${ARGV} RESULT_VARIABLE rc OUTPUT_QUIET)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR "command failed (${rc}): ${ARGV}")
+    endif()
+endfunction()
+
+set(ns "4,6,13,1024")
+set(legacy "${WORKDIR}/sharer_identity_legacy")
+set(dense "${WORKDIR}/sharer_identity_dense")
+file(REMOVE_RECURSE ${legacy} ${dense})
+
+run(${CMAKE_COMMAND} -E env DIRSIM_SCALING_NS=${ns}
+    DIRSIM_SCALING_REFS=30000 DIRSIM_DECODE=0
+    ${SCALING} run ${legacy})
+run(${CMAKE_COMMAND} -E env DIRSIM_SCALING_NS=${ns}
+    DIRSIM_SCALING_REFS=30000 DIRSIM_DECODE=1
+    ${SCALING} run ${dense})
+
+foreach(n 4 6 13 1024)
+    execute_process(
+        COMMAND ${REPORT} --diff
+            ${legacy}/scale${n}.jsonl ${dense}/scale${n}.jsonl
+        RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR
+            "SharerStore run diverged from the legacy engine at "
+            "N=${n} (rc=${rc}):\n${out}")
+    endif()
+endforeach()
